@@ -1,0 +1,85 @@
+// Ablation: how aggregation schemes scale with cluster shape (m nodes x n
+// GPUs) — the design-space question behind HiTopKComm's hierarchy.
+// Also covers Table 1's cloud presets (AWS/Aliyun/Tencent NICs).
+#include <iostream>
+
+#include "collectives/hier_allreduce.h"
+#include "collectives/hitopkcomm.h"
+#include "collectives/naive_allgather.h"
+#include "collectives/param_server.h"
+#include "collectives/torus2d.h"
+#include "collectives/tree_allreduce.h"
+#include "core/table.h"
+
+int main() {
+  using hitopk::TablePrinter;
+  using namespace hitopk::coll;
+  using hitopk::simnet::Cluster;
+  using hitopk::simnet::Topology;
+
+  const size_t elems = 25u << 20;
+  const size_t fp16 = 2;
+  const double density = 0.01;
+
+  auto measure = [&](const Topology& topo) {
+    Cluster c_naive(topo);
+    const double naive =
+        naive_sparse_allgather_time(
+            c_naive, static_cast<size_t>(density * static_cast<double>(elems)),
+            fp16, 0.0, 0.0)
+            .total;
+    Cluster c_tree(topo);
+    TreeOptions tree_options;
+    tree_options.wire_bytes = fp16;
+    const double tree =
+        tree_allreduce(c_tree, world_group(topo), {}, elems, tree_options, 0.0);
+    Cluster c_torus(topo);
+    const double torus = torus2d_allreduce(c_torus, {}, elems, fp16, 0.0).total;
+    Cluster c_hier(topo);
+    const double hier = hier_allreduce(c_hier, {}, elems, fp16, 0.0).total;
+    Cluster c_ps(topo);
+    const double ps = param_server_allreduce(c_ps, {}, elems, fp16, 0.0).total;
+    Cluster c_hitopk(topo);
+    HiTopKOptions options;
+    options.density = density;
+    options.value_wire_bytes = fp16;
+    const double hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
+    return std::array<double, 6>{naive, tree, torus, hier, ps, hitopk};
+  };
+
+  std::cout << "=== Ablation: cluster shape (25M elements, FP16, rho=0.01) "
+               "===\n\n";
+  TablePrinter shape_table({"Shape (m x n)", "NaiveAG", "TreeAR", "2DTAR",
+                            "HierAR", "ParamServer", "HiTopKComm"});
+  for (const auto [m, n] : {std::pair{4, 8}, std::pair{8, 8}, std::pair{16, 8},
+                            std::pair{32, 8}, std::pair{16, 4},
+                            std::pair{16, 16}, std::pair{128, 1}}) {
+    const auto t = measure(Topology::tencent_cloud(m, n));
+    shape_table.add_row({std::to_string(m) + " x " + std::to_string(n),
+                         TablePrinter::fmt(t[0], 4), TablePrinter::fmt(t[1], 4),
+                         TablePrinter::fmt(t[2], 4), TablePrinter::fmt(t[3], 4),
+                         TablePrinter::fmt(t[4], 4),
+                         TablePrinter::fmt(t[5], 4)});
+  }
+  shape_table.print(std::cout);
+
+  std::cout << "\n=== Cloud presets (Table 1), 16 x 8 ===\n\n";
+  TablePrinter cloud_table({"Cloud", "NaiveAG", "TreeAR", "2DTAR", "HierAR",
+                            "ParamServer", "HiTopKComm"});
+  for (const auto& [name, topo] :
+       {std::pair{"Tencent 25GbE", Topology::tencent_cloud(16, 8)},
+        std::pair{"AWS 25GbE", Topology::aws_p3(16, 8)},
+        std::pair{"Aliyun 32GbE", Topology::aliyun(16, 8)},
+        std::pair{"100Gb InfiniBand", Topology::infiniband_100g(16, 8)}}) {
+    const auto t = measure(topo);
+    cloud_table.add_row({name, TablePrinter::fmt(t[0], 4),
+                         TablePrinter::fmt(t[1], 4), TablePrinter::fmt(t[2], 4),
+                         TablePrinter::fmt(t[3], 4), TablePrinter::fmt(t[4], 4),
+                         TablePrinter::fmt(t[5], 4)});
+  }
+  cloud_table.print(std::cout);
+  std::cout << "\nExpected: HiTopKComm's advantage widens with node count "
+               "and shrinks on fast interconnects\n(on 100GbIB the dense "
+               "hierarchical schemes close most of the gap).\n";
+  return 0;
+}

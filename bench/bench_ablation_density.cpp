@@ -1,0 +1,62 @@
+// Ablation: how the gradient density rho moves the communication-time /
+// selection-mass trade-off (§5.3 uses rho = 0.01; training uses 0.001).
+//
+// Left: HiTopKComm aggregation time vs rho (25 M params, the Fig. 8 grid
+// extended).  Right: convergence quality after a fixed budget vs rho on the
+// vision proxy (MSTopK-SGD, 16 workers).
+#include <iostream>
+
+#include "collectives/hitopkcomm.h"
+#include "core/table.h"
+#include "simgpu/gpu_model.h"
+#include "train/convergence.h"
+#include "train/synthetic.h"
+
+int main() {
+  using hitopk::TablePrinter;
+  using namespace hitopk;
+
+  std::cout << "=== Ablation: density sweep ===\n\n";
+  const simnet::Topology topo = simnet::Topology::tencent_cloud(16, 8);
+  const simgpu::GpuCostModel gpu;
+
+  std::cout << "--- HiTopKComm time vs density (25M params, FP16) ---\n";
+  TablePrinter comm_table({"Density", "Comm time (s)", "Inter-AG share",
+                           "Bytes vs dense"});
+  for (const double density :
+       {0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}) {
+    simnet::Cluster cluster(topo);
+    coll::HiTopKOptions options;
+    options.density = density;
+    options.value_wire_bytes = 2;
+    options.gpu = &gpu;
+    const auto b = coll::hitopk_comm(cluster, {}, 25'000'000, options, 0.0);
+    const double dense_bytes = 25'000'000.0 * 2;
+    const double sparse_bytes =
+        density * 25'000'000.0 * (2 + 4) * topo.nodes() / topo.gpus_per_node();
+    comm_table.add_row({TablePrinter::fmt(density, 4),
+                        TablePrinter::fmt(b.total, 4),
+                        TablePrinter::fmt_percent(b.inter_allgather / b.total),
+                        TablePrinter::fmt_percent(sparse_bytes / dense_bytes)});
+  }
+  comm_table.print(std::cout);
+
+  std::cout << "\n--- convergence vs density (MSTopK-SGD, 18 epochs, vision "
+               "proxy) ---\n";
+  TablePrinter quality_table({"Density", "Final top-5", "Comm (sim s)"});
+  for (const double density : {0.002, 0.01, 0.05, 0.2}) {
+    auto task = train::make_vision_task(555);
+    train::ConvergenceOptions options;
+    options.algorithm = train::ConvergenceAlgorithm::kMstopk;
+    options.epochs = 18;
+    options.density = density;
+    const auto result = train::run_convergence(*task, options);
+    quality_table.add_row({TablePrinter::fmt(density, 3),
+                           TablePrinter::fmt_percent(result.final_quality),
+                           TablePrinter::fmt(result.simulated_comm_seconds, 3)});
+  }
+  quality_table.print(std::cout);
+  std::cout << "\nExpected: communication grows ~linearly with density while "
+               "quality saturates,\njustifying the paper's small rho.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks of the real (CPU) compression operators
+// and of HiTopKComm's functional path — wall-clock complements the device
+// model used by the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "collectives/hitopkcomm.h"
+#include "compress/dgc_topk.h"
+#include "compress/exact_topk.h"
+#include "compress/mstopk.h"
+#include "compress/other_compressors.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace {
+
+using namespace hitopk;
+
+Tensor gaussian(size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(d);
+  t.fill_normal(rng, 0.0f, 1.0f);
+  return t;
+}
+
+void BM_ExactTopK(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Tensor x = gaussian(d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::exact_topk(x.span(), d / 1000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d));
+}
+BENCHMARK(BM_ExactTopK)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_DgcTopK(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Tensor x = gaussian(d, 2);
+  compress::DgcTopK dgc(0.01, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgc.compress(x.span(), d / 1000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d));
+}
+BENCHMARK(BM_DgcTopK)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_MsTopK(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Tensor x = gaussian(d, 3);
+  compress::MsTopK mstopk(30, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mstopk.compress(x.span(), d / 1000));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d));
+}
+BENCHMARK(BM_MsTopK)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
+void BM_MsTopKSamplings(benchmark::State& state) {
+  const size_t d = 1 << 20;
+  const Tensor x = gaussian(d, 4);
+  compress::MsTopK mstopk(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mstopk.compress(x.span(), d / 1000));
+  }
+}
+BENCHMARK(BM_MsTopKSamplings)->Arg(5)->Arg(15)->Arg(30)->Arg(60);
+
+void BM_RandomK(benchmark::State& state) {
+  const size_t d = 1 << 20;
+  const Tensor x = gaussian(d, 5);
+  compress::RandomK random_k(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_k.compress(x.span(), d / 1000));
+  }
+}
+BENCHMARK(BM_RandomK);
+
+void BM_HiTopKCommFunctional(benchmark::State& state) {
+  // Functional hierarchical aggregation over a 2x4 cluster, d = 64k.
+  const simnet::Topology topo(2, 4, simnet::LinkParams{1e-6, 1e-9},
+                              simnet::LinkParams{1e-5, 1e-8});
+  const size_t d = 1 << 16;
+  std::vector<Tensor> grads;
+  Rng rng(11);
+  for (int r = 0; r < 8; ++r) {
+    Tensor t(d);
+    t.fill_normal(rng, 0.0f, 1.0f);
+    grads.push_back(std::move(t));
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Tensor> copy = grads;
+    coll::RankData spans;
+    for (auto& g : copy) spans.push_back(g.span());
+    simnet::Cluster cluster(topo);
+    coll::HiTopKOptions options;
+    options.density = 0.01;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        coll::hitopk_comm(cluster, spans, d, options, 0.0));
+  }
+}
+BENCHMARK(BM_HiTopKCommFunctional);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,499 @@
+#include "autodiff/tape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace hitopk::ad {
+
+Tape::Node& Tape::check_id(VarId id) {
+  HITOPK_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+const Tape::Node& Tape::check_id(VarId id) const {
+  HITOPK_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
+  return nodes_[static_cast<size_t>(id)];
+}
+
+std::span<const float> Tape::node_value(const Node& n) const {
+  return n.op == Op::kLeaf ? n.leaf_value
+                           : std::span<const float>(n.value.span());
+}
+
+std::span<const float> Tape::value(VarId id) const {
+  return node_value(check_id(id));
+}
+
+size_t Tape::rows(VarId id) const { return check_id(id).rows; }
+size_t Tape::cols(VarId id) const { return check_id(id).cols; }
+
+VarId Tape::leaf(std::span<const float> value, std::span<float> grad,
+                 size_t rows, size_t cols) {
+  HITOPK_CHECK_EQ(value.size(), rows * cols);
+  if (!grad.empty()) {
+    HITOPK_CHECK_EQ(grad.size(), value.size());
+  }
+  Node n;
+  n.op = Op::kLeaf;
+  n.rows = rows;
+  n.cols = cols;
+  n.leaf_value = value;
+  n.leaf_grad = grad;
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::matmul(VarId a, VarId b) {
+  const Node& na = check_id(a);
+  const Node& nb = check_id(b);
+  HITOPK_CHECK_EQ(na.cols, nb.rows) << "matmul shape mismatch";
+  Node n;
+  n.op = Op::kMatmul;
+  n.a = a;
+  n.b = b;
+  n.rows = na.rows;
+  n.cols = nb.cols;
+  n.value = Tensor(n.rows, n.cols);
+  // C = A * B, ikj loop order for cache-friendly row access.
+  const auto va = node_value(na);
+  const auto vb = node_value(nb);
+  float* c = n.value.data();
+  const size_t inner = na.cols;
+  for (size_t i = 0; i < n.rows; ++i) {
+    for (size_t k = 0; k < inner; ++k) {
+      const float aik = va[i * inner + k];
+      if (aik == 0.0f) continue;
+      const float* brow = &vb[k * n.cols];
+      float* crow = &c[i * n.cols];
+      for (size_t j = 0; j < n.cols; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::add_bias(VarId x, VarId bias) {
+  const Node& nx = check_id(x);
+  const Node& nb = check_id(bias);
+  HITOPK_CHECK_EQ(nb.rows * nb.cols, nx.cols) << "bias width mismatch";
+  Node n;
+  n.op = Op::kAddBias;
+  n.a = x;
+  n.b = bias;
+  n.rows = nx.rows;
+  n.cols = nx.cols;
+  n.value = Tensor(n.rows, n.cols);
+  const auto vx = node_value(nx);
+  const auto vb = node_value(nb);
+  for (size_t i = 0; i < n.rows; ++i) {
+    for (size_t j = 0; j < n.cols; ++j) {
+      n.value[i * n.cols + j] = vx[i * n.cols + j] + vb[j];
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::relu(VarId x) {
+  const Node& nx = check_id(x);
+  Node n;
+  n.op = Op::kRelu;
+  n.a = x;
+  n.rows = nx.rows;
+  n.cols = nx.cols;
+  n.value = Tensor(n.rows, n.cols);
+  const auto vx = node_value(nx);
+  for (size_t i = 0; i < vx.size(); ++i) {
+    n.value[i] = vx[i] > 0.0f ? vx[i] : 0.0f;
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::tanh_act(VarId x) {
+  const Node& nx = check_id(x);
+  Node n;
+  n.op = Op::kTanh;
+  n.a = x;
+  n.rows = nx.rows;
+  n.cols = nx.cols;
+  n.value = Tensor(n.rows, n.cols);
+  const auto vx = node_value(nx);
+  for (size_t i = 0; i < vx.size(); ++i) n.value[i] = std::tanh(vx[i]);
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::embedding(VarId table, std::vector<int> ids) {
+  const Node& nt = check_id(table);
+  Node n;
+  n.op = Op::kEmbedding;
+  n.a = table;
+  n.rows = ids.size();
+  n.cols = nt.cols;
+  n.ids = std::move(ids);
+  n.value = Tensor(n.rows, n.cols);
+  const auto vt = node_value(nt);
+  for (size_t i = 0; i < n.rows; ++i) {
+    const int id = n.ids[i];
+    HITOPK_CHECK(id >= 0 && static_cast<size_t>(id) < nt.rows)
+        << "embedding id out of range:" << id;
+    std::copy_n(&vt[static_cast<size_t>(id) * n.cols], n.cols,
+                &n.value[i * n.cols]);
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::channel_pool(VarId x, size_t channels) {
+  const Node& nx = check_id(x);
+  HITOPK_CHECK_GT(channels, 0u);
+  HITOPK_CHECK_EQ(nx.cols % channels, 0u) << "cols not divisible by channels";
+  Node n;
+  n.op = Op::kChannelPool;
+  n.a = x;
+  n.group = nx.cols / channels;  // spatial size
+  n.rows = nx.rows;
+  n.cols = channels;
+  n.value = Tensor(n.rows, n.cols);
+  const auto vx = node_value(nx);
+  const float inv = 1.0f / static_cast<float>(n.group);
+  for (size_t b = 0; b < n.rows; ++b) {
+    for (size_t c = 0; c < channels; ++c) {
+      double acc = 0.0;
+      const float* src = &vx[b * nx.cols + c * n.group];
+      for (size_t j = 0; j < n.group; ++j) acc += src[j];
+      n.value[b * channels + c] = static_cast<float>(acc) * inv;
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::conv2d(VarId x, VarId weight, size_t c_in, size_t h, size_t w,
+                   size_t c_out, size_t k) {
+  const Node& nx = check_id(x);
+  const Node& nw = check_id(weight);
+  HITOPK_CHECK_EQ(nx.cols, c_in * h * w) << "conv input shape mismatch";
+  HITOPK_CHECK_EQ(nw.rows, c_out);
+  HITOPK_CHECK_EQ(nw.cols, c_in * k * k) << "conv kernel shape mismatch";
+  HITOPK_CHECK_EQ(k % 2, 1u) << "odd kernel sizes only (same padding)";
+
+  Node n;
+  n.op = Op::kConv2d;
+  n.a = x;
+  n.b = weight;
+  n.rows = nx.rows;
+  n.cols = c_out * h * w;
+  n.conv = ConvShape{c_in, h, w, c_out, k};
+  n.value = Tensor(n.rows, n.cols);
+
+  const auto vx = node_value(nx);
+  const auto vw = node_value(nw);
+  const long pad = static_cast<long>(k / 2);
+  for (size_t b = 0; b < n.rows; ++b) {
+    const float* img = &vx[b * c_in * h * w];
+    float* out = &n.value[b * c_out * h * w];
+    for (size_t co = 0; co < c_out; ++co) {
+      const float* kernel = &vw[co * c_in * k * k];
+      for (size_t y = 0; y < h; ++y) {
+        for (size_t xw = 0; xw < w; ++xw) {
+          double acc = 0.0;
+          for (size_t ci = 0; ci < c_in; ++ci) {
+            for (size_t ky = 0; ky < k; ++ky) {
+              const long sy = static_cast<long>(y) + static_cast<long>(ky) - pad;
+              if (sy < 0 || sy >= static_cast<long>(h)) continue;
+              for (size_t kx = 0; kx < k; ++kx) {
+                const long sx =
+                    static_cast<long>(xw) + static_cast<long>(kx) - pad;
+                if (sx < 0 || sx >= static_cast<long>(w)) continue;
+                acc += static_cast<double>(
+                           img[(ci * h + static_cast<size_t>(sy)) * w +
+                               static_cast<size_t>(sx)]) *
+                       kernel[(ci * k + ky) * k + kx];
+              }
+            }
+          }
+          out[(co * h + y) * w + xw] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+VarId Tape::mean_pool(VarId x, size_t group) {
+  const Node& nx = check_id(x);
+  HITOPK_CHECK_GT(group, 0u);
+  HITOPK_CHECK_EQ(nx.rows % group, 0u) << "rows not divisible by group";
+  Node n;
+  n.op = Op::kMeanPool;
+  n.a = x;
+  n.group = group;
+  n.rows = nx.rows / group;
+  n.cols = nx.cols;
+  n.value = Tensor(n.rows, n.cols);
+  const auto vx = node_value(nx);
+  const float inv = 1.0f / static_cast<float>(group);
+  for (size_t i = 0; i < n.rows; ++i) {
+    for (size_t g = 0; g < group; ++g) {
+      const float* src = &vx[(i * group + g) * n.cols];
+      for (size_t j = 0; j < n.cols; ++j) n.value[i * n.cols + j] += src[j];
+    }
+    for (size_t j = 0; j < n.cols; ++j) n.value[i * n.cols + j] *= inv;
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
+
+double Tape::softmax_cross_entropy(VarId logits, std::span<const int> labels) {
+  HITOPK_CHECK_EQ(loss_node_, -1) << "loss already defined on this tape";
+  const Node& nl = check_id(logits);
+  HITOPK_CHECK_EQ(labels.size(), nl.rows);
+  Node n;
+  n.op = Op::kSoftmaxXent;
+  n.a = logits;
+  n.rows = nl.rows;
+  n.cols = nl.cols;
+  n.ids.assign(labels.begin(), labels.end());
+  n.value = Tensor(n.rows, n.cols);  // stores the probabilities
+
+  const auto v = node_value(nl);
+  double loss = 0.0;
+  for (size_t i = 0; i < n.rows; ++i) {
+    const float* row = &v[i * n.cols];
+    float max_logit = row[0];
+    for (size_t j = 1; j < n.cols; ++j) max_logit = std::max(max_logit, row[j]);
+    double denom = 0.0;
+    for (size_t j = 0; j < n.cols; ++j) {
+      const double e = std::exp(static_cast<double>(row[j] - max_logit));
+      n.value[i * n.cols + j] = static_cast<float>(e);
+      denom += e;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (size_t j = 0; j < n.cols; ++j) n.value[i * n.cols + j] *= inv;
+    const int label = n.ids[i];
+    HITOPK_CHECK(label >= 0 && static_cast<size_t>(label) < n.cols);
+    loss -= std::log(
+        std::max(1e-12, static_cast<double>(n.value[i * n.cols + label])));
+  }
+  loss /= static_cast<double>(n.rows);
+  nodes_.push_back(std::move(n));
+  loss_node_ = static_cast<VarId>(nodes_.size() - 1);
+  return loss;
+}
+
+void Tape::backward() {
+  HITOPK_CHECK_NE(loss_node_, -1) << "no loss op recorded";
+  for (auto& n : nodes_) {
+    if (n.op != Op::kLeaf) {
+      n.grad = Tensor(n.rows, n.cols);
+    } else if (n.op == Op::kLeaf) {
+      // Leaf gradients accumulate into external storage; nothing to reset.
+    }
+  }
+  // Seed: d(loss)/d(logits) = (P - onehot) / n, written directly into the
+  // xent node's input gradient during its backward step below.
+  for (size_t idx = nodes_.size(); idx-- > 0;) {
+    Node& n = nodes_[idx];
+    auto input_grad = [&](VarId id) -> std::span<float> {
+      Node& in = check_id(id);
+      return in.op == Op::kLeaf ? in.leaf_grad
+                                : std::span<float>(in.grad.span());
+    };
+    switch (n.op) {
+      case Op::kLeaf:
+        break;
+      case Op::kSoftmaxXent: {
+        auto gx = input_grad(n.a);
+        if (gx.empty()) break;
+        const float inv_n = 1.0f / static_cast<float>(n.rows);
+        for (size_t i = 0; i < n.rows; ++i) {
+          for (size_t j = 0; j < n.cols; ++j) {
+            float g = n.value[i * n.cols + j];
+            if (static_cast<size_t>(n.ids[i]) == j) g -= 1.0f;
+            gx[i * n.cols + j] += g * inv_n;
+          }
+        }
+        break;
+      }
+      case Op::kMatmul: {
+        const Node& na = check_id(n.a);
+        const Node& nb = check_id(n.b);
+        const auto va = node_value(na);
+        const auto vb = node_value(nb);
+        const size_t inner = na.cols;
+        auto ga = input_grad(n.a);
+        auto gb = input_grad(n.b);
+        // dA = dC * B^T
+        if (!ga.empty()) {
+          for (size_t i = 0; i < n.rows; ++i) {
+            for (size_t k = 0; k < inner; ++k) {
+              double acc = 0.0;
+              const float* gc = &n.grad[i * n.cols];
+              const float* brow = &vb[k * n.cols];
+              for (size_t j = 0; j < n.cols; ++j) acc += gc[j] * brow[j];
+              ga[i * inner + k] += static_cast<float>(acc);
+            }
+          }
+        }
+        // dB = A^T * dC
+        if (!gb.empty()) {
+          for (size_t i = 0; i < n.rows; ++i) {
+            const float* arow = &va[i * inner];
+            const float* gc = &n.grad[i * n.cols];
+            for (size_t k = 0; k < inner; ++k) {
+              const float aik = arow[k];
+              if (aik == 0.0f) continue;
+              float* grow = &gb[k * n.cols];
+              for (size_t j = 0; j < n.cols; ++j) grow[j] += aik * gc[j];
+            }
+          }
+        }
+        break;
+      }
+      case Op::kAddBias: {
+        auto gx = input_grad(n.a);
+        auto gb = input_grad(n.b);
+        if (!gx.empty()) {
+          for (size_t i = 0; i < n.grad.size(); ++i) gx[i] += n.grad[i];
+        }
+        if (!gb.empty()) {
+          for (size_t i = 0; i < n.rows; ++i) {
+            for (size_t j = 0; j < n.cols; ++j) {
+              gb[j] += n.grad[i * n.cols + j];
+            }
+          }
+        }
+        break;
+      }
+      case Op::kRelu: {
+        auto gx = input_grad(n.a);
+        if (gx.empty()) break;
+        const auto vx = node_value(check_id(n.a));
+        for (size_t i = 0; i < n.grad.size(); ++i) {
+          if (vx[i] > 0.0f) gx[i] += n.grad[i];
+        }
+        break;
+      }
+      case Op::kTanh: {
+        auto gx = input_grad(n.a);
+        if (gx.empty()) break;
+        for (size_t i = 0; i < n.grad.size(); ++i) {
+          gx[i] += n.grad[i] * (1.0f - n.value[i] * n.value[i]);
+        }
+        break;
+      }
+      case Op::kEmbedding: {
+        auto gt = input_grad(n.a);
+        if (gt.empty()) break;
+        for (size_t i = 0; i < n.rows; ++i) {
+          const size_t row = static_cast<size_t>(n.ids[i]);
+          for (size_t j = 0; j < n.cols; ++j) {
+            gt[row * n.cols + j] += n.grad[i * n.cols + j];
+          }
+        }
+        break;
+      }
+      case Op::kChannelPool: {
+        auto gx = input_grad(n.a);
+        if (gx.empty()) break;
+        const float inv = 1.0f / static_cast<float>(n.group);
+        for (size_t b = 0; b < n.rows; ++b) {
+          for (size_t c = 0; c < n.cols; ++c) {
+            const float g = n.grad[b * n.cols + c] * inv;
+            float* dst = &gx[(b * n.cols + c) * n.group];
+            for (size_t j = 0; j < n.group; ++j) dst[j] += g;
+          }
+        }
+        break;
+      }
+      case Op::kConv2d: {
+        const auto [c_in, h, w, c_out, k] = n.conv;
+        const long pad = static_cast<long>(k / 2);
+        const Node& nx = check_id(n.a);
+        const Node& nw = check_id(n.b);
+        const auto vx = node_value(nx);
+        const auto vw = node_value(nw);
+        auto gx = input_grad(n.a);
+        auto gw = input_grad(n.b);
+        for (size_t b = 0; b < n.rows; ++b) {
+          const float* img = &vx[b * c_in * h * w];
+          const float* gout = &n.grad[b * c_out * h * w];
+          for (size_t co = 0; co < c_out; ++co) {
+            const float* kernel = &vw[co * c_in * k * k];
+            for (size_t y = 0; y < h; ++y) {
+              for (size_t xw = 0; xw < w; ++xw) {
+                const float g = gout[(co * h + y) * w + xw];
+                if (g == 0.0f) continue;
+                for (size_t ci = 0; ci < c_in; ++ci) {
+                  for (size_t ky = 0; ky < k; ++ky) {
+                    const long sy =
+                        static_cast<long>(y) + static_cast<long>(ky) - pad;
+                    if (sy < 0 || sy >= static_cast<long>(h)) continue;
+                    for (size_t kx = 0; kx < k; ++kx) {
+                      const long sx =
+                          static_cast<long>(xw) + static_cast<long>(kx) - pad;
+                      if (sx < 0 || sx >= static_cast<long>(w)) continue;
+                      const size_t img_index =
+                          (ci * h + static_cast<size_t>(sy)) * w +
+                          static_cast<size_t>(sx);
+                      if (!gw.empty()) {
+                        gw[co * c_in * k * k + (ci * k + ky) * k + kx] +=
+                            g * img[img_index];
+                      }
+                      if (!gx.empty()) {
+                        gx[b * c_in * h * w + img_index] +=
+                            g * kernel[(ci * k + ky) * k + kx];
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+        break;
+      }
+      case Op::kMeanPool: {
+        auto gx = input_grad(n.a);
+        if (gx.empty()) break;
+        const float inv = 1.0f / static_cast<float>(n.group);
+        for (size_t i = 0; i < n.rows; ++i) {
+          for (size_t g = 0; g < n.group; ++g) {
+            for (size_t j = 0; j < n.cols; ++j) {
+              gx[(i * n.group + g) * n.cols + j] +=
+                  n.grad[i * n.cols + j] * inv;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+size_t Tape::count_topk_correct(std::span<const float> logits, size_t rows,
+                                size_t cols, std::span<const int> labels,
+                                size_t k) {
+  HITOPK_CHECK_EQ(logits.size(), rows * cols);
+  HITOPK_CHECK_EQ(labels.size(), rows);
+  HITOPK_CHECK_GT(k, 0u);
+  size_t correct = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    const float* row = &logits[i * cols];
+    const float target = row[labels[i]];
+    // Rank of the target logit: count strictly-greater entries.
+    size_t greater = 0;
+    for (size_t j = 0; j < cols; ++j) {
+      if (row[j] > target) ++greater;
+    }
+    if (greater < k) ++correct;
+  }
+  return correct;
+}
+
+}  // namespace hitopk::ad

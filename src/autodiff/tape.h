@@ -1,0 +1,122 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// The convergence experiments (Fig. 10, Table 2) need *real* gradients
+// flowing through *real* compression and collectives, so this module
+// implements a small eager autodiff: operations evaluate immediately and
+// record themselves on a tape; backward() walks the tape in reverse.
+//
+// Leaves reference external storage (the trainer's flat parameter/gradient
+// buffers), so one Tape is built per iteration and parameters persist
+// outside it.  Supported ops cover the MLP classifier and the
+// embedding-based sequence model used as convergence stand-ins:
+// matmul, bias add, relu, tanh, embedding lookup, mean pooling, and
+// softmax cross-entropy.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace hitopk::ad {
+
+using VarId = int;
+
+class Tape {
+ public:
+  Tape() = default;
+
+  // Leaf over external row-major storage.  `grad` may be empty (constants /
+  // inputs); when present, backward() accumulates into it.
+  VarId leaf(std::span<const float> value, std::span<float> grad, size_t rows,
+             size_t cols);
+
+  // C = A (rows_a x cols_a) * B (cols_a x cols_b).
+  VarId matmul(VarId a, VarId b);
+
+  // Row-wise bias add: X (n x c) + b (1 x c).
+  VarId add_bias(VarId x, VarId bias);
+
+  VarId relu(VarId x);
+  VarId tanh_act(VarId x);
+
+  // Rows of `table` (vocab x width) selected by ids; result is
+  // (ids.size() x width).  Backward scatter-adds into the table's grad.
+  VarId embedding(VarId table, std::vector<int> ids);
+
+  // 2-D convolution, stride 1, "same" zero padding.  x is
+  // (batch x c_in*h*w) with CHW layout per row; weight is
+  // (c_out x c_in*k*k).  Result is (batch x c_out*h*w).
+  VarId conv2d(VarId x, VarId weight, size_t c_in, size_t h, size_t w,
+               size_t c_out, size_t k);
+
+  // Mean over consecutive groups of `group` rows: (n x c) -> (n/group x c).
+  VarId mean_pool(VarId x, size_t group);
+
+  // Global average pooling over channels laid out channel-major per row:
+  // (n x channels*spatial) -> (n x channels), averaging each channel's
+  // `spatial` contiguous columns.  Makes a convolutional head translation
+  // invariant.
+  VarId channel_pool(VarId x, size_t channels);
+
+  // Terminal op: mean softmax cross-entropy of logits (n x classes) against
+  // integer labels.  Returns the loss; backward() starts here.
+  double softmax_cross_entropy(VarId logits, std::span<const int> labels);
+
+  // Runs reverse-mode accumulation from the loss into every leaf grad.
+  // softmax_cross_entropy must have been called exactly once.
+  void backward();
+
+  // Read-only access to a variable's value (rows x cols, row-major).
+  std::span<const float> value(VarId id) const;
+  size_t rows(VarId id) const;
+  size_t cols(VarId id) const;
+
+  // Class predictions from logits: true if the correct label is within the
+  // top-k logits of its row (utility for accuracy metrics).
+  static size_t count_topk_correct(std::span<const float> logits, size_t rows,
+                                   size_t cols, std::span<const int> labels,
+                                   size_t k);
+
+ private:
+  enum class Op {
+    kLeaf,
+    kMatmul,
+    kAddBias,
+    kRelu,
+    kTanh,
+    kEmbedding,
+    kMeanPool,
+    kChannelPool,
+    kConv2d,
+    kSoftmaxXent,
+  };
+
+  struct ConvShape {
+    size_t c_in = 0, h = 0, w = 0, c_out = 0, k = 0;
+  };
+
+  struct Node {
+    Op op = Op::kLeaf;
+    VarId a = -1;
+    VarId b = -1;
+    size_t rows = 0;
+    size_t cols = 0;
+    Tensor value;                      // owned value (non-leaf)
+    Tensor grad;                       // owned gradient buffer
+    std::span<const float> leaf_value; // leaf external value
+    std::span<float> leaf_grad;        // leaf external grad (may be empty)
+    std::vector<int> ids;              // embedding / labels
+    size_t group = 1;                  // mean-pool group size
+    ConvShape conv;                    // conv2d geometry
+  };
+
+  std::span<const float> node_value(const Node& n) const;
+  Node& check_id(VarId id);
+  const Node& check_id(VarId id) const;
+
+  std::vector<Node> nodes_;
+  VarId loss_node_ = -1;
+};
+
+}  // namespace hitopk::ad

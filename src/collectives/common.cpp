@@ -1,0 +1,30 @@
+#include "collectives/common.h"
+
+namespace hitopk::coll {
+
+Group node_group(const simnet::Topology& topology, int node) {
+  Group group;
+  group.reserve(static_cast<size_t>(topology.gpus_per_node()));
+  for (int local = 0; local < topology.gpus_per_node(); ++local) {
+    group.push_back(topology.rank_of(node, local));
+  }
+  return group;
+}
+
+Group cross_node_group(const simnet::Topology& topology, int local_rank) {
+  Group group;
+  group.reserve(static_cast<size_t>(topology.nodes()));
+  for (int node = 0; node < topology.nodes(); ++node) {
+    group.push_back(topology.rank_of(node, local_rank));
+  }
+  return group;
+}
+
+Group world_group(const simnet::Topology& topology) {
+  Group group;
+  group.reserve(static_cast<size_t>(topology.world_size()));
+  for (int rank = 0; rank < topology.world_size(); ++rank) group.push_back(rank);
+  return group;
+}
+
+}  // namespace hitopk::coll

@@ -1,0 +1,60 @@
+// Shared helpers for collective implementations.
+//
+// Collectives operate on a *group* of ranks (a subset of the cluster, e.g.
+// one node's GPUs, or "GPU j of every node") and on per-rank buffers passed
+// as spans.  Every collective has two modes:
+//   functional — data.size() == group.size(): real bytes are reduced/copied,
+//                so tests and convergence experiments see true results;
+//   timing-only — data is empty: only the Cluster port clocks advance, so
+//                benches can model 128-rank x 110M-element transfers without
+//                materializing the buffers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/check.h"
+#include "simnet/cluster.h"
+
+namespace hitopk::coll {
+
+using RankSpan = std::span<float>;
+using RankData = std::vector<RankSpan>;
+
+// Balanced partition of `total` elements into `parts` chunks: the first
+// (total % parts) chunks get one extra element.
+struct ChunkRange {
+  size_t begin = 0;
+  size_t count = 0;
+};
+
+inline ChunkRange chunk_range(size_t total, size_t parts, size_t index) {
+  HITOPK_CHECK_GT(parts, 0u);
+  HITOPK_CHECK_LT(index, parts);
+  const size_t base = total / parts;
+  const size_t extra = total % parts;
+  const size_t begin = index * base + std::min(index, extra);
+  const size_t count = base + (index < extra ? 1 : 0);
+  return {begin, count};
+}
+
+// Group of world ranks participating in one collective call.
+using Group = std::vector<int>;
+
+// All ranks of one node, in local-rank order.
+Group node_group(const simnet::Topology& topology, int node);
+
+// Rank j of every node ("stream j" of HiTopKComm step 3), in node order.
+Group cross_node_group(const simnet::Topology& topology, int local_rank);
+
+// All world ranks in rank order.
+Group world_group(const simnet::Topology& topology);
+
+// Validates a functional data vector against a group.
+inline void check_data(const Group& group, const RankData& data, size_t elems) {
+  if (data.empty()) return;  // timing-only
+  HITOPK_CHECK_EQ(data.size(), group.size());
+  for (const auto& span : data) HITOPK_CHECK_EQ(span.size(), elems);
+}
+
+}  // namespace hitopk::coll

@@ -1,0 +1,100 @@
+#include "collectives/gtopk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "compress/exact_topk.h"
+#include "core/tensor.h"
+
+namespace hitopk::coll {
+namespace {
+
+bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+// Sum two sparse tensors and keep the top-k of the result.
+compress::SparseTensor merge_topk(const compress::SparseTensor& a,
+                                  const compress::SparseTensor& b, size_t k) {
+  HITOPK_CHECK_EQ(a.dense_size, b.dense_size);
+  Tensor dense(a.dense_size);
+  a.scatter_add_into(dense.span());
+  b.scatter_add_into(dense.span());
+  return compress::exact_topk(dense.span(), k);
+}
+
+}  // namespace
+
+GtopkResult gtopk_comm(simnet::Cluster& cluster, const RankData& data,
+                       size_t elems, const GtopkOptions& options,
+                       double start) {
+  const simnet::Topology& topo = cluster.topology();
+  const int p = topo.world_size();
+  HITOPK_CHECK(is_power_of_two(p)) << "gTop-k needs a power-of-two world";
+  const bool functional = !data.empty();
+  check_data(world_group(topo), data, elems);
+
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(options.density *
+                                          static_cast<double>(elems))));
+  const size_t payload = k * (options.value_wire_bytes + 4);
+
+  GtopkResult out;
+
+  // Local selection (with optional error feedback).
+  std::vector<compress::SparseTensor> state(static_cast<size_t>(p));
+  if (functional) {
+    for (int r = 0; r < p; ++r) {
+      auto grad = data[static_cast<size_t>(r)];
+      const std::string key =
+          options.ef_key_prefix + ":" + std::to_string(r);
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->apply(key, grad);
+      }
+      state[static_cast<size_t>(r)] = compress::exact_topk(grad, k);
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->absorb(key, grad,
+                                       state[static_cast<size_t>(r)]);
+      }
+    }
+  }
+
+  // Recursive doubling: in round g, rank r exchanges with r ^ gap; both
+  // merge and re-select, so the whole hypercube converges to one set.
+  std::vector<double> ready(static_cast<size_t>(p), start);
+  for (int gap = 1; gap < p; gap <<= 1) {
+    ++out.rounds;
+    std::vector<double> next = ready;
+    for (int r = 0; r < p; ++r) {
+      const int partner = r ^ gap;
+      // Full-duplex pairwise exchange; both directions are issued.
+      const double done = cluster.send(r, partner, payload,
+                                       ready[static_cast<size_t>(r)]);
+      next[static_cast<size_t>(partner)] =
+          std::max(next[static_cast<size_t>(partner)], done);
+    }
+    ready.swap(next);
+    if (functional) {
+      std::vector<compress::SparseTensor> merged(static_cast<size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        merged[static_cast<size_t>(r)] =
+            merge_topk(state[static_cast<size_t>(r)],
+                       state[static_cast<size_t>(r ^ gap)], k);
+      }
+      state.swap(merged);
+    }
+  }
+  out.total = *std::max_element(ready.begin(), ready.end()) - start;
+
+  if (functional) {
+    out.final_nnz = state[0].nnz();
+    for (int r = 0; r < p; ++r) {
+      auto dst = data[static_cast<size_t>(r)];
+      std::fill(dst.begin(), dst.end(), 0.0f);
+      state[static_cast<size_t>(r)].scatter_add_into(dst);
+    }
+  } else {
+    out.final_nnz = k;
+  }
+  return out;
+}
+
+}  // namespace hitopk::coll

@@ -1,0 +1,70 @@
+#include "collectives/hier_allreduce.h"
+
+#include <algorithm>
+
+#include "collectives/ring.h"
+
+namespace hitopk::coll {
+
+HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
+                               size_t elems, size_t wire_bytes, double start) {
+  const simnet::Topology& topo = cluster.topology();
+  const int m = topo.nodes();
+  const int n = topo.gpus_per_node();
+  const bool functional = !data.empty();
+  check_data(world_group(topo), data, elems);
+
+  HierArBreakdown out;
+
+  // Phase 1: reduce onto each node's leader (local rank 0) — the non-leader
+  // GPUs send their full buffer over NVLink; the leader adds sequentially
+  // (its recv port serializes the incoming transfers).
+  double t1 = start;
+  for (int node = 0; node < m; ++node) {
+    const int leader = topo.rank_of(node, 0);
+    for (int local = 1; local < n; ++local) {
+      const int src = topo.rank_of(node, local);
+      const double done =
+          cluster.send(src, leader, elems * wire_bytes, start);
+      t1 = std::max(t1, done);
+      if (functional) {
+        auto dst = data[static_cast<size_t>(leader)];
+        auto src_span = data[static_cast<size_t>(src)];
+        for (size_t e = 0; e < elems; ++e) dst[e] += src_span[e];
+      }
+    }
+  }
+  out.intra_reduce = t1 - start;
+
+  // Phase 2: ring all-reduce among the m leaders over the NICs.
+  Group leaders;
+  for (int node = 0; node < m; ++node) leaders.push_back(topo.rank_of(node, 0));
+  RankData leader_data;
+  if (functional) {
+    for (int rank : leaders) leader_data.push_back(data[static_cast<size_t>(rank)]);
+  }
+  const double t2 =
+      ring_allreduce(cluster, leaders, leader_data, elems, wire_bytes, t1);
+  out.inter_allreduce = t2 - t1;
+
+  // Phase 3: leaders broadcast the result inside their node.
+  double t3 = t2;
+  for (int node = 0; node < m; ++node) {
+    const int leader = topo.rank_of(node, 0);
+    for (int local = 1; local < n; ++local) {
+      const int dst = topo.rank_of(node, local);
+      const double done = cluster.send(leader, dst, elems * wire_bytes, t2);
+      t3 = std::max(t3, done);
+      if (functional) {
+        auto src_span = data[static_cast<size_t>(leader)];
+        auto dst_span = data[static_cast<size_t>(dst)];
+        std::copy(src_span.begin(), src_span.end(), dst_span.begin());
+      }
+    }
+  }
+  out.intra_broadcast = t3 - t2;
+  out.total = t3 - start;
+  return out;
+}
+
+}  // namespace hitopk::coll

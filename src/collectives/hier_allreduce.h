@@ -1,0 +1,25 @@
+// Hierarchical leader-based All-Reduce (ablation baseline).
+//
+// The other classic two-level dense scheme (Goyal et al. 2017; Jia et al.
+// 2018): reduce inside each node onto a leader GPU, ring All-Reduce among
+// the m leaders over the NIC, then broadcast inside each node.  Unlike
+// 2DTAR it uses only one inter-node stream per node but moves the *full*
+// buffer across the NIC, so it loses to 2DTAR when n > 1 — the comparison
+// bench_ablation_cluster quantifies this.
+#pragma once
+
+#include "collectives/common.h"
+
+namespace hitopk::coll {
+
+struct HierArBreakdown {
+  double intra_reduce = 0.0;
+  double inter_allreduce = 0.0;
+  double intra_broadcast = 0.0;
+  double total = 0.0;
+};
+
+HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
+                               size_t elems, size_t wire_bytes, double start);
+
+}  // namespace hitopk::coll

@@ -1,0 +1,197 @@
+#include "collectives/hitopkcomm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "collectives/ring.h"
+#include "compress/mstopk.h"
+#include "core/tensor.h"
+
+namespace hitopk::coll {
+namespace {
+
+size_t shard_k(double density, size_t shard_elems) {
+  if (shard_elems == 0) return 0;
+  return std::max<size_t>(
+      1, static_cast<size_t>(std::llround(density * static_cast<double>(shard_elems))));
+}
+
+}  // namespace
+
+HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
+                            size_t elems, const HiTopKOptions& options,
+                            double start) {
+  const simnet::Topology& topo = cluster.topology();
+  const int m = topo.nodes();
+  const int n = topo.gpus_per_node();
+  const bool functional = !data.empty();
+  check_data(world_group(topo), data, elems);
+
+  HiTopKBreakdown out;
+
+  // ---- Step 1: intra-node reduce-scatter (dense, Alg. 2 lines 2-4).
+  double t1 = start;
+  for (int node = 0; node < m; ++node) {
+    const Group group = node_group(topo, node);
+    RankData node_data;
+    if (functional) {
+      for (int rank : group) node_data.push_back(data[static_cast<size_t>(rank)]);
+    }
+    t1 = std::max(t1, ring_reduce_scatter(cluster, group, node_data, elems,
+                                          options.value_wire_bytes, start));
+  }
+  out.reduce_scatter = t1 - start;
+
+  // ---- Step 2: MSTopK on each GPU's owned shard (Alg. 2 lines 5-8).
+  // Per-rank sparse selection, indices local to the shard.
+  std::vector<compress::SparseTensor> selected(
+      static_cast<size_t>(topo.world_size()));
+  size_t max_k = 0;
+  double mstopk_seconds = 0.0;
+  for (int local = 0; local < n; ++local) {
+    const ChunkRange shard =
+        chunk_range(elems, static_cast<size_t>(n), static_cast<size_t>(local));
+    const size_t k = shard_k(options.density, shard.count);
+    max_k = std::max(max_k, k);
+    if (options.gpu != nullptr) {
+      mstopk_seconds = std::max(
+          mstopk_seconds, options.gpu->mstopk_seconds(shard.count, k,
+                                                      options.mstopk_samplings));
+    }
+    if (!functional) continue;
+    for (int node = 0; node < m; ++node) {
+      const int rank = topo.rank_of(node, local);
+      auto shard_span =
+          data[static_cast<size_t>(rank)].subspan(shard.begin, shard.count);
+      compress::MsTopK mstopk(options.mstopk_samplings,
+                              options.seed + static_cast<uint64_t>(rank));
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->apply(
+            options.ef_key_prefix + ":" + std::to_string(rank), shard_span);
+      }
+      selected[static_cast<size_t>(rank)] = mstopk.compress(shard_span, k);
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->absorb(
+            options.ef_key_prefix + ":" + std::to_string(rank), shard_span,
+            selected[static_cast<size_t>(rank)]);
+      }
+    }
+  }
+  out.selected_per_shard = max_k;
+  const double t2 = simnet::Cluster::compute(t1, mstopk_seconds);
+  out.mstopk = t2 - t1;
+
+  // ---- Step 3: n concurrent inter-node all-gathers (Alg. 2 lines 11-14)
+  // plus local accumulation with duplicate-index adds (lines 15-20).
+  // shard_acc[rank] is the dense accumulation of the m sparse blocks.
+  std::vector<Tensor> shard_acc;
+  if (functional) shard_acc.resize(static_cast<size_t>(topo.world_size()));
+  std::vector<Group> stream_groups;
+  std::vector<std::vector<size_t>> stream_payloads;
+  for (int local = 0; local < n; ++local) {
+    const ChunkRange shard =
+        chunk_range(elems, static_cast<size_t>(n), static_cast<size_t>(local));
+    if (shard.count == 0) continue;
+    const Group group = cross_node_group(topo, local);
+    std::vector<size_t> payload(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      const size_t nnz = functional
+                             ? selected[static_cast<size_t>(group[i])].nnz()
+                             : shard_k(options.density, shard.count);
+      payload[i] = nnz * (options.value_wire_bytes + 4);
+    }
+    stream_payloads.push_back(std::move(payload));
+    if (functional) {
+      for (int rank : group) {
+        Tensor acc(shard.count);
+        for (int peer : group) {
+          selected[static_cast<size_t>(peer)].scatter_add_into(acc.span());
+        }
+        shard_acc[static_cast<size_t>(rank)] = std::move(acc);
+      }
+    }
+    stream_groups.push_back(std::move(group));
+  }
+  // The n streams run concurrently (Alg. 2 line 11: "for j in [n] in
+  // parallel"), sharing each node's NIC.
+  double t3_comm = t2;
+  if (!stream_groups.empty()) {
+    t3_comm = ring_allgather_bytes_multi(cluster, stream_groups,
+                                         stream_payloads, t2);
+  }
+  double accumulate_seconds = 0.0;
+  if (options.gpu != nullptr) {
+    accumulate_seconds = options.gpu->scatter_add_seconds(
+        static_cast<size_t>(m) * max_k);
+  }
+  const double t3 = simnet::Cluster::compute(t3_comm, accumulate_seconds);
+  out.inter_allgather = t3 - t2;
+
+  // ---- Step 4: intra-node all-gather of the accumulated sparse shards
+  // (Alg. 2 lines 21-23).  Each GPU contributes at most m*k~ nonzeros.
+  std::vector<compress::SparseTensor> shard_sparse;
+  if (functional) {
+    shard_sparse.resize(static_cast<size_t>(topo.world_size()));
+    for (int rank = 0; rank < topo.world_size(); ++rank) {
+      const int local = topo.local_rank(rank);
+      const ChunkRange shard = chunk_range(elems, static_cast<size_t>(n),
+                                           static_cast<size_t>(local));
+      compress::SparseTensor sparse;
+      sparse.dense_size = elems;
+      const Tensor& acc = shard_acc[static_cast<size_t>(rank)];
+      for (size_t i = 0; i < acc.size(); ++i) {
+        if (acc[i] != 0.0f) {
+          sparse.indices.push_back(static_cast<uint32_t>(shard.begin + i));
+          sparse.values.push_back(acc[i]);
+        }
+      }
+      shard_sparse[static_cast<size_t>(rank)] = std::move(sparse);
+    }
+  }
+  double t4_comm = t3;
+  for (int node = 0; node < m; ++node) {
+    const Group group = node_group(topo, node);
+    std::vector<size_t> payload(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      size_t nnz;
+      if (functional) {
+        nnz = shard_sparse[static_cast<size_t>(group[i])].nnz();
+      } else {
+        const ChunkRange shard = chunk_range(
+            elems, static_cast<size_t>(n), static_cast<size_t>(i));
+        nnz = std::min(static_cast<size_t>(m) *
+                           shard_k(options.density, shard.count),
+                       shard.count);
+      }
+      payload[i] = nnz * (options.value_wire_bytes + 4);
+    }
+    t4_comm = std::max(t4_comm,
+                       ring_allgather_bytes(cluster, group, payload, t3));
+  }
+  double rebuild_seconds = 0.0;
+  if (options.gpu != nullptr) {
+    rebuild_seconds = options.gpu->scatter_add_seconds(
+        std::min(static_cast<size_t>(m) * max_k * static_cast<size_t>(n),
+                 elems));
+  }
+  const double t4 = simnet::Cluster::compute(t4_comm, rebuild_seconds);
+  out.intra_allgather = t4 - t3;
+  out.total = t4 - start;
+
+  if (functional) {
+    // Rebuild the full aggregated gradient on every rank: the union of all
+    // node-local shard accumulations (identical across nodes by step 3).
+    for (int rank = 0; rank < topo.world_size(); ++rank) {
+      auto dst = data[static_cast<size_t>(rank)];
+      std::fill(dst.begin(), dst.end(), 0.0f);
+      const int node = topo.node_of(rank);
+      for (int local = 0; local < n; ++local) {
+        const int peer = topo.rank_of(node, local);
+        shard_sparse[static_cast<size_t>(peer)].scatter_add_into(dst);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hitopk::coll

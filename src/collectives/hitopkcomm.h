@@ -1,0 +1,64 @@
+// HiTopKComm: the paper's hierarchical top-k communication (Algorithm 2).
+//
+// Four steps (Fig. 3):
+//   1. intra-node ring Reduce-Scatter of the dense gradients — GPU j of each
+//      node owns shard j (d/n elements) summed over its node,
+//   2. per-GPU MSTopK on the owned shard, selecting k~ = rho * d / n
+//      elements (an n-times smaller selection than whole-tensor top-k),
+//   3. n concurrent inter-node All-Gathers — stream j exchanges the sparse
+//      (values, indices) blocks among "GPU j of every node", and each GPU
+//      scatter-adds the m blocks into its shard (duplicate indices
+//      accumulate, Alg. 2 line 18),
+//   4. intra-node All-Gather of the accumulated sparse shards to rebuild the
+//      full aggregated gradient on every GPU.
+//
+// Because step 1 aggregates densely inside the node, only cross-node
+// information is sparsified — the property that makes MSTopK-SGD converge
+// slightly better than plain TopK-SGD (Table 2).
+#pragma once
+
+#include <string>
+
+#include "collectives/common.h"
+#include "compress/error_feedback.h"
+#include "simgpu/gpu_model.h"
+
+namespace hitopk::coll {
+
+struct HiTopKOptions {
+  // rho: fraction of the full gradient selected overall.
+  double density = 0.01;
+  // Bytes per value on the wire (2 = FP16, 4 = FP32); indices are 4 bytes.
+  size_t value_wire_bytes = 4;
+  // N of Algorithm 1.
+  int mstopk_samplings = 30;
+  uint64_t seed = 42;
+  // Device model for compression / scatter-add timing; nullptr times pure
+  // communication (Fig. 7 mode).
+  const simgpu::GpuCostModel* gpu = nullptr;
+  // Optional shard-level error feedback (functional mode only): residuals
+  // are added to each GPU's owned shard before selection and the unsent
+  // remainder is stored back.  Keys are "<ef_key_prefix>:<rank>".
+  compress::ErrorFeedback* error_feedback = nullptr;
+  std::string ef_key_prefix = "grad";
+};
+
+struct HiTopKBreakdown {
+  double reduce_scatter = 0.0;
+  double mstopk = 0.0;
+  double inter_allgather = 0.0;
+  double intra_allgather = 0.0;
+  double total = 0.0;
+  // k~ actually used for (the largest) shard.
+  size_t selected_per_shard = 0;
+};
+
+// In-place hierarchical sparse aggregation over the whole cluster.  In
+// functional mode (data non-empty, one full-size buffer per world rank) each
+// buffer is replaced by the aggregated sparse gradient, identical on every
+// rank.  In timing-only mode (data empty) only the clocks advance.
+HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
+                            size_t elems, const HiTopKOptions& options,
+                            double start);
+
+}  // namespace hitopk::coll

@@ -1,0 +1,69 @@
+#include "collectives/naive_allgather.h"
+
+#include <algorithm>
+
+#include "collectives/ring.h"
+#include "core/tensor.h"
+
+namespace hitopk::coll {
+
+NaiveAgResult naive_sparse_allgather(
+    simnet::Cluster& cluster,
+    const std::vector<compress::SparseTensor>& sparse, const RankData& data,
+    size_t elems, size_t value_wire_bytes, double accumulate_seconds_per_rank,
+    double start, double step_overhead) {
+  const simnet::Topology& topo = cluster.topology();
+  const size_t p = static_cast<size_t>(topo.world_size());
+  HITOPK_CHECK_EQ(sparse.size(), p);
+  check_data(world_group(topo), data, elems);
+
+  // Wire payload per origin rank: k values + k indices.
+  std::vector<size_t> payload(p);
+  for (size_t r = 0; r < p; ++r) {
+    HITOPK_CHECK(sparse[r].is_valid());
+    HITOPK_CHECK_EQ(sparse[r].dense_size, elems);
+    payload[r] = sparse[r].nnz() * (value_wire_bytes + 4);
+  }
+
+  NaiveAgResult out;
+  const Group group = world_group(topo);
+  const double gathered =
+      ring_allgather_bytes(cluster, group, payload, start, step_overhead);
+  out.allgather = gathered - start;
+
+  // Every rank scatter-adds all P blocks locally.
+  const double done =
+      simnet::Cluster::compute(gathered, accumulate_seconds_per_rank);
+  out.accumulate = done - gathered;
+  out.total = done - start;
+
+  if (!data.empty()) {
+    // All ranks compute the identical sum; build it once, copy everywhere.
+    Tensor sum = compress::accumulate(sparse, elems);
+    for (auto& span : data) {
+      std::copy(sum.span().begin(), sum.span().end(), span.begin());
+    }
+  }
+  return out;
+}
+
+NaiveAgResult naive_sparse_allgather_time(simnet::Cluster& cluster, size_t k,
+                                          size_t value_wire_bytes,
+                                          double accumulate_seconds_per_rank,
+                                          double start, double step_overhead) {
+  const size_t p = static_cast<size_t>(cluster.topology().world_size());
+  std::vector<size_t> payload(p, k * (value_wire_bytes + 4));
+
+  NaiveAgResult out;
+  const Group group = world_group(cluster.topology());
+  const double gathered =
+      ring_allgather_bytes(cluster, group, payload, start, step_overhead);
+  out.allgather = gathered - start;
+  const double done =
+      simnet::Cluster::compute(gathered, accumulate_seconds_per_rank);
+  out.accumulate = done - gathered;
+  out.total = done - start;
+  return out;
+}
+
+}  // namespace hitopk::coll

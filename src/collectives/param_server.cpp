@@ -1,0 +1,79 @@
+#include "collectives/param_server.h"
+
+#include <algorithm>
+
+#include "core/tensor.h"
+
+namespace hitopk::coll {
+
+ParamServerResult param_server_allreduce(simnet::Cluster& cluster,
+                                         const RankData& data, size_t elems,
+                                         size_t wire_bytes, double start) {
+  const simnet::Topology& topo = cluster.topology();
+  const int m = topo.nodes();
+  const bool functional = !data.empty();
+  check_data(world_group(topo), data, elems);
+
+  ParamServerResult out;
+  // Server s = GPU 0 of node s owns shard s.
+  auto server_rank = [&](int s) { return topo.rank_of(s, 0); };
+
+  // ---- Push: every worker sends each shard to its server.  The server's
+  // recv port and its node NIC serialize the fan-in.
+  std::vector<double> shard_ready(static_cast<size_t>(m), start);
+  for (int s = 0; s < m; ++s) {
+    const ChunkRange shard =
+        chunk_range(elems, static_cast<size_t>(m), static_cast<size_t>(s));
+    if (shard.count == 0) continue;
+    for (int worker = 0; worker < topo.world_size(); ++worker) {
+      if (worker == server_rank(s)) continue;  // server's own shard is local
+      const double done = cluster.send(worker, server_rank(s),
+                                       shard.count * wire_bytes, start);
+      shard_ready[static_cast<size_t>(s)] =
+          std::max(shard_ready[static_cast<size_t>(s)], done);
+    }
+    if (functional) {
+      auto acc = data[static_cast<size_t>(server_rank(s))].subspan(
+          shard.begin, shard.count);
+      for (int worker = 0; worker < topo.world_size(); ++worker) {
+        if (worker == server_rank(s)) continue;
+        auto src = data[static_cast<size_t>(worker)].subspan(shard.begin,
+                                                             shard.count);
+        for (size_t e = 0; e < shard.count; ++e) acc[e] += src[e];
+      }
+    }
+  }
+  double push_done = start;
+  for (double t : shard_ready) push_done = std::max(push_done, t);
+  out.push = push_done - start;
+
+  // ---- Pull: every worker fetches every aggregated shard.
+  double pull_done = push_done;
+  for (int s = 0; s < m; ++s) {
+    const ChunkRange shard =
+        chunk_range(elems, static_cast<size_t>(m), static_cast<size_t>(s));
+    if (shard.count == 0) continue;
+    for (int worker = 0; worker < topo.world_size(); ++worker) {
+      if (worker == server_rank(s)) continue;
+      const double done =
+          cluster.send(server_rank(s), worker, shard.count * wire_bytes,
+                       shard_ready[static_cast<size_t>(s)]);
+      pull_done = std::max(pull_done, done);
+    }
+    if (functional) {
+      auto src = data[static_cast<size_t>(server_rank(s))].subspan(
+          shard.begin, shard.count);
+      for (int worker = 0; worker < topo.world_size(); ++worker) {
+        if (worker == server_rank(s)) continue;
+        auto dst = data[static_cast<size_t>(worker)].subspan(shard.begin,
+                                                             shard.count);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+  }
+  out.pull = pull_done - push_done;
+  out.total = pull_done - start;
+  return out;
+}
+
+}  // namespace hitopk::coll

@@ -1,0 +1,31 @@
+// Sharded parameter-server aggregation (Li et al. 2014, the paper's §1
+// alternative to All-Reduce).
+//
+// One server per node, co-located with the workers; parameter shard s
+// (d/m elements) lives on server s.  Each iteration: every worker pushes
+// its gradient shard to every server (sums applied server-side), then
+// pulls every aggregated shard back.  With co-located servers the
+// bisection traffic matches ring All-Reduce, but every byte crosses the
+// slow NIC twice and fans in/out of single endpoints — the congestion
+// pattern that made PS architectures lose to All-Reduce on dense GPU
+// clusters (§1).  Included as an aggregation baseline for the ablations.
+#pragma once
+
+#include "collectives/common.h"
+
+namespace hitopk::coll {
+
+struct ParamServerResult {
+  double total = 0.0;
+  double push = 0.0;
+  double pull = 0.0;
+};
+
+// In-place dense aggregation over the whole cluster: after completion every
+// rank's buffer holds the element-wise sum.  Timing-only when data is
+// empty.
+ParamServerResult param_server_allreduce(simnet::Cluster& cluster,
+                                         const RankData& data, size_t elems,
+                                         size_t wire_bytes, double start);
+
+}  // namespace hitopk::coll

@@ -1,0 +1,200 @@
+#include "collectives/ring.h"
+
+#include <algorithm>
+
+namespace hitopk::coll {
+namespace {
+
+// Send-chunk schedules.  Reduce-scatter: at step s, group rank i sends chunk
+// (i - s - 1) mod G and receives chunk (i - s - 2) mod G; after G-1 steps
+// rank i owns chunk i fully reduced.  All-gather: rank i starts owning chunk
+// i, sends chunk (i - s) mod G, receives (i - s - 1) mod G.
+size_t rs_send_chunk(size_t i, size_t s, size_t g) { return (i + 2 * g - s - 1) % g; }
+size_t ag_send_chunk(size_t i, size_t s, size_t g) { return (i + 2 * g - s) % g; }
+
+// Per-group in-flight state: the data-readiness clock of each group rank.
+using Ready = std::vector<double>;
+
+// One interleaved reduce-scatter pass over all groups.  All groups must have
+// the same size; steps are issued round-robin across groups so concurrent
+// streams share NIC capacity in the port model.
+void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
+              const std::vector<RankData>& data, size_t elems,
+              size_t wire_bytes, std::vector<Ready>& ready) {
+  const size_t g = groups.empty() ? 0 : groups[0].size();
+  if (g <= 1) return;
+  std::vector<Ready> next(ready.size());
+  for (size_t s = 0; s + 1 < g; ++s) {
+    for (size_t q = 0; q < groups.size(); ++q) next[q] = ready[q];
+    for (size_t i = 0; i < g; ++i) {
+      for (size_t q = 0; q < groups.size(); ++q) {
+        const Group& group = groups[q];
+        const size_t peer = (i + 1) % g;
+        const size_t chunk = rs_send_chunk(i, s, g);
+        const ChunkRange range = chunk_range(elems, g, chunk);
+        const double done =
+            cluster.send(group[i], group[peer], range.count * wire_bytes,
+                         ready[q][i]);
+        next[q][peer] = std::max(next[q][peer], done);
+        if (!data.empty() && !data[q].empty() && range.count > 0) {
+          auto src = data[q][i].subspan(range.begin, range.count);
+          auto dst = data[q][peer].subspan(range.begin, range.count);
+          for (size_t e = 0; e < range.count; ++e) dst[e] += src[e];
+        }
+      }
+    }
+    ready.swap(next);
+  }
+}
+
+void ag_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
+              const std::vector<RankData>& data, size_t elems,
+              size_t wire_bytes, std::vector<Ready>& ready) {
+  const size_t g = groups.empty() ? 0 : groups[0].size();
+  if (g <= 1) return;
+  std::vector<Ready> next(ready.size());
+  for (size_t s = 0; s + 1 < g; ++s) {
+    for (size_t q = 0; q < groups.size(); ++q) next[q] = ready[q];
+    for (size_t i = 0; i < g; ++i) {
+      for (size_t q = 0; q < groups.size(); ++q) {
+        const Group& group = groups[q];
+        const size_t peer = (i + 1) % g;
+        const size_t chunk = ag_send_chunk(i, s, g);
+        const ChunkRange range = chunk_range(elems, g, chunk);
+        const double done =
+            cluster.send(group[i], group[peer], range.count * wire_bytes,
+                         ready[q][i]);
+        next[q][peer] = std::max(next[q][peer], done);
+        if (!data.empty() && !data[q].empty() && range.count > 0) {
+          auto src = data[q][i].subspan(range.begin, range.count);
+          auto dst = data[q][peer].subspan(range.begin, range.count);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+      }
+    }
+    ready.swap(next);
+  }
+}
+
+std::vector<Ready> init_ready(const std::vector<Group>& groups, double start) {
+  std::vector<Ready> ready(groups.size());
+  for (size_t q = 0; q < groups.size(); ++q) {
+    ready[q].assign(groups[q].size(), start);
+  }
+  return ready;
+}
+
+double max_ready(const std::vector<Ready>& ready, double floor) {
+  double best = floor;
+  for (const auto& r : ready) {
+    for (double t : r) best = std::max(best, t);
+  }
+  return best;
+}
+
+void check_groups(const std::vector<Group>& groups,
+                  const std::vector<RankData>& data, size_t elems) {
+  HITOPK_CHECK(!groups.empty());
+  for (const auto& group : groups) {
+    HITOPK_CHECK_EQ(group.size(), groups[0].size());
+  }
+  if (!data.empty()) {
+    HITOPK_CHECK_EQ(data.size(), groups.size());
+    for (size_t q = 0; q < groups.size(); ++q) {
+      check_data(groups[q], data[q], elems);
+    }
+  }
+}
+
+}  // namespace
+
+double ring_reduce_scatter(simnet::Cluster& cluster, const Group& group,
+                           const RankData& data, size_t elems,
+                           size_t wire_bytes, double start) {
+  check_data(group, data, elems);
+  if (group.size() <= 1) return start;
+  std::vector<Group> groups{group};
+  std::vector<RankData> group_data;
+  if (!data.empty()) group_data.push_back(data);
+  auto ready = init_ready(groups, start);
+  rs_steps(cluster, groups, group_data, elems, wire_bytes, ready);
+  return max_ready(ready, start);
+}
+
+double ring_allgather(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems, size_t wire_bytes,
+                      double start) {
+  check_data(group, data, elems);
+  if (group.size() <= 1) return start;
+  std::vector<Group> groups{group};
+  std::vector<RankData> group_data;
+  if (!data.empty()) group_data.push_back(data);
+  auto ready = init_ready(groups, start);
+  ag_steps(cluster, groups, group_data, elems, wire_bytes, ready);
+  return max_ready(ready, start);
+}
+
+double ring_allreduce(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems, size_t wire_bytes,
+                      double start) {
+  const double mid =
+      ring_reduce_scatter(cluster, group, data, elems, wire_bytes, start);
+  return ring_allgather(cluster, group, data, elems, wire_bytes, mid);
+}
+
+double ring_allreduce_multi(simnet::Cluster& cluster,
+                            const std::vector<Group>& groups,
+                            const std::vector<RankData>& data, size_t elems,
+                            size_t wire_bytes, double start) {
+  check_groups(groups, data, elems);
+  if (groups[0].size() <= 1) return start;
+  auto ready = init_ready(groups, start);
+  // No barrier between the phases: each group's all-gather steps chain off
+  // its own reduce-scatter readiness.
+  rs_steps(cluster, groups, data, elems, wire_bytes, ready);
+  ag_steps(cluster, groups, data, elems, wire_bytes, ready);
+  return max_ready(ready, start);
+}
+
+double ring_allgather_bytes(simnet::Cluster& cluster, const Group& group,
+                            const std::vector<size_t>& payload_bytes,
+                            double start, double step_overhead) {
+  return ring_allgather_bytes_multi(cluster, {group}, {payload_bytes}, start,
+                                    step_overhead);
+}
+
+double ring_allgather_bytes_multi(
+    simnet::Cluster& cluster, const std::vector<Group>& groups,
+    const std::vector<std::vector<size_t>>& payload_bytes, double start,
+    double step_overhead) {
+  HITOPK_CHECK(!groups.empty());
+  HITOPK_CHECK_EQ(payload_bytes.size(), groups.size());
+  const size_t g = groups[0].size();
+  for (size_t q = 0; q < groups.size(); ++q) {
+    HITOPK_CHECK_EQ(groups[q].size(), g);
+    HITOPK_CHECK_EQ(payload_bytes[q].size(), g);
+  }
+  if (g <= 1) return start;
+
+  auto ready = init_ready(groups, start);
+  std::vector<Ready> next(groups.size());
+  for (size_t s = 0; s + 1 < g; ++s) {
+    for (size_t q = 0; q < groups.size(); ++q) next[q] = ready[q];
+    for (size_t i = 0; i < g; ++i) {
+      for (size_t q = 0; q < groups.size(); ++q) {
+        const Group& group = groups[q];
+        const size_t peer = (i + 1) % g;
+        // At step s, rank i forwards the block originating at (i - s) mod G.
+        const size_t origin = (i + 2 * g - s) % g;
+        const double done =
+            cluster.send(group[i], group[peer], payload_bytes[q][origin],
+                         ready[q][i], step_overhead);
+        next[q][peer] = std::max(next[q][peer], done);
+      }
+    }
+    ready.swap(next);
+  }
+  return max_ready(ready, start);
+}
+
+}  // namespace hitopk::coll

@@ -1,0 +1,60 @@
+// Ring collectives (the NCCL-style building blocks).
+//
+// All three run over an arbitrary rank group on per-rank buffers of `elems`
+// floats, with `wire_bytes` bytes per element on the wire (4 = FP32,
+// 2 = FP16).  Data spans may be empty for timing-only simulation (see
+// common.h).  Every function takes a simulated start time (all group ranks
+// aligned — the training loop synchronizes per gradient bucket) and returns
+// the completion time of the slowest rank.
+#pragma once
+
+#include "collectives/common.h"
+
+namespace hitopk::coll {
+
+// In-place ring Reduce-Scatter.  After completion, group rank i's chunk i
+// (chunk_range(elems, G, i)) holds the sum over all group ranks; other
+// chunks hold partial sums.  Cost: (G-1) steps of elems/G elements.
+double ring_reduce_scatter(simnet::Cluster& cluster, const Group& group,
+                           const RankData& data, size_t elems,
+                           size_t wire_bytes, double start);
+
+// In-place ring All-Gather.  Requires group rank i's chunk i to be valid;
+// replicates every chunk to every rank.
+double ring_allgather(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems, size_t wire_bytes,
+                      double start);
+
+// Reduce-Scatter followed by All-Gather: the classic bandwidth-optimal ring
+// All-Reduce.  After completion every rank holds the full sum.
+double ring_allreduce(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems, size_t wire_bytes,
+                      double start);
+
+// All-Gather of variable-size opaque blocks: group rank i contributes
+// payload_bytes[i]; every rank ends up having seen every block.  Used for
+// sparse (value, index) payloads where the data movement is tracked by the
+// caller.  step_overhead is an optional per-step protocol cost (see
+// models/calibration.h, flat world-scale rings).  Returns completion time.
+double ring_allgather_bytes(simnet::Cluster& cluster, const Group& group,
+                            const std::vector<size_t>& payload_bytes,
+                            double start, double step_overhead = 0.0);
+
+// Concurrent multi-group variants.  Several equally-sized ring groups run
+// *simultaneously* — their per-step transfers are interleaved in issue
+// order so the Cluster's port clocks model NIC capacity sharing across the
+// streams (the n parallel inter-node rings of 2DTAR and HiTopKComm step 3).
+// Issuing the groups sequentially instead would serialize them at the NIC
+// high-water marks and underestimate the aggregation the paper relies on.
+// data[g] is group g's RankData (all empty for timing-only).
+double ring_allreduce_multi(simnet::Cluster& cluster,
+                            const std::vector<Group>& groups,
+                            const std::vector<RankData>& data, size_t elems,
+                            size_t wire_bytes, double start);
+
+double ring_allgather_bytes_multi(
+    simnet::Cluster& cluster, const std::vector<Group>& groups,
+    const std::vector<std::vector<size_t>>& payload_bytes, double start,
+    double step_overhead = 0.0);
+
+}  // namespace hitopk::coll

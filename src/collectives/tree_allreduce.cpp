@@ -1,0 +1,175 @@
+#include "collectives/tree_allreduce.h"
+
+#include <algorithm>
+
+namespace hitopk::coll {
+namespace {
+
+// NCCL's tree All-Reduce is hierarchical: inside each node a pipelined chain
+// over NVLink funnels data to a leader GPU, and the double binary tree runs
+// across the node leaders only.  Two complementary trees (one per half of
+// the buffer) balance the leader roles: tree 0 uses local rank 0 leaders and
+// the identity node order; tree 1 uses the last local rank and the reversed
+// node order, so a root/interior node of one tree is a leaf of the other.
+
+struct TreeShape {
+  int leader_local;            // local rank acting as node leader
+  std::vector<int> node_perm;  // heap position -> node id
+};
+
+TreeShape tree_shape(const simnet::Topology& topo, int tree) {
+  TreeShape shape;
+  shape.leader_local = tree == 0 ? 0 : topo.gpus_per_node() - 1;
+  shape.node_perm.resize(static_cast<size_t>(topo.nodes()));
+  for (int p = 0; p < topo.nodes(); ++p) {
+    shape.node_perm[static_cast<size_t>(p)] =
+        tree == 0 ? p : topo.nodes() - 1 - p;
+  }
+  return shape;
+}
+
+// One tree handling [half_begin, half_begin + half_elems).
+double run_tree(simnet::Cluster& cluster, const RankData& data,
+                size_t half_begin, size_t half_elems,
+                const TreeOptions& options, double start, int tree) {
+  const simnet::Topology& topo = cluster.topology();
+  const int m = topo.nodes();
+  const int n = topo.gpus_per_node();
+  if (half_elems == 0 || topo.world_size() <= 1) return start;
+
+  const TreeShape shape = tree_shape(topo, tree);
+  const size_t chunk_elems =
+      std::max<size_t>(1, options.chunk_bytes / options.wire_bytes);
+  const size_t n_chunks = (half_elems + chunk_elems - 1) / chunk_elems;
+  auto chunk_bytes = [&](size_t c) {
+    return chunk_range(half_elems, n_chunks, c).count * options.wire_bytes;
+  };
+
+  // Chain order within a node: leader last.  For tree 0 the chain is
+  // (n-1) -> (n-2) -> ... -> 0; for tree 1 it is 0 -> 1 -> ... -> (n-1).
+  auto chain_rank = [&](int node, int pos) {
+    // pos 0 = chain head (farthest from leader), pos n-1 = leader.
+    const int local = tree == 0 ? n - 1 - pos : pos;
+    return topo.rank_of(node, local);
+  };
+
+  // ---- Phase A: intra-node chain reduce to the leader, pipelined.
+  // up[node][c]: time node's leader has chunk c reduced over the node.
+  std::vector<std::vector<double>> up(
+      static_cast<size_t>(m), std::vector<double>(n_chunks, start));
+  for (int node = 0; node < m; ++node) {
+    std::vector<double> ready(n_chunks, start);  // at current chain position
+    for (int pos = 0; pos + 1 < n; ++pos) {
+      const int src = chain_rank(node, pos);
+      const int dst = chain_rank(node, pos + 1);
+      for (size_t c = 0; c < n_chunks; ++c) {
+        ready[c] = cluster.send(src, dst, chunk_bytes(c), ready[c]);
+      }
+      if (!data.empty()) {
+        auto d = data[static_cast<size_t>(dst)].subspan(half_begin, half_elems);
+        auto s = data[static_cast<size_t>(src)].subspan(half_begin, half_elems);
+        for (size_t e = 0; e < half_elems; ++e) d[e] += s[e];
+      }
+    }
+    up[static_cast<size_t>(node)] = ready;
+  }
+
+  // ---- Phase B: double-binary-tree reduce across node leaders.
+  // heap position p children: 2p+1, 2p+2 (positions index shape.node_perm).
+  auto leader_rank = [&](size_t p) {
+    return topo.rank_of(shape.node_perm[p], shape.leader_local);
+  };
+  std::vector<std::vector<double>> tree_ready(static_cast<size_t>(m));
+  for (int p = 0; p < m; ++p) {
+    tree_ready[static_cast<size_t>(p)] =
+        up[static_cast<size_t>(shape.node_perm[static_cast<size_t>(p)])];
+  }
+  for (size_t p = static_cast<size_t>(m); p-- > 0;) {
+    for (size_t c = 0; c < n_chunks; ++c) {
+      for (size_t child : {2 * p + 1, 2 * p + 2}) {
+        if (child >= static_cast<size_t>(m)) continue;
+        const double done = cluster.send(leader_rank(child), leader_rank(p),
+                                         chunk_bytes(c), tree_ready[child][c]);
+        tree_ready[p][c] = std::max(tree_ready[p][c], done);
+      }
+    }
+    if (!data.empty()) {
+      for (size_t child : {2 * p + 1, 2 * p + 2}) {
+        if (child >= static_cast<size_t>(m)) continue;
+        auto d = data[static_cast<size_t>(leader_rank(p))].subspan(half_begin,
+                                                                   half_elems);
+        auto s = data[static_cast<size_t>(leader_rank(child))].subspan(
+            half_begin, half_elems);
+        for (size_t e = 0; e < half_elems; ++e) d[e] += s[e];
+      }
+    }
+  }
+
+  // ---- Phase C: broadcast down the tree.
+  std::vector<std::vector<double>> down = std::move(tree_ready);
+  for (size_t p = 0; p < static_cast<size_t>(m); ++p) {
+    for (size_t c = 0; c < n_chunks; ++c) {
+      for (size_t child : {2 * p + 1, 2 * p + 2}) {
+        if (child >= static_cast<size_t>(m)) continue;
+        down[child][c] = cluster.send(leader_rank(p), leader_rank(child),
+                                      chunk_bytes(c), down[p][c]);
+      }
+    }
+    if (!data.empty()) {
+      for (size_t child : {2 * p + 1, 2 * p + 2}) {
+        if (child >= static_cast<size_t>(m)) continue;
+        auto s = data[static_cast<size_t>(leader_rank(p))].subspan(half_begin,
+                                                                   half_elems);
+        auto d = data[static_cast<size_t>(leader_rank(child))].subspan(
+            half_begin, half_elems);
+        std::copy(s.begin(), s.end(), d.begin());
+      }
+    }
+  }
+
+  // ---- Phase D: intra-node chain broadcast from the leader.
+  double finish = start;
+  for (int p = 0; p < m; ++p) {
+    const int node = shape.node_perm[static_cast<size_t>(p)];
+    std::vector<double> ready = down[static_cast<size_t>(p)];
+    for (int pos = n - 1; pos > 0; --pos) {
+      const int src = chain_rank(node, pos);
+      const int dst = chain_rank(node, pos - 1);
+      for (size_t c = 0; c < n_chunks; ++c) {
+        ready[c] = cluster.send(src, dst, chunk_bytes(c), ready[c]);
+      }
+      if (!data.empty()) {
+        auto s = data[static_cast<size_t>(src)].subspan(half_begin, half_elems);
+        auto d = data[static_cast<size_t>(dst)].subspan(half_begin, half_elems);
+        std::copy(s.begin(), s.end(), d.begin());
+      }
+    }
+    for (size_t c = 0; c < n_chunks; ++c) finish = std::max(finish, ready[c]);
+  }
+  return finish;
+}
+
+}  // namespace
+
+double tree_allreduce(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems,
+                      const TreeOptions& options, double start) {
+  const simnet::Topology& topo = cluster.topology();
+  // TreeAR is a whole-cluster collective (it is NCCL's All-Reduce): the
+  // group must be the full world in rank order.
+  HITOPK_CHECK_EQ(group.size(), static_cast<size_t>(topo.world_size()));
+  for (size_t i = 0; i < group.size(); ++i) {
+    HITOPK_CHECK_EQ(group[i], static_cast<int>(i));
+  }
+  check_data(group, data, elems);
+  if (topo.world_size() <= 1) return start;
+
+  const size_t half = elems / 2;
+  const double done0 =
+      run_tree(cluster, data, 0, half, options, start, 0);
+  const double done1 =
+      run_tree(cluster, data, half, elems - half, options, start, 1);
+  return std::max(done0, done1);
+}
+
+}  // namespace hitopk::coll

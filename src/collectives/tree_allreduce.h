@@ -1,0 +1,27 @@
+// Double-binary-tree All-Reduce (the paper's "TreeAR" baseline).
+//
+// NCCL's large-scale All-Reduce (Sanders et al. 2009): two complementary
+// binary trees each handle half of the buffer; each tree reduces leaf-to-root
+// then broadcasts root-to-leaf, pipelined over chunks.  The trees are built
+// over the flat rank order, so edges freely cross node boundaries — exactly
+// why TreeAR underuses NVLink and oversubscribes the slow NIC on cloud
+// clusters (§5.3).
+#pragma once
+
+#include "collectives/common.h"
+
+namespace hitopk::coll {
+
+struct TreeOptions {
+  // Pipelining granularity; NCCL uses fine-grained chunks.
+  size_t chunk_bytes = 4 << 20;
+  size_t wire_bytes = 4;
+};
+
+// In-place tree All-Reduce over `group`.  After completion every rank holds
+// the element-wise sum.  Returns the completion time of the slowest rank.
+double tree_allreduce(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems,
+                      const TreeOptions& options, double start);
+
+}  // namespace hitopk::coll

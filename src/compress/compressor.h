@@ -1,0 +1,39 @@
+// Gradient compressor interface.
+//
+// A compressor selects (approximately) the k largest-magnitude elements of a
+// dense gradient.  Implementations:
+//   - ExactTopK   : exact selection (the paper's nn.topk baseline)
+//   - DgcTopK     : double-sampling selection (Lin et al. 2018, "DGC")
+//   - MsTopK      : the paper's Algorithm 1 (multi-sampling threshold search)
+//   - RandomK     : uniform random selection (ablation baseline)
+//   - ThresholdK  : fixed-threshold selection (variable k; ablation)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "compress/sparse_tensor.h"
+
+namespace hitopk::compress {
+
+class Compressor {
+ public:
+  virtual ~Compressor() = default;
+
+  // Human-readable identifier (used by the registry and benches).
+  virtual std::string name() const = 0;
+
+  // Selects k elements from x.  Implementations must return a valid
+  // SparseTensor with dense_size == x.size(); approximate algorithms return
+  // exactly k elements whenever k <= x.size() (the paper's MSTopK guarantees
+  // this via the two-threshold band, Alg. 1 lines 25-29).
+  virtual SparseTensor compress(std::span<const float> x, size_t k) = 0;
+};
+
+// Factory: name is one of "exact_topk", "dgc", "mstopk", "random_k".
+// Throws CheckError for unknown names.
+std::unique_ptr<Compressor> make_compressor(const std::string& name,
+                                            uint64_t seed = 42);
+
+}  // namespace hitopk::compress

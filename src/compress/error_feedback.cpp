@@ -1,0 +1,39 @@
+#include "compress/error_feedback.h"
+
+#include "core/check.h"
+
+namespace hitopk::compress {
+
+void ErrorFeedback::apply(const std::string& key, std::span<float> grad) {
+  auto [it, inserted] = residuals_.try_emplace(key, grad.size());
+  Tensor& residual = it->second;
+  HITOPK_CHECK_EQ(residual.size(), grad.size())
+      << "residual shape changed for tensor" << key;
+  for (size_t i = 0; i < grad.size(); ++i) grad[i] += residual[i];
+}
+
+void ErrorFeedback::absorb(const std::string& key, std::span<const float> grad,
+                           const SparseTensor& sent) {
+  auto [it, inserted] = residuals_.try_emplace(key, grad.size());
+  Tensor& residual = it->second;
+  HITOPK_CHECK_EQ(residual.size(), grad.size());
+  HITOPK_CHECK_EQ(sent.dense_size, grad.size());
+  for (size_t i = 0; i < grad.size(); ++i) residual[i] = grad[i];
+  for (size_t i = 0; i < sent.nnz(); ++i) {
+    HITOPK_CHECK_LT(sent.indices[i], residual.size());
+    residual[sent.indices[i]] = 0.0f;
+  }
+}
+
+double ErrorFeedback::residual_sq_norm() const {
+  double acc = 0.0;
+  for (const auto& [key, residual] : residuals_) {
+    const float norm = residual.l2_norm();
+    acc += static_cast<double>(norm) * norm;
+  }
+  return acc;
+}
+
+void ErrorFeedback::reset() { residuals_.clear(); }
+
+}  // namespace hitopk::compress

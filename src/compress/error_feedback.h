@@ -1,0 +1,46 @@
+// Error-feedback (residual accumulation) for sparsified SGD.
+//
+// Top-k sparsification discards most gradient coordinates; convergence
+// guarantees (Stich et al. 2018; Karimireddy et al. 2019, both cited by the
+// paper) require feeding the discarded remainder back into the next step:
+//
+//   acc_t   = grad_t + residual_{t-1}
+//   sent_t  = TopK(acc_t, k)
+//   residual_t = acc_t - dense(sent_t)
+//
+// The convergence experiments (Fig. 10 / Table 2) run this exact loop.
+#pragma once
+
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "compress/sparse_tensor.h"
+#include "core/tensor.h"
+
+namespace hitopk::compress {
+
+class ErrorFeedback {
+ public:
+  // grad += residual[key]; a zero residual is created on first use.
+  void apply(const std::string& key, std::span<float> grad);
+
+  // residual[key] = grad with the communicated coordinates zeroed out.
+  // `sent.indices` must index into grad.
+  void absorb(const std::string& key, std::span<const float> grad,
+              const SparseTensor& sent);
+
+  // Sum of squared residual magnitudes across all keys (a diagnostic the
+  // convergence bench tracks: bounded residual norm is the EF invariant).
+  double residual_sq_norm() const;
+
+  // Drops all stored residuals (e.g. between convergence runs).
+  void reset();
+
+  size_t num_tensors() const { return residuals_.size(); }
+
+ private:
+  std::unordered_map<std::string, Tensor> residuals_;
+};
+
+}  // namespace hitopk::compress

@@ -1,0 +1,51 @@
+#include "compress/exact_topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace hitopk::compress {
+
+SparseTensor exact_topk(std::span<const float> x, size_t k) {
+  SparseTensor out;
+  out.dense_size = x.size();
+  k = std::min(k, x.size());
+  if (k == 0) return out;
+
+  std::vector<uint32_t> order(x.size());
+  std::iota(order.begin(), order.end(), uint32_t{0});
+  // Larger magnitude first; ties broken by lower index for determinism.
+  auto by_magnitude = [&](uint32_t a, uint32_t b) {
+    const float ma = std::fabs(x[a]);
+    const float mb = std::fabs(x[b]);
+    if (ma != mb) return ma > mb;
+    return a < b;
+  };
+  std::nth_element(order.begin(), order.begin() + static_cast<long>(k - 1),
+                   order.end(), by_magnitude);
+  order.resize(k);
+  std::sort(order.begin(), order.end());
+
+  out.indices = std::move(order);
+  out.values.resize(k);
+  for (size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
+  return out;
+}
+
+float exact_topk_threshold(std::span<const float> x, size_t k) {
+  if (k == 0 || x.empty()) return 0.0f;
+  k = std::min(k, x.size());
+  std::vector<float> mags(x.size());
+  for (size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<long>(k - 1),
+                   mags.end(), std::greater<float>());
+  return mags[k - 1];
+}
+
+SparseTensor ExactTopK::compress(std::span<const float> x, size_t k) {
+  return exact_topk(x, k);
+}
+
+}  // namespace hitopk::compress

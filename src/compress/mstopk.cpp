@@ -1,0 +1,138 @@
+#include "compress/mstopk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace hitopk::compress {
+
+MsTopK::MsTopK(int n_samplings, uint64_t seed)
+    : n_samplings_(n_samplings), rng_(seed) {
+  HITOPK_CHECK_GT(n_samplings, 0);
+}
+
+SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
+  const size_t d = x.size();
+  SparseTensor out;
+  out.dense_size = d;
+  stats_ = MsTopKStats{};
+  if (k == 0 || d == 0) return out;
+  if (k >= d) {
+    out.indices.resize(d);
+    out.values.resize(d);
+    for (size_t i = 0; i < d; ++i) {
+      out.indices[i] = static_cast<uint32_t>(i);
+      out.values[i] = x[i];
+    }
+    return out;
+  }
+
+  // Alg. 1 lines 1-3: magnitude statistics.  One coalesced pass each on the
+  // device; here a single fused pass.
+  double abs_sum = 0.0;
+  float abs_max = 0.0f;
+  for (float v : x) {
+    const float m = std::fabs(v);
+    abs_sum += m;
+    abs_max = std::max(abs_max, m);
+  }
+  const float abs_mean = static_cast<float>(abs_sum / static_cast<double>(d));
+
+  // Degenerate input (all zeros or all equal magnitude): no threshold can
+  // discriminate, fall back to the first k indices.
+  if (!(abs_max > abs_mean)) {
+    out.indices.resize(k);
+    out.values.resize(k);
+    for (size_t i = 0; i < k; ++i) {
+      out.indices[i] = static_cast<uint32_t>(i);
+      out.values[i] = x[i];
+    }
+    return out;
+  }
+
+  // Alg. 1 lines 4-24: binary search the threshold ratio in [0, 1], where
+  // thres = mean + ratio * (max - mean).  thres1/k1 bracket from below
+  // (nnz <= k), thres2/k2 from above (nnz > k).
+  double lo = 0.0, hi = 1.0;
+  size_t k1 = 0;
+  size_t k2 = d;
+  float thres1 = 0.0f;
+  float thres2 = 0.0f;
+  for (int i = 0; i < n_samplings_; ++i) {
+    const double ratio = lo + (hi - lo) / 2.0;
+    const float thres =
+        abs_mean + static_cast<float>(ratio) * (abs_max - abs_mean);
+    size_t nnz = 0;
+    for (float v : x) {
+      if (std::fabs(v) >= thres) ++nnz;
+    }
+    ++stats_.samplings;
+    if (nnz <= k) {
+      hi = ratio;
+      if (nnz > k1 || thres1 == 0.0f) {
+        k1 = nnz;
+        thres1 = thres;
+      }
+    } else {
+      lo = ratio;
+      if (nnz < k2) {
+        k2 = nnz;
+        thres2 = thres;
+      }
+    }
+    if (nnz == k) break;  // Exact bracket found early.
+  }
+  stats_.thres1 = thres1;
+  stats_.thres2 = thres2;
+  stats_.k1 = k1;
+  stats_.k2 = k2;
+
+  // Alg. 1 lines 25-26: gather the certain set (>= thres1) and the band
+  // [thres2, thres1).  thres1 == 0 means no threshold ever selected <= k
+  // elements (heavy ties at the max); then the certain set is empty and the
+  // band is everything >= thres2.
+  std::vector<uint32_t> certain;
+  std::vector<uint32_t> band;
+  certain.reserve(k1);
+  const bool have_upper = thres1 > 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float m = std::fabs(x[i]);
+    if (have_upper && m >= thres1) {
+      certain.push_back(static_cast<uint32_t>(i));
+    } else if (m >= thres2) {
+      band.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (certain.size() > k) certain.resize(k);  // Tie overflow guard.
+
+  // Alg. 1 lines 27-28: random contiguous run of (k - k1) band elements.
+  const size_t need = k - certain.size();
+  std::vector<uint32_t> chosen = std::move(certain);
+  if (need > 0 && !band.empty()) {
+    const size_t take = std::min(need, band.size());
+    const size_t max_start = band.size() - take;
+    const size_t start = static_cast<size_t>(rng_.uniform_index(max_start + 1));
+    chosen.insert(chosen.end(), band.begin() + static_cast<long>(start),
+                  band.begin() + static_cast<long>(start + take));
+  }
+  // Band exhausted (possible only with extreme ties): top up from the lowest
+  // unselected indices so the contract "exactly k elements" holds.
+  if (chosen.size() < k) {
+    std::vector<bool> used(d, false);
+    for (uint32_t idx : chosen) used[idx] = true;
+    for (size_t i = 0; i < d && chosen.size() < k; ++i) {
+      if (!used[i]) chosen.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::sort(chosen.begin(), chosen.end());
+  out.indices = std::move(chosen);
+  out.values.resize(out.indices.size());
+  for (size_t i = 0; i < out.indices.size(); ++i) {
+    out.values[i] = x[out.indices[i]];
+  }
+  return out;
+}
+
+}  // namespace hitopk::compress

@@ -1,0 +1,51 @@
+// MSTopK: the paper's approximate top-k operator (Algorithm 1).
+//
+// Instead of sorting, MSTopK binary-searches a magnitude threshold in the
+// interval [mean(|x|), max(|x|)].  Each of the N samplings is one coalesced
+// counting pass (count |x(i)| >= thres), which is why the operator is fast
+// on many-core hardware.  The search tracks two brackets:
+//   thres1 — the tightest threshold seen selecting <= k elements (k1 of them)
+//   thres2 — the loosest threshold seen selecting  > k elements (k2 of them)
+// After N iterations the result is all k1 elements above thres1 plus a
+// random contiguous run of (k - k1) elements from the band
+// [thres2, thres1), giving exactly k selected elements (lines 25-29).
+#pragma once
+
+#include "compress/compressor.h"
+#include "core/rng.h"
+
+namespace hitopk::compress {
+
+struct MsTopKStats {
+  // Thresholds bracketing the exact k-th magnitude after the search.
+  float thres1 = 0.0f;
+  float thres2 = 0.0f;
+  // Element counts at those thresholds.
+  size_t k1 = 0;
+  size_t k2 = 0;
+  // Number of counting passes actually executed.
+  int samplings = 0;
+};
+
+class MsTopK : public Compressor {
+ public:
+  // n_samplings is the paper's N; their experiments use N = 30 (Fig. 6).
+  explicit MsTopK(int n_samplings = 30, uint64_t seed = 42);
+
+  std::string name() const override { return "mstopk"; }
+
+  SparseTensor compress(std::span<const float> x, size_t k) override;
+
+  // Search diagnostics for the most recent compress() call (used by the
+  // sampling-count ablation).
+  const MsTopKStats& last_stats() const { return stats_; }
+
+  int n_samplings() const { return n_samplings_; }
+
+ private:
+  int n_samplings_;
+  Rng rng_;
+  MsTopKStats stats_;
+};
+
+}  // namespace hitopk::compress

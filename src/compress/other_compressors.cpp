@@ -1,0 +1,49 @@
+#include "compress/other_compressors.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hitopk::compress {
+
+SparseTensor RandomK::compress(std::span<const float> x, size_t k) {
+  const size_t d = x.size();
+  SparseTensor out;
+  out.dense_size = d;
+  k = std::min(k, d);
+  if (k == 0) return out;
+
+  // Floyd's algorithm: k distinct indices in O(k) expected time without
+  // materializing a d-sized permutation.
+  std::vector<uint32_t> chosen;
+  chosen.reserve(k);
+  std::vector<bool> used(d, false);
+  for (size_t j = d - k; j < d; ++j) {
+    const size_t t = static_cast<size_t>(rng_.uniform_index(j + 1));
+    if (!used[t]) {
+      used[t] = true;
+      chosen.push_back(static_cast<uint32_t>(t));
+    } else {
+      used[j] = true;
+      chosen.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  out.indices = std::move(chosen);
+  out.values.resize(k);
+  for (size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
+  return out;
+}
+
+SparseTensor ThresholdK::compress(std::span<const float> x, size_t /*k*/) {
+  SparseTensor out;
+  out.dense_size = x.size();
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) >= threshold_) {
+      out.indices.push_back(static_cast<uint32_t>(i));
+      out.values.push_back(x[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hitopk::compress

@@ -1,0 +1,39 @@
+// Ablation-baseline compressors: random-k and fixed-threshold selection.
+#pragma once
+
+#include "compress/compressor.h"
+#include "core/rng.h"
+
+namespace hitopk::compress {
+
+// Selects k uniformly-random coordinates (sparsification without magnitude
+// information); a standard baseline showing why top-k selection matters.
+class RandomK : public Compressor {
+ public:
+  explicit RandomK(uint64_t seed = 42) : rng_(seed) {}
+
+  std::string name() const override { return "random_k"; }
+
+  SparseTensor compress(std::span<const float> x, size_t k) override;
+
+ private:
+  Rng rng_;
+};
+
+// Selects every element with |x(i)| >= threshold.  The k argument of
+// compress() is ignored; nnz varies per call, which is exactly the property
+// that makes fixed-threshold schemes awkward for All-Gather aggregation
+// (different workers contribute different element counts).
+class ThresholdK : public Compressor {
+ public:
+  explicit ThresholdK(float threshold) : threshold_(threshold) {}
+
+  std::string name() const override { return "threshold_k"; }
+
+  SparseTensor compress(std::span<const float> x, size_t k) override;
+
+ private:
+  float threshold_;
+};
+
+}  // namespace hitopk::compress

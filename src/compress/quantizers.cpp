@@ -1,0 +1,48 @@
+#include "compress/quantizers.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/tensor.h"
+
+namespace hitopk::compress {
+
+Qsgd::Qsgd(int levels, uint64_t seed) : levels_(levels), rng_(seed) {
+  HITOPK_CHECK_GT(levels, 0);
+  bits_per_value_ = 1;  // sign
+  int distinct = 2 * levels + 1;
+  while ((1 << bits_per_value_) < distinct) ++bits_per_value_;
+}
+
+size_t Qsgd::quantize(std::span<float> x) {
+  const float norm = tensor_ops::l2_norm(
+      std::span<const float>(x.data(), x.size()));
+  if (norm == 0.0f) return payload_bytes(x.size());
+  const double s = static_cast<double>(levels_);
+  for (auto& v : x) {
+    const double magnitude = std::fabs(v) / norm;  // in [0, 1]
+    const double scaled = magnitude * s;
+    double level = std::floor(scaled);
+    // Stochastic rounding keeps the estimator unbiased.
+    if (rng_.uniform() < scaled - level) level += 1.0;
+    const float q = static_cast<float>(norm * level / s);
+    v = v < 0.0f ? -q : q;
+  }
+  return payload_bytes(x.size());
+}
+
+size_t Qsgd::payload_bytes(size_t d) const {
+  return (d * static_cast<size_t>(bits_per_value_) + 7) / 8 + 4;
+}
+
+size_t SignCompressor::compress(std::span<float> x) {
+  double abs_sum = 0.0;
+  for (float v : x) abs_sum += std::fabs(v);
+  const float scale =
+      x.empty() ? 0.0f
+                : static_cast<float>(abs_sum / static_cast<double>(x.size()));
+  for (auto& v : x) v = v < 0.0f ? -scale : scale;
+  return payload_bytes(x.size());
+}
+
+}  // namespace hitopk::compress

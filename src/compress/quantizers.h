@@ -1,0 +1,51 @@
+// Dense gradient quantizers from the compression literature the paper
+// builds on (§6): QSGD (Alistarh et al. 2017) and 1-bit SignSGD with error
+// feedback (Karimireddy et al. 2019).  Unlike top-k sparsifiers these keep
+// every coordinate but shrink its representation, so they compose with
+// All-Reduce-style aggregation; they serve as ablation baselines against
+// sparsification.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hitopk::compress {
+
+// QSGD: stochastic uniform quantization to `levels` magnitude levels.
+//   q_i = ||x||_2 * sign(x_i) * xi_i,   xi_i in {0, 1/s, ..., s/s}
+// with E[q] = x (unbiased).  Wire size: one FP32 norm + ceil(log2(2s+1))
+// bits per coordinate.
+class Qsgd {
+ public:
+  explicit Qsgd(int levels = 15, uint64_t seed = 42);
+
+  // Quantizes in place (the decoded values replace x) and returns the wire
+  // payload in bytes.
+  size_t quantize(std::span<float> x);
+
+  int levels() const { return levels_; }
+
+  // Wire bytes for a d-element tensor at this level count.
+  size_t payload_bytes(size_t d) const;
+
+ private:
+  int levels_;
+  int bits_per_value_;
+  Rng rng_;
+};
+
+// EF-SignSGD: transmit sign(x) scaled by mean(|x|); biased, so it requires
+// error feedback (the caller keeps the residual).  Wire size: 1 bit per
+// coordinate + one FP32 scale.
+class SignCompressor {
+ public:
+  // Compresses in place; returns the wire payload in bytes.
+  static size_t compress(std::span<float> x);
+
+  static size_t payload_bytes(size_t d) { return d / 8 + 4; }
+};
+
+}  // namespace hitopk::compress

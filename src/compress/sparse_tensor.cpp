@@ -1,0 +1,58 @@
+#include "compress/sparse_tensor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace hitopk::compress {
+
+void SparseTensor::scatter_add_into(std::span<float> dense) const {
+  HITOPK_CHECK_EQ(dense.size(), dense_size);
+  HITOPK_CHECK_EQ(values.size(), indices.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    HITOPK_CHECK_LT(indices[i], dense.size());
+    dense[indices[i]] += values[i];
+  }
+}
+
+Tensor SparseTensor::to_dense() const {
+  Tensor out(dense_size);
+  scatter_add_into(out.span());
+  return out;
+}
+
+void SparseTensor::sort_by_index() {
+  HITOPK_CHECK_EQ(values.size(), indices.size());
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return indices[a] < indices[b]; });
+  std::vector<float> new_values(values.size());
+  std::vector<uint32_t> new_indices(indices.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    new_values[i] = values[order[i]];
+    new_indices[i] = indices[order[i]];
+  }
+  values = std::move(new_values);
+  indices = std::move(new_indices);
+}
+
+bool SparseTensor::is_valid() const {
+  if (values.size() != indices.size()) return false;
+  for (uint32_t idx : indices) {
+    if (idx >= dense_size) return false;
+  }
+  return true;
+}
+
+Tensor accumulate(std::span<const SparseTensor> parts, size_t dense_size) {
+  Tensor out(dense_size);
+  for (const auto& part : parts) {
+    HITOPK_CHECK_EQ(part.dense_size, dense_size);
+    part.scatter_add_into(out.span());
+  }
+  return out;
+}
+
+}  // namespace hitopk::compress

@@ -1,0 +1,49 @@
+// Sparse gradient representation produced by top-k style compressors.
+//
+// A compressed gradient is the pair (values, indices) the paper transmits in
+// place of the dense tensor: k float values plus k uint32 indices into the
+// original dense vector (so the wire size is 2k elements, Eq. 3 context).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace hitopk::compress {
+
+struct SparseTensor {
+  std::vector<float> values;
+  std::vector<uint32_t> indices;
+  size_t dense_size = 0;
+
+  size_t nnz() const { return values.size(); }
+
+  // Bytes on the wire: values (value_bytes each, 4 for FP32 / 2 for FP16)
+  // plus 4-byte indices.
+  size_t payload_bytes(size_t value_bytes = 4) const {
+    return values.size() * value_bytes + indices.size() * 4;
+  }
+
+  // dense[indices[i]] += values[i].  Duplicate indices accumulate, which is
+  // exactly the aggregation semantics HiTopKComm needs (Alg. 2 line 18).
+  void scatter_add_into(std::span<float> dense) const;
+
+  // dense[indices[i]] = values[i]; all other entries zero.
+  Tensor to_dense() const;
+
+  // Sorts (index, value) pairs by index ascending; useful for deterministic
+  // comparisons in tests.
+  void sort_by_index();
+
+  // True if every index is < dense_size and there are as many values as
+  // indices.
+  bool is_valid() const;
+};
+
+// Merges many sparse tensors (e.g. the per-node contributions gathered by
+// All-Gather) into one dense accumulation buffer.
+Tensor accumulate(std::span<const SparseTensor> parts, size_t dense_size);
+
+}  // namespace hitopk::compress

@@ -1,0 +1,63 @@
+// Precondition / invariant checking.
+//
+// HITOPK_CHECK(cond) aborts the operation by throwing hitopk::CheckError with
+// a source location and optional streamed message:
+//
+//   HITOPK_CHECK(k <= d) << "k=" << k << " exceeds dimension " << d;
+//
+// Checks express contract violations (caller bugs), not recoverable runtime
+// conditions; they stay enabled in release builds because every experiment in
+// this repository depends on the simulator's invariants holding.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hitopk {
+
+// Thrown when a HITOPK_CHECK fails.  Derives from logic_error: a failed
+// check is a programming error, not an environmental one.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+// Accumulates the streamed message and throws from the destructor-like
+// terminal call.  Usage is via the macro only.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: " << condition;
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckFailStream() noexcept(false) {
+    throw CheckError(stream_.str());
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hitopk
+
+#define HITOPK_CHECK(condition)                                          \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::hitopk::internal::CheckFailStream(#condition, __FILE__, __LINE__)
+
+#define HITOPK_CHECK_EQ(a, b) HITOPK_CHECK((a) == (b))
+#define HITOPK_CHECK_NE(a, b) HITOPK_CHECK((a) != (b))
+#define HITOPK_CHECK_LT(a, b) HITOPK_CHECK((a) < (b))
+#define HITOPK_CHECK_LE(a, b) HITOPK_CHECK((a) <= (b))
+#define HITOPK_CHECK_GT(a, b) HITOPK_CHECK((a) > (b))
+#define HITOPK_CHECK_GE(a, b) HITOPK_CHECK((a) >= (b))

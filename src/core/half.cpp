@@ -1,0 +1,89 @@
+#include "core/half.h"
+
+#include <bit>
+#include <cstring>
+
+#include "core/check.h"
+
+namespace hitopk {
+
+Half float_to_half(float value) {
+  const uint32_t f = std::bit_cast<uint32_t>(value);
+  const uint32_t sign = (f >> 16) & 0x8000u;
+  const int32_t exponent = static_cast<int32_t>((f >> 23) & 0xffu) - 127;
+  uint32_t mantissa = f & 0x7fffffu;
+
+  if (exponent == 128) {  // Inf or NaN
+    // Preserve NaN-ness; quiet bit set so signalling NaNs stay NaN.
+    const uint16_t payload = mantissa ? 0x0200u | (mantissa >> 13) : 0u;
+    return Half{static_cast<uint16_t>(sign | 0x7c00u | payload)};
+  }
+  if (exponent > 15) {  // Overflow -> infinity
+    return Half{static_cast<uint16_t>(sign | 0x7c00u)};
+  }
+  if (exponent >= -14) {  // Normal range
+    // Round-to-nearest-even on the 13 discarded mantissa bits.
+    uint32_t half_exp = static_cast<uint32_t>(exponent + 15);
+    uint32_t rounded = (half_exp << 10) | (mantissa >> 13);
+    const uint32_t remainder = mantissa & 0x1fffu;
+    if (remainder > 0x1000u || (remainder == 0x1000u && (rounded & 1u))) {
+      ++rounded;  // May carry into the exponent; that is correct rounding.
+    }
+    return Half{static_cast<uint16_t>(sign | rounded)};
+  }
+  if (exponent >= -25) {  // Subnormal half
+    mantissa |= 0x800000u;  // Make the implicit bit explicit.
+    const int shift = -exponent - 14 + 13;
+    uint32_t rounded = mantissa >> shift;
+    const uint32_t remainder = mantissa & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (remainder > halfway || (remainder == halfway && (rounded & 1u))) {
+      ++rounded;
+    }
+    return Half{static_cast<uint16_t>(sign | rounded)};
+  }
+  return Half{static_cast<uint16_t>(sign)};  // Underflow -> signed zero
+}
+
+float half_to_float(Half h) {
+  const uint32_t sign = (static_cast<uint32_t>(h.bits) & 0x8000u) << 16;
+  const uint32_t exponent = (h.bits >> 10) & 0x1fu;
+  uint32_t mantissa = h.bits & 0x3ffu;
+
+  uint32_t f;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // Zero
+    } else {
+      // Subnormal: normalize by shifting the mantissa up.
+      int e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x400u) == 0);
+      mantissa &= 0x3ffu;
+      f = sign | static_cast<uint32_t>(127 - 15 - e) << 23 | (mantissa << 13);
+    }
+  } else if (exponent == 0x1f) {
+    f = sign | 0x7f800000u | (mantissa << 13);  // Inf / NaN
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+void float_to_half(std::span<const float> src, std::span<Half> dst) {
+  HITOPK_CHECK_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = float_to_half(src[i]);
+}
+
+void half_to_float(std::span<const Half> src, std::span<float> dst) {
+  HITOPK_CHECK_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) dst[i] = half_to_float(src[i]);
+}
+
+void fp16_round_trip(std::span<float> values) {
+  for (auto& v : values) v = half_to_float(float_to_half(v));
+}
+
+}  // namespace hitopk

@@ -1,0 +1,32 @@
+// IEEE-754 binary16 (FP16) conversion.
+//
+// Figure 7 of the paper measures collectives on FP16 payloads; V100 tensor
+// cores also train in mixed precision.  The simulator moves real bytes, so
+// FP16 payloads need a real conversion: round-to-nearest-even float -> half
+// and exact half -> float, handling subnormals, infinities, and NaN.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hitopk {
+
+// Opaque 16-bit storage type for a half-precision value.
+struct Half {
+  uint16_t bits = 0;
+};
+
+// Converts with round-to-nearest-even, clamping overflow to infinity.
+Half float_to_half(float value);
+
+// Exact widening conversion.
+float half_to_float(Half h);
+
+// Bulk conversions (dst.size() must equal src.size()).
+void float_to_half(std::span<const float> src, std::span<Half> dst);
+void half_to_float(std::span<const Half> src, std::span<float> dst);
+
+// Simulates a round trip through FP16, as mixed-precision communication does.
+void fp16_round_trip(std::span<float> values);
+
+}  // namespace hitopk

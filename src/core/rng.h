@@ -1,0 +1,57 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repository (synthetic datasets, gradient
+// noise, MSTopK's random tail selection, workload generators) draws from an
+// explicitly seeded Rng so experiments are reproducible bit-for-bit across
+// runs.  The generator is xoshiro256** seeded via SplitMix64, which is fast,
+// has a 2^256-1 period, and passes BigCrush.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hitopk {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform 64-bit word.
+  uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).  n must be > 0.
+  uint64_t uniform_index(uint64_t n);
+
+  // Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  // Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(uniform_index(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derive an independent child stream (e.g. one per worker rank).
+  Rng fork();
+
+ private:
+  uint64_t state_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace hitopk

@@ -1,0 +1,32 @@
+// Summary statistics for benchmark measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hitopk {
+
+// Online mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile over a copy of the samples; p in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace hitopk

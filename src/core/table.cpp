@@ -1,0 +1,60 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "core/check.h"
+
+namespace hitopk {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  HITOPK_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  HITOPK_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << row[c] << " ";
+    }
+    os << "|\n";
+  };
+  print_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << "|" << std::string(widths[c] + 2, '-');
+  }
+  os << "|\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TablePrinter::fmt_int(long long value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::fmt_percent(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace hitopk

@@ -1,0 +1,31 @@
+// Plain-text table printer used by the benchmark harnesses to emit rows in
+// the same layout the paper's tables and figure series use.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hitopk {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Adds a row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  // Formatting helpers for numeric cells.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hitopk

@@ -1,0 +1,137 @@
+#include "core/tensor.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "core/rng.h"
+
+namespace hitopk {
+
+Tensor Tensor::from(std::vector<float> values) {
+  Tensor t;
+  t.rows_ = values.size();
+  t.cols_ = 1;
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::from(size_t rows, size_t cols, std::vector<float> values) {
+  HITOPK_CHECK_EQ(rows * cols, values.size());
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(values);
+  return t;
+}
+
+std::span<float> Tensor::slice(size_t offset, size_t count) {
+  HITOPK_CHECK_LE(offset + count, data_.size());
+  return std::span<float>(data_.data() + offset, count);
+}
+
+std::span<const float> Tensor::slice(size_t offset, size_t count) const {
+  HITOPK_CHECK_LE(offset + count, data_.size());
+  return std::span<const float>(data_.data() + offset, count);
+}
+
+float& Tensor::at(size_t r, size_t c) {
+  HITOPK_CHECK(r < rows_ && c < cols_)
+      << "index (" << r << "," << c << ") out of " << shape_string();
+  return data_[r * cols_ + c];
+}
+
+float Tensor::at(size_t r, size_t c) const {
+  HITOPK_CHECK(r < rows_ && c < cols_)
+      << "index (" << r << "," << c << ") out of " << shape_string();
+  return data_[r * cols_ + c];
+}
+
+void Tensor::fill(float value) {
+  for (auto& x : data_) x = value;
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (auto& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (auto& x : data_) x = static_cast<float>(rng.normal(mean, stddev));
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  HITOPK_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  HITOPK_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scale) {
+  for (auto& x : data_) x *= scale;
+  return *this;
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::l2_norm() const { return tensor_ops::l2_norm(span()); }
+
+float Tensor::abs_mean() const {
+  if (data_.empty()) return 0.0f;
+  double acc = 0.0;
+  for (float x : data_) acc += std::fabs(x);
+  return static_cast<float>(acc / static_cast<double>(data_.size()));
+}
+
+float Tensor::abs_max() const {
+  float best = 0.0f;
+  for (float x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+size_t Tensor::count_abs_ge(float threshold) const {
+  size_t count = 0;
+  for (float x : data_) {
+    if (std::fabs(x) >= threshold) ++count;
+  }
+  return count;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "(" << rows_ << "," << cols_ << ")";
+  return os.str();
+}
+
+namespace tensor_ops {
+
+void add_into(std::span<float> dst, std::span<const float> src) {
+  HITOPK_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+}
+
+void zero(std::span<float> dst) {
+  for (auto& x : dst) x = 0.0f;
+}
+
+float l2_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void scale(std::span<float> x, float factor) {
+  for (auto& v : x) v *= factor;
+}
+
+}  // namespace tensor_ops
+
+}  // namespace hitopk

@@ -1,0 +1,108 @@
+// A minimal dense tensor for gradient/parameter data.
+//
+// The communication library and the convergence experiments only ever need
+// flat float buffers with an optional 2-D shape (for matmul in the autodiff
+// engine), so Tensor is deliberately simple: contiguous float32 storage with
+// value semantics, a (rows, cols) shape where cols == 1 means a vector, and
+// span-based views for zero-copy slicing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+
+namespace hitopk {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // 1-D tensor of `size` zeros.
+  explicit Tensor(size_t size) : rows_(size), cols_(1), data_(size, 0.0f) {}
+
+  // 2-D tensor of zeros.
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  // 1-D tensor from explicit values.
+  static Tensor from(std::vector<float> values);
+
+  // 2-D tensor from explicit values (row-major); values.size() must equal
+  // rows * cols.
+  static Tensor from(size_t rows, size_t cols, std::vector<float> values);
+
+  // Element count.
+  size_t size() const { return data_.size(); }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<float> span() { return std::span<float>(data_); }
+  std::span<const float> span() const { return std::span<const float>(data_); }
+
+  // Zero-copy view of [offset, offset + count).
+  std::span<float> slice(size_t offset, size_t count);
+  std::span<const float> slice(size_t offset, size_t count) const;
+
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  // 2-D access (row-major).  Bounds-checked via HITOPK_CHECK in debug-style
+  // call sites only; hot paths use data() directly.
+  float& at(size_t r, size_t c);
+  float at(size_t r, size_t c) const;
+
+  // Fill with a constant / random values.
+  void fill(float value);
+  void fill_uniform(Rng& rng, float lo, float hi);
+  void fill_normal(Rng& rng, float mean, float stddev);
+
+  // Elementwise in-place arithmetic; shapes must match exactly.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scale);
+
+  // Reductions.
+  float sum() const;
+  float l2_norm() const;
+  float abs_mean() const;
+  float abs_max() const;
+
+  // Count of elements with |x| >= threshold.
+  size_t count_abs_ge(float threshold) const;
+
+  std::string shape_string() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Elementwise helpers over raw spans, shared by compressors and collectives.
+namespace tensor_ops {
+
+// dst += src
+void add_into(std::span<float> dst, std::span<const float> src);
+
+// dst = 0
+void zero(std::span<float> dst);
+
+// L2 norm of a span.
+float l2_norm(std::span<const float> x);
+
+// Scales every element in place.
+void scale(std::span<float> x, float factor);
+
+}  // namespace tensor_ops
+
+}  // namespace hitopk

@@ -1,0 +1,34 @@
+#include "data/dataset.h"
+
+#include "core/check.h"
+
+namespace hitopk::data {
+
+DatasetSpec DatasetSpec::imagenet() {
+  DatasetSpec spec;
+  spec.name = "imagenet";
+  spec.num_samples = 1'281'167;
+  spec.validation_samples = 100'000;
+  spec.avg_encoded_bytes = 110'000;
+  return spec;
+}
+
+DatasetSpec DatasetSpec::wmt17() {
+  DatasetSpec spec;
+  spec.name = "wmt17";
+  spec.num_samples = 5'900'000;
+  spec.validation_samples = 3'004;  // newstest2017
+  spec.avg_encoded_bytes = 120;
+  return spec;
+}
+
+size_t DatasetSpec::decoded_bytes(int resolution) const {
+  if (name == "wmt17") {
+    // 256 tokens x 4-byte ids (one "sample" = one 256-word sentence, §5.5.2).
+    return 256 * 4;
+  }
+  HITOPK_CHECK_GT(resolution, 0);
+  return 3 * static_cast<size_t>(resolution) * static_cast<size_t>(resolution);
+}
+
+}  // namespace hitopk::data

@@ -1,0 +1,51 @@
+#include "data/lru_cache.h"
+
+namespace hitopk::data {
+
+LruCache::LruCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool LruCache::get(uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void LruCache::put(uint64_t key, size_t bytes) {
+  if (bytes > capacity_) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    used_ -= it->second->bytes;
+    it->second->bytes = bytes;
+    used_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, bytes});
+    index_[key] = lru_.begin();
+    used_ += bytes;
+  }
+  while (used_ > capacity_) evict_one();
+}
+
+bool LruCache::contains(uint64_t key) const { return index_.count(key) > 0; }
+
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+void LruCache::evict_one() {
+  if (lru_.empty()) return;
+  const Entry& victim = lru_.back();
+  used_ -= victim.bytes;
+  index_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+}  // namespace hitopk::data

@@ -1,0 +1,29 @@
+// Single-GPU compute-time model, calibrated to the paper's measurements.
+//
+// The timeline simulator needs per-iteration feed-forward + backpropagation
+// time on one V100 (mixed precision).  Rather than simulating convolutions,
+// the model interpolates the paper's own single-GPU throughput anchors
+// (§5.5.2 and Table 4; see models/calibration.h) in FLOP-proportional
+// (resolution^2) space.
+#pragma once
+
+#include <string>
+
+namespace hitopk::models {
+
+class PerfModel {
+ public:
+  // Seconds of FF&BP compute for one local iteration (batch `local_batch`)
+  // on one V100.  `resolution` is the square input size for CNNs and is
+  // ignored for the Transformer (one sample = one 256-token sentence).
+  static double ffbp_seconds(const std::string& model, int resolution,
+                             int local_batch);
+
+  // Single-GPU samples/second (pure compute) for the workload.
+  static double single_gpu_throughput(const std::string& model, int resolution);
+
+  // Fraction of FF&BP spent in the forward pass (standard 1:2 fwd:bwd).
+  static constexpr double forward_fraction = 1.0 / 3.0;
+};
+
+}  // namespace hitopk::models

@@ -1,0 +1,103 @@
+#include "pto/lars.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace hitopk::pto {
+
+float lars_rate(const LarsConfig& config, float weight_norm, float grad_norm) {
+  if (weight_norm <= 0.0f) return 1.0f;  // fresh tensors: no scaling signal
+  const double denominator =
+      static_cast<double>(grad_norm) +
+      config.weight_decay * static_cast<double>(weight_norm) + config.epsilon;
+  return static_cast<float>(config.trust_coefficient *
+                            static_cast<double>(weight_norm) / denominator);
+}
+
+SgdOptimizer::SgdOptimizer(double momentum, double weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {}
+
+void SgdOptimizer::step(const std::string& key, std::span<float> weights,
+                        std::span<const float> grad, double lr) {
+  HITOPK_CHECK_EQ(weights.size(), grad.size());
+  auto [it, inserted] = velocity_.try_emplace(key, weights.size());
+  Tensor& v = it->second;
+  HITOPK_CHECK_EQ(v.size(), weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const float g =
+        grad[i] + static_cast<float>(weight_decay_) * weights[i];
+    v[i] = static_cast<float>(momentum_) * v[i] + g;
+    weights[i] -= static_cast<float>(lr) * v[i];
+  }
+}
+
+LarsOptimizer::LarsOptimizer(LarsConfig config) : config_(config) {}
+
+void LarsOptimizer::step(const std::string& key, std::span<float> weights,
+                         std::span<const float> grad, double lr) {
+  HITOPK_CHECK_EQ(weights.size(), grad.size());
+  const float w_norm = tensor_ops::l2_norm(
+      std::span<const float>(weights.data(), weights.size()));
+  const float g_norm = tensor_ops::l2_norm(grad);
+  const float rate = lars_rate(config_, w_norm, g_norm);
+  last_rate_[key] = rate;
+
+  auto [it, inserted] = velocity_.try_emplace(key, weights.size());
+  Tensor& v = it->second;
+  HITOPK_CHECK_EQ(v.size(), weights.size());
+  const float scaled_lr = static_cast<float>(lr) * rate;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const float g =
+        grad[i] + static_cast<float>(config_.weight_decay) * weights[i];
+    v[i] = static_cast<float>(config_.momentum) * v[i] + scaled_lr * g;
+    weights[i] -= v[i];
+  }
+}
+
+float LarsOptimizer::last_rate(const std::string& key) const {
+  auto it = last_rate_.find(key);
+  return it == last_rate_.end() ? 0.0f : it->second;
+}
+
+LambOptimizer::LambOptimizer(double beta1, double beta2, double weight_decay,
+                             double epsilon)
+    : beta1_(beta1), beta2_(beta2), weight_decay_(weight_decay),
+      epsilon_(epsilon) {}
+
+void LambOptimizer::step(const std::string& key, std::span<float> weights,
+                         std::span<const float> grad, double lr) {
+  HITOPK_CHECK_EQ(weights.size(), grad.size());
+  auto [it, inserted] = state_.try_emplace(key);
+  State& s = it->second;
+  if (inserted) {
+    s.m = Tensor(weights.size());
+    s.v = Tensor(weights.size());
+  }
+  HITOPK_CHECK_EQ(s.m.size(), weights.size());
+  ++s.step;
+
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(s.step));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(s.step));
+  // Adam update direction with decoupled weight decay.
+  Tensor update(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    s.m[i] = static_cast<float>(beta1_ * s.m[i] + (1.0 - beta1_) * grad[i]);
+    s.v[i] = static_cast<float>(beta2_ * s.v[i] +
+                                (1.0 - beta2_) * grad[i] * grad[i]);
+    const double m_hat = s.m[i] / bc1;
+    const double v_hat = s.v[i] / bc2;
+    update[i] = static_cast<float>(m_hat / (std::sqrt(v_hat) + epsilon_) +
+                                   weight_decay_ * weights[i]);
+  }
+  const float w_norm = tensor_ops::l2_norm(
+      std::span<const float>(weights.data(), weights.size()));
+  const float u_norm = update.l2_norm();
+  const float trust =
+      (w_norm > 0.0f && u_norm > 0.0f) ? w_norm / u_norm : 1.0f;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] -= static_cast<float>(lr) * trust * update[i];
+  }
+}
+
+}  // namespace hitopk::pto

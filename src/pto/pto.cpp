@@ -1,0 +1,98 @@
+#include "pto/pto.h"
+
+#include <algorithm>
+
+#include "collectives/ring.h"
+#include "core/check.h"
+
+namespace hitopk::pto {
+
+coll::ChunkRange PtoPlan::slice(int rank) const {
+  HITOPK_CHECK(rank >= 0 && rank < world);
+  return coll::chunk_range(items, static_cast<size_t>(world),
+                           static_cast<size_t>(rank));
+}
+
+size_t PtoPlan::max_slice() const {
+  HITOPK_CHECK_GT(world, 0);
+  return coll::chunk_range(items, static_cast<size_t>(world), 0).count;
+}
+
+std::vector<float> pto_compute(const PtoPlan& plan,
+                               const std::function<float(size_t)>& op) {
+  std::vector<float> result(plan.items, 0.0f);
+  // Each rank computes only its slice; concatenation is the all-gather.
+  for (int rank = 0; rank < plan.world; ++rank) {
+    const coll::ChunkRange range = plan.slice(rank);
+    for (size_t i = range.begin; i < range.begin + range.count; ++i) {
+      result[i] = op(i);
+    }
+  }
+  return result;
+}
+
+double pto_allgather_seconds(simnet::Cluster& cluster, size_t items,
+                             size_t bytes_per_item, double start) {
+  const simnet::Topology& topo = cluster.topology();
+  const int world = topo.world_size();
+  if (world <= 1 || items == 0) return start;
+  const PtoPlan plan{world, items};
+
+  // Stage 1: intra-node ring all-gather of the per-rank slices.
+  double stage1 = start;
+  for (int node = 0; node < topo.nodes(); ++node) {
+    const coll::Group group = coll::node_group(topo, node);
+    std::vector<size_t> payload(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      payload[i] = plan.slice(group[i]).count * bytes_per_item;
+    }
+    stage1 = std::max(
+        stage1, coll::ring_allgather_bytes(cluster, group, payload, start));
+  }
+
+  // Stage 2: inter-node ring all-gather among local rank 0 of each node,
+  // each contributing its node's concatenated slices.
+  coll::Group leaders;
+  std::vector<size_t> node_payload;
+  for (int node = 0; node < topo.nodes(); ++node) {
+    leaders.push_back(topo.rank_of(node, 0));
+    size_t bytes = 0;
+    for (int rank : coll::node_group(topo, node)) {
+      bytes += plan.slice(rank).count * bytes_per_item;
+    }
+    node_payload.push_back(bytes);
+  }
+  const double stage2 =
+      coll::ring_allgather_bytes(cluster, leaders, node_payload, stage1);
+
+  // Stage 3: leaders broadcast the foreign-node items inside the node.
+  double stage3 = stage2;
+  const size_t total_bytes = items * bytes_per_item;
+  for (int node = 0; node < topo.nodes(); ++node) {
+    const int leader = topo.rank_of(node, 0);
+    for (int local = 1; local < topo.gpus_per_node(); ++local) {
+      stage3 = std::max(stage3, cluster.send(leader,
+                                             topo.rank_of(node, local),
+                                             total_bytes, stage2));
+    }
+  }
+  return stage3;
+}
+
+PtoTiming pto_timing(simnet::Cluster& cluster, size_t items,
+                     size_t bytes_per_item, double serial_seconds,
+                     double framework_overhead) {
+  PtoTiming timing;
+  timing.serial_seconds = serial_seconds;
+  const int world = cluster.topology().world_size();
+  const PtoPlan plan{world, items};
+  const double compute =
+      serial_seconds * static_cast<double>(plan.max_slice()) /
+      static_cast<double>(std::max<size_t>(1, items));
+  const double gather_done =
+      pto_allgather_seconds(cluster, items, bytes_per_item, compute);
+  timing.pto_seconds = gather_done + framework_overhead;
+  return timing;
+}
+
+}  // namespace hitopk::pto

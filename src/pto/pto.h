@@ -1,0 +1,59 @@
+// PTO: the paper's parallel tensor operator (§4.2, Eq. 12-14).
+//
+// After gradient aggregation every GPU holds identical tensors, so any
+// replicated post-processing op r = OP(g) can be partitioned: rank p
+// computes OP on its slice g[p], and an All-Gather reassembles r.  PTO pays
+// one extra (tiny) All-Gather to divide the compute by P; it wins whenever
+// the gathered payload is small — e.g. LARS layer-wise rates are one scalar
+// per layer (§4.2: 161 scalars for ResNet-50 across 128 GPUs).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "collectives/common.h"
+#include "simgpu/gpu_model.h"
+
+namespace hitopk::pto {
+
+// Work partition of `items` across `world` ranks (contiguous slices, same
+// balanced split as collective chunking).
+struct PtoPlan {
+  int world = 1;
+  size_t items = 0;
+
+  coll::ChunkRange slice(int rank) const;
+  // Largest slice size (the critical-path rank).
+  size_t max_slice() const;
+};
+
+// Functionally executes OP over all items via the PTO partition: every rank
+// computes its slice; the returned vector is the reassembled result (equal
+// on every rank by construction).  `op(item_index)` must be deterministic.
+std::vector<float> pto_compute(const PtoPlan& plan,
+                               const std::function<float(size_t)>& op);
+
+// Simulated time of the PTO All-Gather: every rank contributes
+// slice_items * bytes_per_item, gathered hierarchically (intra-node ring,
+// then inter-node ring of node leaders, then intra broadcast is unnecessary
+// since the intra ring already replicates).  Returns completion time.
+double pto_allgather_seconds(simnet::Cluster& cluster, size_t items,
+                             size_t bytes_per_item, double start);
+
+// End-to-end PTO timing for an op whose serial device time is
+// serial_seconds: compute shrinks by the partition factor; the all-gather
+// and a framework overhead (TF graph partitioning, calibrated in
+// models/calibration.h) are added.
+struct PtoTiming {
+  double serial_seconds = 0.0;
+  double pto_seconds = 0.0;
+  double speedup() const {
+    return pto_seconds > 0.0 ? serial_seconds / pto_seconds : 0.0;
+  }
+};
+
+PtoTiming pto_timing(simnet::Cluster& cluster, size_t items,
+                     size_t bytes_per_item, double serial_seconds,
+                     double framework_overhead);
+
+}  // namespace hitopk::pto

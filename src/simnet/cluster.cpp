@@ -1,0 +1,100 @@
+#include "simnet/cluster.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/check.h"
+
+namespace hitopk::simnet {
+
+Cluster::Cluster(Topology topology)
+    : topology_(std::move(topology)),
+      gpu_ports_(static_cast<size_t>(topology_.world_size())),
+      nic_ports_(static_cast<size_t>(topology_.nodes())) {}
+
+void Cluster::reset() {
+  for (auto& p : gpu_ports_) p = Port{};
+  for (auto& p : nic_ports_) p = Port{};
+  inter_node_bytes_ = 0;
+  intra_node_bytes_ = 0;
+  trace_.clear();
+}
+
+double Cluster::send(int src, int dst, size_t bytes, double data_ready,
+                     double extra_seconds) {
+  HITOPK_CHECK(src >= 0 && src < world_size());
+  HITOPK_CHECK(dst >= 0 && dst < world_size());
+  HITOPK_CHECK_NE(src, dst);
+
+  const bool crosses_node = !topology_.same_node(src, dst);
+  const LinkParams& link = topology_.link_between(src, dst);
+  const double duration = link.transfer_seconds(bytes) + extra_seconds;
+
+  double start = std::max(data_ready, gpu_ports_[src].send_free);
+  start = std::max(start, gpu_ports_[dst].recv_free);
+  if (crosses_node) {
+    start = std::max(start, nic_ports_[topology_.node_of(src)].send_free);
+    start = std::max(start, nic_ports_[topology_.node_of(dst)].recv_free);
+  }
+  const double done = start + duration;
+
+  gpu_ports_[src].send_free = done;
+  gpu_ports_[dst].recv_free = done;
+  if (crosses_node) {
+    // The NIC serves the flow's bytes at aggregate line rate and is then
+    // free for the next flow — processor sharing across concurrent flows —
+    // while the flow itself completes at its (slower) per-flow rate.
+    const double nic_service =
+        static_cast<double>(bytes) * topology_.nic_beta() + extra_seconds;
+    nic_ports_[topology_.node_of(src)].send_free = start + nic_service;
+    nic_ports_[topology_.node_of(dst)].recv_free = start + nic_service;
+    inter_node_bytes_ += bytes;
+  } else {
+    intra_node_bytes_ += bytes;
+  }
+  if (tracing_) {
+    trace_.push_back(
+        TraceEvent{src, dst, bytes, start, duration, crosses_node});
+  }
+  return done;
+}
+
+void Cluster::write_chrome_trace(std::ostream& os,
+                                 const std::string& process_name) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\""
+     << process_name << "\"}}";
+  for (int rank = 0; rank < world_size(); ++rank) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << rank
+       << ",\"args\":{\"name\":\"gpu" << rank << " (node"
+       << topology_.node_of(rank) << ")\"}}";
+  }
+  for (const auto& event : trace_) {
+    // Complete events ("X") on the *destination* rank's track: that is the
+    // port the transfer occupies for its duration.
+    os << ",\n{\"name\":\"" << (event.inter_node ? "inter " : "intra ")
+       << event.src << "->" << event.dst << "\",\"cat\":\""
+       << (event.inter_node ? "nic" : "nvlink") << "\",\"ph\":\"X\",\"ts\":"
+       << event.start * 1e6 << ",\"dur\":" << event.duration * 1e6
+       << ",\"pid\":1,\"tid\":" << event.dst << ",\"args\":{\"bytes\":"
+       << event.bytes << "}}";
+  }
+  os << "\n]}\n";
+}
+
+double Cluster::compute(double ready, double duration) {
+  return ready + duration;
+}
+
+double Cluster::quiescent_time() const {
+  double t = 0.0;
+  for (const auto& p : gpu_ports_) {
+    t = std::max({t, p.send_free, p.recv_free});
+  }
+  for (const auto& p : nic_ports_) {
+    t = std::max({t, p.send_free, p.recv_free});
+  }
+  return t;
+}
+
+}  // namespace hitopk::simnet

@@ -1,0 +1,91 @@
+// Timed message-passing engine over a Topology.
+//
+// The Cluster does not own tensor data — collectives keep per-rank buffers —
+// it owns *time*: per-GPU send/recv ports and per-node NIC ports, each a
+// "free at" timestamp.  A transfer starts when the payload is ready and all
+// required ports are free, and occupies those ports for its duration.  This
+// reproduces the two properties the paper's analysis relies on:
+//
+//   1. intra-node transfers use dedicated NVLink peer ports (GPUs move data
+//      in parallel inside a node), and
+//   2. every inter-node transfer serializes through the node's single NIC,
+//      so n concurrent inter-node streams from one node share 25 GbE.
+//
+// All collectives are simulated deterministically in a single OS thread;
+// simulated concurrency comes from the port timestamps.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simnet/topology.h"
+
+namespace hitopk::simnet {
+
+// One recorded transfer (tracing enabled only).
+struct TraceEvent {
+  int src = 0;
+  int dst = 0;
+  size_t bytes = 0;
+  double start = 0.0;
+  double duration = 0.0;
+  bool inter_node = false;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(Topology topology);
+
+  const Topology& topology() const { return topology_; }
+  int world_size() const { return topology_.world_size(); }
+
+  // Resets all port clocks to zero (start of a fresh measurement).
+  void reset();
+
+  // Sends `bytes` from rank src to rank dst.  The transfer starts at
+  // max(data_ready, ports free) and returns its completion time.
+  // extra_seconds models per-message protocol overhead that occupies the
+  // ports for the whole duration (e.g. proxy-thread handoff on flat
+  // world-scale rings, see models/calibration.h).
+  double send(int src, int dst, size_t bytes, double data_ready,
+              double extra_seconds = 0.0);
+
+  // Models local (non-communication) work on a rank: occupies no ports,
+  // returns ready + duration.  Exists so call sites read uniformly.
+  static double compute(double ready, double duration);
+
+  // Largest port timestamp: when the whole cluster is quiescent.
+  double quiescent_time() const;
+
+  // Cumulative bytes that crossed node boundaries / stayed intra-node since
+  // the last reset (traffic accounting for the benches).
+  size_t inter_node_bytes() const { return inter_node_bytes_; }
+  size_t intra_node_bytes() const { return intra_node_bytes_; }
+
+  // ---- transfer tracing (off by default; reset() clears events).
+  void enable_tracing(bool enabled = true) { tracing_ = enabled; }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  // Writes the recorded transfers as a Chrome-tracing (chrome://tracing /
+  // Perfetto) JSON document: one track per rank, microsecond timestamps.
+  void write_chrome_trace(std::ostream& os,
+                          const std::string& process_name = "cluster") const;
+
+ private:
+  struct Port {
+    double send_free = 0.0;
+    double recv_free = 0.0;
+  };
+
+  Topology topology_;
+  std::vector<Port> gpu_ports_;   // one per rank
+  std::vector<Port> nic_ports_;   // one per node
+  size_t inter_node_bytes_ = 0;
+  size_t intra_node_bytes_ = 0;
+  bool tracing_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace hitopk::simnet

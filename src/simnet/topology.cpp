@@ -1,0 +1,92 @@
+#include "simnet/topology.h"
+
+#include <sstream>
+
+namespace hitopk::simnet {
+namespace {
+
+// Gbps line rate -> seconds/byte at the given achievable efficiency.
+// Aggregate TCP goodput across many competing flows on a cloud VPC reaches
+// only ~55% of line rate (framing, congestion control, virtualization).
+double ethernet_beta(double gbps, double efficiency = 0.55) {
+  return 1.0 / (gbps / 8.0 * 1e9 * efficiency);
+}
+
+constexpr double kNvlinkHopBandwidth = 45e9;  // bytes/s per ring hop
+constexpr double kNvlinkAlpha = 6e-6;
+constexpr double kEthernetAlpha = 25e-6;  // VPC / TCP stack latency
+constexpr double kInfinibandAlpha = 5e-6;
+// A single tuned TCP flow on a cloud VPC (NCCL socket transport): ~9.6 Gbps
+// regardless of the 25/32 GbE line rate.
+constexpr double kTcpFlowBandwidth = 1.2e9;  // bytes/s
+
+LinkParams nvlink() { return LinkParams{kNvlinkAlpha, 1.0 / kNvlinkHopBandwidth}; }
+
+}  // namespace
+
+Topology::Topology(int nodes, int gpus_per_node, LinkParams intra,
+                   LinkParams inter, double nic_beta)
+    : nodes_(nodes), gpus_per_node_(gpus_per_node), intra_(intra),
+      inter_(inter), nic_beta_(nic_beta > 0.0 ? nic_beta : inter.beta) {
+  HITOPK_CHECK_GT(nodes, 0);
+  HITOPK_CHECK_GT(gpus_per_node, 0);
+}
+
+Topology Topology::tencent_cloud(int nodes, int gpus_per_node) {
+  return Topology(nodes, gpus_per_node, nvlink(),
+                  LinkParams{kEthernetAlpha, 1.0 / kTcpFlowBandwidth},
+                  ethernet_beta(25.0));
+}
+
+Topology Topology::aws_p3(int nodes, int gpus_per_node) {
+  return Topology(nodes, gpus_per_node, nvlink(),
+                  LinkParams{kEthernetAlpha, 1.0 / kTcpFlowBandwidth},
+                  ethernet_beta(25.0));
+}
+
+Topology Topology::aliyun(int nodes, int gpus_per_node) {
+  return Topology(nodes, gpus_per_node, nvlink(),
+                  LinkParams{kEthernetAlpha, 1.0 / kTcpFlowBandwidth},
+                  ethernet_beta(32.0));
+}
+
+Topology Topology::infiniband_100g(int nodes, int gpus_per_node) {
+  // RDMA verbs: a single queue pair reaches near line rate.
+  return Topology(nodes, gpus_per_node, nvlink(),
+                  LinkParams{kInfinibandAlpha, ethernet_beta(100.0, 0.9)},
+                  ethernet_beta(100.0, 0.9));
+}
+
+int Topology::node_of(int rank) const {
+  HITOPK_CHECK(rank >= 0 && rank < world_size());
+  return rank / gpus_per_node_;
+}
+
+int Topology::local_rank(int rank) const {
+  HITOPK_CHECK(rank >= 0 && rank < world_size());
+  return rank % gpus_per_node_;
+}
+
+int Topology::rank_of(int node, int local) const {
+  HITOPK_CHECK(node >= 0 && node < nodes_);
+  HITOPK_CHECK(local >= 0 && local < gpus_per_node_);
+  return node * gpus_per_node_ + local;
+}
+
+bool Topology::same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+const LinkParams& Topology::link_between(int a, int b) const {
+  return same_node(a, b) ? intra_ : inter_;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << nodes_ << " nodes x " << gpus_per_node_ << " GPUs"
+     << " | intra " << 1.0 / intra_.beta / 1e9 << " GB/s, "
+     << intra_.alpha * 1e6 << " us"
+     << " | inter " << 1.0 / inter_.beta / 1e9 << " GB/s, "
+     << inter_.alpha * 1e6 << " us";
+  return os.str();
+}
+
+}  // namespace hitopk::simnet

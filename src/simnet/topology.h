@@ -1,0 +1,73 @@
+// Cluster topology: m nodes x n GPUs with a two-level interconnect.
+//
+// This is the substrate standing in for the paper's testbed (Table 1): GPUs
+// inside a node are connected by NVLink (high bandwidth, low latency,
+// dedicated peer links); nodes are connected by Ethernet through one NIC per
+// node, which all of a node's GPUs share.  The shared NIC is the property
+// that makes flat collectives slow on public clouds and is modelled
+// explicitly (inter-node transfers serialize through per-node NIC ports).
+#pragma once
+
+#include <string>
+
+#include "core/check.h"
+
+namespace hitopk::simnet {
+
+// alpha-beta link: transferring b bytes costs alpha + b * beta seconds.
+// For inter-node links beta is the *per-flow* rate: a single TCP stream on
+// a cloud VPC reaches well under line rate; the NIC's aggregate line-rate
+// capacity is a separate Topology parameter (nic_beta).  Schemes that open
+// many concurrent flows per NIC (2DTAR, HiTopKComm) aggregate toward line
+// rate; schemes with one or two flows per node (ring/tree Dense-SGD) are
+// stuck at per-flow speed — the asymmetry behind Fig. 7.
+struct LinkParams {
+  double alpha = 0.0;  // latency per message, seconds
+  double beta = 0.0;   // seconds per byte (1 / per-flow bandwidth)
+
+  double transfer_seconds(size_t bytes) const {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+};
+
+class Topology {
+ public:
+  // nic_beta: seconds/byte of a node NIC's aggregate capacity; <= 0 means
+  // "same as the per-flow rate" (the NIC fully serializes transfers).
+  Topology(int nodes, int gpus_per_node, LinkParams intra, LinkParams inter,
+           double nic_beta = 0.0);
+
+  // Presets matching Table 1 instances.  Intra-node: V100 NVLink ring
+  // (~45 GB/s per hop, ~6 us).  Inter-node: the instance NIC with TCP/VPC
+  // overhead (~80% of line rate, ~25 us).
+  static Topology tencent_cloud(int nodes = 16, int gpus_per_node = 8);  // 25 GbE
+  static Topology aws_p3(int nodes = 16, int gpus_per_node = 8);         // 25 GbE
+  static Topology aliyun(int nodes = 16, int gpus_per_node = 8);         // 32 GbE
+  // 100 Gbps InfiniBand cluster (DAWNBench competitors).
+  static Topology infiniband_100g(int nodes = 16, int gpus_per_node = 8);
+
+  int nodes() const { return nodes_; }
+  int gpus_per_node() const { return gpus_per_node_; }
+  int world_size() const { return nodes_ * gpus_per_node_; }
+
+  int node_of(int rank) const;
+  int local_rank(int rank) const;
+  int rank_of(int node, int local) const;
+  bool same_node(int a, int b) const;
+
+  const LinkParams& intra() const { return intra_; }
+  const LinkParams& inter() const { return inter_; }
+  const LinkParams& link_between(int a, int b) const;
+  double nic_beta() const { return nic_beta_; }
+
+  std::string describe() const;
+
+ private:
+  int nodes_;
+  int gpus_per_node_;
+  LinkParams intra_;
+  LinkParams inter_;
+  double nic_beta_;
+};
+
+}  // namespace hitopk::simnet

@@ -1,0 +1,250 @@
+#include "train/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "collectives/gtopk.h"
+#include "collectives/hitopkcomm.h"
+#include "collectives/naive_allgather.h"
+#include "collectives/ring.h"
+#include "compress/error_feedback.h"
+#include "compress/exact_topk.h"
+#include "compress/other_compressors.h"
+#include "core/check.h"
+#include "core/half.h"
+#include "core/rng.h"
+#include "pto/lars.h"
+
+namespace hitopk::train {
+
+std::string convergence_algorithm_name(ConvergenceAlgorithm algorithm) {
+  switch (algorithm) {
+    case ConvergenceAlgorithm::kDense: return "Dense-SGD";
+    case ConvergenceAlgorithm::kTopk: return "TopK-SGD";
+    case ConvergenceAlgorithm::kMstopk: return "MSTopK-SGD";
+    case ConvergenceAlgorithm::kRandomk: return "RandomK-SGD";
+    case ConvergenceAlgorithm::kGtopk: return "gTopK-SGD";
+    case ConvergenceAlgorithm::kLocalSgd: return "LocalSGD";
+  }
+  return "unknown";
+}
+
+ConvergenceAlgorithm convergence_algorithm_from_name(const std::string& name) {
+  if (name == "dense") return ConvergenceAlgorithm::kDense;
+  if (name == "topk") return ConvergenceAlgorithm::kTopk;
+  if (name == "mstopk") return ConvergenceAlgorithm::kMstopk;
+  if (name == "randomk") return ConvergenceAlgorithm::kRandomk;
+  if (name == "gtopk") return ConvergenceAlgorithm::kGtopk;
+  if (name == "localsgd") return ConvergenceAlgorithm::kLocalSgd;
+  HITOPK_CHECK(false) << "unknown convergence algorithm:" << name;
+  return ConvergenceAlgorithm::kDense;
+}
+
+ConvergenceResult run_convergence(ConvergenceTask& task,
+                                  const ConvergenceOptions& options) {
+  const int world = options.world();
+  HITOPK_CHECK_GT(world, 0);
+  const size_t d = task.param_count();
+  const size_t global_batch =
+      static_cast<size_t>(world) * static_cast<size_t>(options.local_batch);
+  HITOPK_CHECK_LE(global_batch, task.train_size());
+
+  const simnet::Topology topology(
+      options.nodes, options.gpus_per_node,
+      simnet::LinkParams{6e-6, 1.0 / 45e9},
+      simnet::LinkParams{25e-6, 1.0 / 1.2e9}, 1.0 / 2.5e9);
+
+  // Per-worker gradient buffers, reused across iterations.
+  std::vector<Tensor> worker_grads(static_cast<size_t>(world), Tensor(d));
+  coll::RankData grad_spans;
+  for (auto& g : worker_grads) grad_spans.push_back(g.span());
+
+  compress::ErrorFeedback error_feedback;
+  pto::SgdOptimizer sgd(options.momentum, 0.0);
+  pto::LarsOptimizer lars;
+  // Local SGD keeps one parameter copy (and momentum state) per worker and
+  // averages them every local_sgd_period iterations.
+  const bool local_sgd =
+      options.algorithm == ConvergenceAlgorithm::kLocalSgd;
+  std::vector<Tensor> worker_params;
+  if (local_sgd) {
+    HITOPK_CHECK_GT(options.local_sgd_period, 0);
+    for (int w = 0; w < world; ++w) {
+      Tensor copy(d);
+      std::copy(task.params().begin(), task.params().end(),
+                copy.span().begin());
+      worker_params.push_back(std::move(copy));
+    }
+  }
+  auto average_worker_params = [&](simnet::Cluster& cluster) {
+    coll::RankData param_spans;
+    for (auto& p : worker_params) param_spans.push_back(p.span());
+    coll::ring_allreduce(cluster, coll::world_group(topology), param_spans, d,
+                         4, 0.0);
+    for (auto& p : worker_params) p *= 1.0f / static_cast<float>(world);
+    std::copy(worker_params[0].span().begin(), worker_params[0].span().end(),
+              task.params().begin());
+  };
+  Rng shuffle_rng(options.seed);
+  Rng compressor_rng(options.seed + 17);
+
+  // Learning-rate schedule: linear warmup then cosine decay.
+  const int iters_per_epoch =
+      static_cast<int>(task.train_size() / global_batch);
+  HITOPK_CHECK_GT(iters_per_epoch, 0);
+  const int total_iters = options.epochs * iters_per_epoch;
+  const int warmup_iters = options.warmup_epochs * iters_per_epoch;
+  auto lr_at = [&](int iter) {
+    if (iter < warmup_iters) {
+      return options.learning_rate * (iter + 1) /
+             static_cast<double>(std::max(1, warmup_iters));
+    }
+    const double progress = static_cast<double>(iter - warmup_iters) /
+                            static_cast<double>(
+                                std::max(1, total_iters - warmup_iters));
+    return options.learning_rate * 0.5 * (1.0 + std::cos(M_PI * progress));
+  };
+
+  ConvergenceResult result;
+  std::vector<size_t> order(task.train_size());
+  std::iota(order.begin(), order.end(), size_t{0});
+
+  double comm_seconds = 0.0;
+  int iter = 0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    for (int step = 0; step < iters_per_epoch; ++step, ++iter) {
+      // Real per-worker gradients on disjoint shards of the global batch.
+      double loss = 0.0;
+      for (int w = 0; w < world; ++w) {
+        const size_t offset =
+            static_cast<size_t>(step) * global_batch +
+            static_cast<size_t>(w) * static_cast<size_t>(options.local_batch);
+        std::span<const size_t> idx(&order[offset],
+                                    static_cast<size_t>(options.local_batch));
+        if (local_sgd) {
+          // Evaluate the gradient at this worker's *local* parameters.
+          std::copy(worker_params[static_cast<size_t>(w)].span().begin(),
+                    worker_params[static_cast<size_t>(w)].span().end(),
+                    task.params().begin());
+        }
+        loss += task.gradient(idx, worker_grads[static_cast<size_t>(w)].span());
+        if (local_sgd) {
+          sgd.step("local" + std::to_string(w),
+                   worker_params[static_cast<size_t>(w)].span(),
+                   worker_grads[static_cast<size_t>(w)].span(), lr_at(iter));
+        }
+      }
+      epoch_loss += loss / world;
+      if (local_sgd) {
+        simnet::Cluster cluster(topology);
+        if ((iter + 1) % options.local_sgd_period == 0) {
+          average_worker_params(cluster);
+          comm_seconds += cluster.quiescent_time();
+        }
+        continue;
+      }
+      if (options.fp16_gradients) {
+        for (auto& g : worker_grads) fp16_round_trip(g.span());
+      }
+
+      // Aggregate through the functional collectives.
+      simnet::Cluster cluster(topology);
+      switch (options.algorithm) {
+        case ConvergenceAlgorithm::kLocalSgd:
+          break;  // handled above (no per-iteration aggregation)
+        case ConvergenceAlgorithm::kDense: {
+          coll::ring_allreduce(cluster, coll::world_group(topology),
+                               grad_spans, d, 4, 0.0);
+          break;
+        }
+        case ConvergenceAlgorithm::kTopk:
+        case ConvergenceAlgorithm::kRandomk: {
+          const size_t k = std::max<size_t>(
+              1, static_cast<size_t>(options.density * static_cast<double>(d)));
+          std::vector<compress::SparseTensor> sparse(
+              static_cast<size_t>(world));
+          for (int w = 0; w < world; ++w) {
+            auto grad = worker_grads[static_cast<size_t>(w)].span();
+            const std::string key = "w" + std::to_string(w);
+            if (options.use_error_feedback) error_feedback.apply(key, grad);
+            if (options.algorithm == ConvergenceAlgorithm::kTopk) {
+              sparse[static_cast<size_t>(w)] = compress::exact_topk(grad, k);
+            } else {
+              compress::RandomK random_k(compressor_rng.next_u64());
+              sparse[static_cast<size_t>(w)] = random_k.compress(grad, k);
+            }
+            if (options.use_error_feedback) {
+              error_feedback.absorb(key, grad, sparse[static_cast<size_t>(w)]);
+            }
+          }
+          coll::naive_sparse_allgather(cluster, sparse, grad_spans, d, 4, 0.0,
+                                       0.0);
+          break;
+        }
+        case ConvergenceAlgorithm::kGtopk: {
+          coll::GtopkOptions gtopk;
+          gtopk.density = options.density;
+          gtopk.error_feedback =
+              options.use_error_feedback ? &error_feedback : nullptr;
+          gtopk.ef_key_prefix = "g";
+          coll::gtopk_comm(cluster, grad_spans, d, gtopk, 0.0);
+          break;
+        }
+        case ConvergenceAlgorithm::kMstopk: {
+          coll::HiTopKOptions hi;
+          hi.density = options.density;
+          hi.mstopk_samplings = options.mstopk_samplings;
+          hi.seed = options.seed + static_cast<uint64_t>(iter) * 977;
+          hi.error_feedback =
+              options.use_error_feedback ? &error_feedback : nullptr;
+          hi.ef_key_prefix = "shard";
+          coll::hitopk_comm(cluster, grad_spans, d, hi, 0.0);
+          break;
+        }
+      }
+      comm_seconds += cluster.quiescent_time();
+
+      // All workers hold the identical aggregated gradient; update the
+      // shared parameters with its mean.
+      Tensor& aggregated = worker_grads[0];
+      aggregated *= 1.0f / static_cast<float>(world);
+      if (options.use_lars) {
+        // Per-layer trust ratios over the task's segment table (Eq. 11).
+        for (const auto& segment : task.segments()) {
+          lars.step(segment.name,
+                    task.params().subspan(segment.begin, segment.count),
+                    aggregated.slice(segment.begin, segment.count),
+                    lr_at(iter));
+        }
+      } else {
+        sgd.step("flat", task.params(), aggregated.span(), lr_at(iter));
+      }
+    }
+
+    if (local_sgd) {
+      simnet::Cluster cluster(topology);
+      average_worker_params(cluster);  // evaluate the averaged model
+      comm_seconds += cluster.quiescent_time();
+      for (auto& p : worker_params) {
+        std::copy(task.params().begin(), task.params().end(),
+                  p.span().begin());
+      }
+    }
+    EpochPoint point;
+    point.epoch = epoch + 1;
+    point.train_loss = epoch_loss / iters_per_epoch;
+    point.quality = task.evaluate();
+    point.residual_norm = std::sqrt(error_feedback.residual_sq_norm());
+    result.curve.push_back(point);
+    result.best_quality = std::max(result.best_quality, point.quality);
+  }
+  result.final_quality =
+      result.curve.empty() ? 0.0 : result.curve.back().quality;
+  result.simulated_comm_seconds = comm_seconds;
+  return result;
+}
+
+}  // namespace hitopk::train

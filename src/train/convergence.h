@@ -1,0 +1,80 @@
+// Distributed convergence harness (Fig. 10 / Table 2).
+//
+// Runs real data-parallel SGD over the simulated cluster: every worker rank
+// computes a real mini-batch gradient (autodiff), gradients are aggregated
+// through the *functional* collectives — dense ring All-Reduce, exact top-k
+// + NaiveAG, or MSTopK + HiTopKComm with shard-level error feedback — and
+// the shared parameters are updated.  Because HiTopKComm aggregates densely
+// inside each node before sparsifying, MSTopK-SGD sees less selection noise
+// than flat TopK-SGD, the mechanism behind the paper's Table 2 ordering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "train/synthetic.h"
+
+namespace hitopk::train {
+
+enum class ConvergenceAlgorithm {
+  kDense,    // ring All-Reduce of full gradients (Dense-SGD with TreeAR/2DTAR)
+  kTopk,     // per-worker exact top-k + error feedback + NaiveAG (TopK-SGD)
+  kMstopk,   // Alg. 2: intra-node dense + per-shard MSTopK + EF (MSTopK-SGD)
+  kRandomk,  // random-k + error feedback (ablation: magnitude matters)
+  kGtopk,    // global top-k via recursive doubling (Shi et al. 2019c)
+  kLocalSgd, // H local steps, then parameter averaging (comm-avoidance
+             // baseline orthogonal to compression)
+};
+
+std::string convergence_algorithm_name(ConvergenceAlgorithm algorithm);
+ConvergenceAlgorithm convergence_algorithm_from_name(const std::string& name);
+
+struct ConvergenceOptions {
+  int nodes = 4;
+  int gpus_per_node = 4;
+  ConvergenceAlgorithm algorithm = ConvergenceAlgorithm::kDense;
+  double density = 0.01;
+  int epochs = 40;
+  int local_batch = 8;
+  double learning_rate = 0.08;
+  double momentum = 0.9;
+  int warmup_epochs = 3;
+  bool use_error_feedback = true;
+  int mstopk_samplings = 30;
+  // Optimizer: plain momentum SGD, or LARS with per-layer trust ratios
+  // (Eq. 11) applied over the task's layer segments — the large-batch
+  // regime of §2.2.
+  bool use_lars = false;
+  // Synchronization period H for kLocalSgd (average parameters every H
+  // iterations).
+  int local_sgd_period = 4;
+  // Round every worker gradient through FP16 before aggregation (the
+  // mixed-precision wire of §5.3); validates that communication precision
+  // does not change the convergence story.
+  bool fp16_gradients = false;
+  uint64_t seed = 42;
+
+  int world() const { return nodes * gpus_per_node; }
+};
+
+struct EpochPoint {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double quality = 0.0;        // held-out metric in [0, 1]
+  double residual_norm = 0.0;  // error-feedback residual magnitude
+};
+
+struct ConvergenceResult {
+  std::vector<EpochPoint> curve;
+  double final_quality = 0.0;
+  double best_quality = 0.0;
+  // Simulated communication seconds accumulated over all iterations (lets
+  // benches plot quality against simulated wall-clock, not just epochs).
+  double simulated_comm_seconds = 0.0;
+};
+
+// Trains `task` in place (its parameters are updated).
+ConvergenceResult run_convergence(ConvergenceTask& task,
+                                  const ConvergenceOptions& options);
+
+}  // namespace hitopk::train

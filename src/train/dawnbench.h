@@ -1,0 +1,63 @@
+// DAWNBench case study (§5.6, Tables 4 & 5): train ResNet-50 on ImageNet to
+// 93% top-5 in 28 epochs with the paper's multi-resolution recipe:
+//
+//   epochs  1-13 :  96x96, batch 256/GPU, MSTopK-SGD (HiTopKComm)
+//   epochs 14-24 : 128x128, batch 256/GPU, 2DTAR-SGD (dense)
+//   epochs 25-27 : 224x224, batch 256/GPU, 2DTAR-SGD
+//   epoch     28 : 288x288, batch 128/GPU, 2DTAR-SGD
+//
+// MSTopK-SGD is used only while the input is small (where dense scaling
+// collapses); from 128^2 up the dense scheme preserves accuracy (§5.6).
+// The simulation is epoch-by-epoch with a persistent DataCache: the first
+// epoch pays NFS + decode (cached at the schedule's largest resolution so
+// later phases hit memory), and each epoch adds a validation/checkpoint
+// overhead.
+#pragma once
+
+#include <vector>
+
+#include "simnet/topology.h"
+#include "train/timeline.h"
+
+namespace hitopk::train {
+
+struct PhaseSpec {
+  int epochs = 0;
+  int resolution = 0;
+  int local_batch = 0;
+  Algorithm algorithm = Algorithm::kDense2dTorus;
+};
+
+struct DawnbenchSchedule {
+  std::vector<PhaseSpec> phases;
+  // Per-epoch validation + checkpoint cost (100k images on 128 GPUs).
+  double eval_seconds_per_epoch = 0.25;
+  // DAWNBench submissions stage the dataset before the timed run; with
+  // prewarm the local caches start hot and the first epoch is steady-state.
+  bool prewarm_caches = true;
+
+  static DawnbenchSchedule paper_recipe();
+
+  int total_epochs() const;
+};
+
+struct PhaseReport {
+  PhaseSpec phase;
+  double single_gpu_throughput = 0.0;   // Table 4, "Single-GPU"
+  double cluster_throughput = 0.0;      // Table 4, "128-GPU"
+  double scaling_efficiency = 0.0;      // Table 4, "SE"
+  double seconds = 0.0;                 // wall-clock of the phase
+  double first_epoch_seconds = 0.0;     // includes cold-cache I/O
+};
+
+struct DawnbenchReport {
+  std::vector<PhaseReport> phases;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+DawnbenchReport simulate_dawnbench(const simnet::Topology& topology,
+                                   const DawnbenchSchedule& schedule);
+
+}  // namespace hitopk::train

@@ -1,0 +1,44 @@
+#include "train/fusion.h"
+
+#include "core/check.h"
+
+namespace hitopk::train {
+
+std::vector<GradientBucket> fuse_buckets(
+    const std::vector<size_t>& backprop_sizes, size_t fusion_bytes,
+    size_t bytes_per_elem, const std::vector<double>& compute_weights) {
+  HITOPK_CHECK_GT(bytes_per_elem, 0u);
+  if (!compute_weights.empty()) {
+    HITOPK_CHECK_EQ(compute_weights.size(), backprop_sizes.size());
+  }
+  auto weight_of = [&](size_t i) {
+    return compute_weights.empty() ? static_cast<double>(backprop_sizes[i])
+                                   : compute_weights[i];
+  };
+  double total_weight = 0.0;
+  for (size_t i = 0; i < backprop_sizes.size(); ++i) {
+    total_weight += weight_of(i);
+  }
+
+  std::vector<GradientBucket> buckets;
+  GradientBucket current;
+  double cumulative_weight = 0.0;
+  for (size_t i = 0; i < backprop_sizes.size(); ++i) {
+    current.elems += backprop_sizes[i];
+    current.layers += 1;
+    cumulative_weight += weight_of(i);
+    if (current.elems * bytes_per_elem >= fusion_bytes) {
+      current.ready_fraction =
+          total_weight > 0.0 ? cumulative_weight / total_weight : 1.0;
+      buckets.push_back(current);
+      current = GradientBucket{};
+    }
+  }
+  if (current.elems > 0) {
+    current.ready_fraction = 1.0;
+    buckets.push_back(current);
+  }
+  return buckets;
+}
+
+}  // namespace hitopk::train

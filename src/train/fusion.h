@@ -1,0 +1,35 @@
+// Tensor fusion: batching per-layer gradients into communication buckets.
+//
+// Horovod-style fusion (Shi et al. 2019b/2020, cited in §2.2's discussion of
+// tasks pipelining): gradients become available layer-by-layer during
+// backpropagation (last layer first) and are grouped into buckets of at
+// least `fusion_bytes`; each bucket launches one collective, enabling
+// wait-free backpropagation overlap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hitopk::train {
+
+struct GradientBucket {
+  size_t elems = 0;   // fused element count
+  size_t layers = 0;  // tensors fused into this bucket
+  // Fraction of total backward work completed when this bucket's last
+  // gradient materializes (gradient volume is the proxy for backward time).
+  double ready_fraction = 0.0;
+};
+
+// `backprop_sizes` is the per-tensor element count in backprop order
+// (ModelSpec::backprop_order_sizes()).  bytes_per_elem is the in-memory
+// gradient width (4 for FP32 accumulation).  `compute_weights`, when
+// provided (ModelSpec::backprop_order_compute_weights()), drives the
+// ready_fraction: a tensor's gradient is available once the backward
+// wall-time proportional to its layer's FLOPs has elapsed — parameter
+// volume alone badly misplaces fc/embedding layers.
+std::vector<GradientBucket> fuse_buckets(
+    const std::vector<size_t>& backprop_sizes, size_t fusion_bytes,
+    size_t bytes_per_elem = 4,
+    const std::vector<double>& compute_weights = {});
+
+}  // namespace hitopk::train

@@ -1,0 +1,482 @@
+#include "train/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autodiff/tape.h"
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace hitopk::train {
+namespace {
+
+// ------------------------------------------------------------ vision task
+struct ClassificationData {
+  Tensor x;  // n x dim
+  std::vector<int> y;
+  size_t classes = 0;
+};
+
+class MlpVisionTask : public ConvergenceTask {
+ public:
+  MlpVisionTask(uint64_t seed, std::string name, std::vector<size_t> hidden)
+      : name_(std::move(name)) {
+    // Gaussian mixture: class centers on a random sphere, isotropic noise
+    // sized so top-1 is hard but top-5 is reachable (mirroring ImageNet's
+    // top-5 metric head-room).  Train and test share the same centers.
+    Rng rng(seed);
+    Tensor centers(kClasses, kDim);
+    centers.fill_normal(rng, 0.0f, 1.0f);
+    auto fill = [&](ClassificationData& data, size_t samples) {
+      data.classes = kClasses;
+      data.x = Tensor(samples, kDim);
+      data.y.resize(samples);
+      for (size_t i = 0; i < samples; ++i) {
+        const size_t c = static_cast<size_t>(rng.uniform_index(kClasses));
+        data.y[i] = static_cast<int>(c);
+        for (size_t j = 0; j < kDim; ++j) {
+          data.x.at(i, j) =
+              centers.at(c, j) + static_cast<float>(rng.normal(0.0, kNoise));
+        }
+      }
+    };
+    fill(train_, kTrainSamples);
+    fill(test_, kTestSamples);
+
+    // Layer dimensions: dim -> hidden... -> classes.
+    std::vector<size_t> dims{kDim};
+    dims.insert(dims.end(), hidden.begin(), hidden.end());
+    dims.push_back(kClasses);
+    size_t total = 0;
+    for (size_t l = 0; l + 1 < dims.size(); ++l) {
+      segments_.push_back({"w" + std::to_string(l), total, dims[l] * dims[l + 1]});
+      total += dims[l] * dims[l + 1];
+      segments_.push_back({"b" + std::to_string(l), total, dims[l + 1]});
+      total += dims[l + 1];
+    }
+    dims_ = std::move(dims);
+    params_ = Tensor(total);
+    Rng init(seed + 1);
+    size_t seg = 0;
+    for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+      // He initialization for the weights; zero biases.
+      const float scale =
+          std::sqrt(2.0f / static_cast<float>(dims_[l]));
+      auto w = params_.slice(segments_[seg].begin, segments_[seg].count);
+      for (auto& v : w) v = static_cast<float>(init.normal(0.0, scale));
+      seg += 2;
+    }
+  }
+
+  std::string name() const override { return name_; }
+  std::string quality_metric() const override { return "top-5 accuracy"; }
+  size_t train_size() const override { return kTrainSamples; }
+  size_t param_count() const override { return params_.size(); }
+  std::span<float> params() override { return params_.span(); }
+  const std::vector<LayerSegment>& segments() const override {
+    return segments_;
+  }
+
+  double gradient(std::span<const size_t> sample_indices,
+                  std::span<float> grad_out) override {
+    HITOPK_CHECK_EQ(grad_out.size(), params_.size());
+    tensor_ops::zero(grad_out);
+    const size_t b = sample_indices.size();
+    HITOPK_CHECK_GT(b, 0u);
+    // Gather the batch.
+    Tensor x(b, kDim);
+    std::vector<int> y(b);
+    for (size_t i = 0; i < b; ++i) {
+      const size_t idx = sample_indices[i];
+      HITOPK_CHECK_LT(idx, kTrainSamples);
+      std::copy_n(&train_.x[idx * kDim], kDim, &x[i * kDim]);
+      y[i] = train_.y[idx];
+    }
+    ad::Tape tape;
+    const ad::VarId logits = forward(tape, x, grad_out);
+    const double loss = tape.softmax_cross_entropy(logits, y);
+    tape.backward();
+    return loss;
+  }
+
+  double evaluate() override {
+    const size_t n = kTestSamples;
+    size_t correct = 0;
+    // Chunked forward pass (no gradients).
+    const size_t chunk = 512;
+    for (size_t begin = 0; begin < n; begin += chunk) {
+      const size_t count = std::min(chunk, n - begin);
+      Tensor x(count, kDim);
+      std::vector<int> y(count);
+      for (size_t i = 0; i < count; ++i) {
+        std::copy_n(&test_.x[(begin + i) * kDim], kDim, &x[i * kDim]);
+        y[i] = test_.y[begin + i];
+      }
+      ad::Tape tape;
+      const ad::VarId logits = forward(tape, x, {});
+      correct += ad::Tape::count_topk_correct(tape.value(logits), count,
+                                              kClasses, y, 5);
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+  }
+
+ private:
+  // Builds the forward graph; when grad is non-empty the parameter leaves
+  // accumulate into slices of it.
+  ad::VarId forward(ad::Tape& tape, const Tensor& x, std::span<float> grad) {
+    const ad::VarId input =
+        tape.leaf(x.span(), {}, x.rows(), x.cols());
+    ad::VarId h = input;
+    size_t seg = 0;
+    for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+      const LayerSegment& ws = segments_[seg];
+      const LayerSegment& bs = segments_[seg + 1];
+      seg += 2;
+      auto w_val = params_.slice(ws.begin, ws.count);
+      auto b_val = params_.slice(bs.begin, bs.count);
+      std::span<float> w_grad =
+          grad.empty() ? std::span<float>{} : grad.subspan(ws.begin, ws.count);
+      std::span<float> b_grad =
+          grad.empty() ? std::span<float>{} : grad.subspan(bs.begin, bs.count);
+      const ad::VarId w = tape.leaf(w_val, w_grad, dims_[l], dims_[l + 1]);
+      const ad::VarId bias = tape.leaf(b_val, b_grad, 1, dims_[l + 1]);
+      h = tape.add_bias(tape.matmul(h, w), bias);
+      if (l + 2 < dims_.size()) h = tape.relu(h);
+    }
+    return h;
+  }
+
+  static constexpr size_t kClasses = 50;
+  static constexpr size_t kDim = 64;
+  static constexpr size_t kTrainSamples = 8192;
+  static constexpr size_t kTestSamples = 2048;
+  static constexpr double kNoise = 2.20;
+
+  std::string name_;
+  ClassificationData train_;
+  ClassificationData test_;
+  std::vector<size_t> dims_;
+  Tensor params_;
+  std::vector<LayerSegment> segments_;
+};
+
+// ------------------------------------------------------------ seq task
+struct SequenceData {
+  std::vector<int> tokens;  // n * seq_len
+  std::vector<int> y;
+  size_t seq_len = 0;
+  size_t classes = 0;
+  size_t vocab = 0;
+};
+
+// Class-conditional unigram sequences: class c emits tokens mostly from its
+// own slice of the vocabulary, with uniform noise mixed in.
+SequenceData make_unigram_sequences(size_t classes, size_t vocab,
+                                    size_t seq_len, size_t samples,
+                                    double noise_prob, Rng& rng) {
+  SequenceData data;
+  data.seq_len = seq_len;
+  data.classes = classes;
+  data.vocab = vocab;
+  data.tokens.resize(samples * seq_len);
+  data.y.resize(samples);
+  const size_t slice = vocab / classes;
+  for (size_t i = 0; i < samples; ++i) {
+    const size_t c = static_cast<size_t>(rng.uniform_index(classes));
+    data.y[i] = static_cast<int>(c);
+    for (size_t t = 0; t < seq_len; ++t) {
+      int token;
+      if (rng.uniform() < noise_prob) {
+        token = static_cast<int>(rng.uniform_index(vocab));
+      } else {
+        token = static_cast<int>(c * slice + rng.uniform_index(slice));
+      }
+      data.tokens[i * seq_len + t] = token;
+    }
+  }
+  return data;
+}
+
+class SeqTask : public ConvergenceTask {
+ public:
+  explicit SeqTask(uint64_t seed, std::string name) : name_(std::move(name)) {
+    Rng rng(seed);
+    train_ = make_unigram_sequences(kClasses, kVocab, kSeqLen, kTrainSamples,
+                                    kNoise, rng);
+    test_ = make_unigram_sequences(kClasses, kVocab, kSeqLen, kTestSamples,
+                                   kNoise, rng);
+    size_t total = 0;
+    segments_.push_back({"embedding", total, kVocab * kWidth});
+    total += kVocab * kWidth;
+    segments_.push_back({"w1", total, kWidth * kHidden});
+    total += kWidth * kHidden;
+    segments_.push_back({"b1", total, kHidden});
+    total += kHidden;
+    segments_.push_back({"w2", total, kHidden * kClasses});
+    total += kHidden * kClasses;
+    segments_.push_back({"b2", total, kClasses});
+    total += kClasses;
+    params_ = Tensor(total);
+    Rng init(seed + 1);
+    for (const auto& seg : segments_) {
+      if (seg.name[0] == 'b') continue;
+      const float scale = seg.name == "embedding"
+                              ? 0.5f
+                              : std::sqrt(2.0f / static_cast<float>(kWidth));
+      auto w = params_.slice(seg.begin, seg.count);
+      for (auto& v : w) v = static_cast<float>(init.normal(0.0, scale));
+    }
+  }
+
+  std::string name() const override { return name_; }
+  std::string quality_metric() const override { return "token accuracy"; }
+  size_t train_size() const override { return kTrainSamples; }
+  size_t param_count() const override { return params_.size(); }
+  std::span<float> params() override { return params_.span(); }
+  const std::vector<LayerSegment>& segments() const override {
+    return segments_;
+  }
+
+  double gradient(std::span<const size_t> sample_indices,
+                  std::span<float> grad_out) override {
+    HITOPK_CHECK_EQ(grad_out.size(), params_.size());
+    tensor_ops::zero(grad_out);
+    ad::Tape tape;
+    std::vector<int> y;
+    const ad::VarId logits = forward(tape, train_, sample_indices, grad_out, y);
+    const double loss = tape.softmax_cross_entropy(logits, y);
+    tape.backward();
+    return loss;
+  }
+
+  double evaluate() override {
+    size_t correct = 0;
+    const size_t chunk = 512;
+    for (size_t begin = 0; begin < kTestSamples; begin += chunk) {
+      const size_t count = std::min(chunk, kTestSamples - begin);
+      std::vector<size_t> idx(count);
+      for (size_t i = 0; i < count; ++i) idx[i] = begin + i;
+      ad::Tape tape;
+      std::vector<int> y;
+      const ad::VarId logits = forward(tape, test_, idx, {}, y);
+      correct += ad::Tape::count_topk_correct(tape.value(logits), count,
+                                              kClasses, y, 1);
+    }
+    return static_cast<double>(correct) / static_cast<double>(kTestSamples);
+  }
+
+ private:
+  ad::VarId forward(ad::Tape& tape, const SequenceData& data,
+                    std::span<const size_t> indices, std::span<float> grad,
+                    std::vector<int>& labels_out) {
+    const size_t b = indices.size();
+    std::vector<int> ids(b * kSeqLen);
+    labels_out.resize(b);
+    for (size_t i = 0; i < b; ++i) {
+      std::copy_n(&data.tokens[indices[i] * kSeqLen], kSeqLen,
+                  &ids[i * kSeqLen]);
+      labels_out[i] = data.y[indices[i]];
+    }
+    auto leaf_of = [&](size_t seg_index, size_t rows, size_t cols) {
+      const LayerSegment& seg = segments_[seg_index];
+      auto value = params_.slice(seg.begin, seg.count);
+      std::span<float> g = grad.empty()
+                               ? std::span<float>{}
+                               : grad.subspan(seg.begin, seg.count);
+      return tape.leaf(value, g, rows, cols);
+    };
+    const ad::VarId table = leaf_of(0, kVocab, kWidth);
+    const ad::VarId embedded = tape.embedding(table, std::move(ids));
+    const ad::VarId pooled = tape.mean_pool(embedded, kSeqLen);
+    const ad::VarId w1 = leaf_of(1, kWidth, kHidden);
+    const ad::VarId b1 = leaf_of(2, 1, kHidden);
+    const ad::VarId h = tape.relu(tape.add_bias(tape.matmul(pooled, w1), b1));
+    const ad::VarId w2 = leaf_of(3, kHidden, kClasses);
+    const ad::VarId b2 = leaf_of(4, 1, kClasses);
+    return tape.add_bias(tape.matmul(h, w2), b2);
+  }
+
+  static constexpr size_t kClasses = 16;
+  static constexpr size_t kVocab = 128;
+  static constexpr size_t kSeqLen = 20;
+  static constexpr size_t kWidth = 32;
+  static constexpr size_t kHidden = 64;
+  static constexpr size_t kTrainSamples = 8192;
+  static constexpr size_t kTestSamples = 2048;
+  static constexpr double kNoise = 0.82;
+
+  std::string name_;
+  SequenceData train_;
+  SequenceData test_;
+  Tensor params_;
+  std::vector<LayerSegment> segments_;
+};
+
+// ------------------------------------------------------------ CNN task
+class CnnTask : public ConvergenceTask {
+ public:
+  explicit CnnTask(uint64_t seed, std::string name) : name_(std::move(name)) {
+    // Class motifs: distinct 3x3 binary stamps.
+    const uint16_t motifs[kClasses] = {
+        0b000111000,  // horizontal bar
+        0b010010010,  // vertical bar
+        0b100010001,  // diagonal
+        0b001010100,  // anti-diagonal
+        0b010111010,  // cross
+        0b111100100,  // corner
+        0b111101111,  // ring
+        0b101010101,  // checkers
+    };
+    Rng rng(seed);
+    auto fill = [&](Tensor& x, std::vector<int>& y, size_t samples) {
+      x = Tensor(samples, kPixels);
+      y.resize(samples);
+      for (size_t i = 0; i < samples; ++i) {
+        const size_t c = static_cast<size_t>(rng.uniform_index(kClasses));
+        y[i] = static_cast<int>(c);
+        float* img = &x[i * kPixels];
+        for (size_t p = 0; p < kPixels; ++p) {
+          img[p] = static_cast<float>(rng.normal(0.0, kNoise));
+        }
+        // Stamp the motif at a random interior position.
+        const size_t oy = 1 + rng.uniform_index(kSide - 3);
+        const size_t ox = 1 + rng.uniform_index(kSide - 3);
+        for (int ky = 0; ky < 3; ++ky) {
+          for (int kx = 0; kx < 3; ++kx) {
+            if (motifs[c] >> (8 - (ky * 3 + kx)) & 1) {
+              img[(oy + static_cast<size_t>(ky) - 1) * kSide + ox +
+                  static_cast<size_t>(kx) - 1] += 3.0f;
+            }
+          }
+        }
+      }
+    };
+    fill(train_x_, train_y_, kTrainSamples);
+    fill(test_x_, test_y_, kTestSamples);
+
+    size_t total = 0;
+    auto segment = [&](const char* seg_name, size_t count) {
+      segments_.push_back({seg_name, total, count});
+      total += count;
+    };
+    segment("conv1.w", kChannels * 1 * 9);
+    segment("conv2.w", kChannels * kChannels * 9);
+    segment("fc.w", kChannels * kClasses);
+    segment("fc.b", kClasses);
+    params_ = Tensor(total);
+    Rng init(seed + 1);
+    for (size_t s = 0; s < 3; ++s) {  // He-style init for the weights
+      auto w = params_.slice(segments_[s].begin, segments_[s].count);
+      const float scale = s < 2 ? 0.35f : 0.4f;
+      for (auto& v : w) v = static_cast<float>(init.normal(0.0, scale));
+    }
+  }
+
+  std::string name() const override { return name_; }
+  std::string quality_metric() const override { return "top-1 accuracy"; }
+  size_t train_size() const override { return kTrainSamples; }
+  size_t param_count() const override { return params_.size(); }
+  std::span<float> params() override { return params_.span(); }
+  const std::vector<LayerSegment>& segments() const override {
+    return segments_;
+  }
+
+  double gradient(std::span<const size_t> sample_indices,
+                  std::span<float> grad_out) override {
+    HITOPK_CHECK_EQ(grad_out.size(), params_.size());
+    tensor_ops::zero(grad_out);
+    const size_t b = sample_indices.size();
+    Tensor x(b, kPixels);
+    std::vector<int> y(b);
+    for (size_t i = 0; i < b; ++i) {
+      std::copy_n(&train_x_[sample_indices[i] * kPixels], kPixels,
+                  &x[i * kPixels]);
+      y[i] = train_y_[sample_indices[i]];
+    }
+    ad::Tape tape;
+    const ad::VarId logits = forward(tape, x, grad_out);
+    const double loss = tape.softmax_cross_entropy(logits, y);
+    tape.backward();
+    return loss;
+  }
+
+  double evaluate() override {
+    size_t correct = 0;
+    const size_t chunk = 256;
+    for (size_t begin = 0; begin < kTestSamples; begin += chunk) {
+      const size_t count = std::min(chunk, kTestSamples - begin);
+      Tensor x(count, kPixels);
+      std::vector<int> y(count);
+      for (size_t i = 0; i < count; ++i) {
+        std::copy_n(&test_x_[(begin + i) * kPixels], kPixels, &x[i * kPixels]);
+        y[i] = test_y_[begin + i];
+      }
+      ad::Tape tape;
+      const ad::VarId logits = forward(tape, x, {});
+      correct += ad::Tape::count_topk_correct(tape.value(logits), count,
+                                              kClasses, y, 1);
+    }
+    return static_cast<double>(correct) / static_cast<double>(kTestSamples);
+  }
+
+ private:
+  ad::VarId forward(ad::Tape& tape, const Tensor& x, std::span<float> grad) {
+    auto leaf_of = [&](size_t seg_index, size_t rows, size_t cols) {
+      const LayerSegment& seg = segments_[seg_index];
+      auto value = params_.slice(seg.begin, seg.count);
+      std::span<float> g = grad.empty()
+                               ? std::span<float>{}
+                               : grad.subspan(seg.begin, seg.count);
+      return tape.leaf(value, g, rows, cols);
+    };
+    const ad::VarId input = tape.leaf(x.span(), {}, x.rows(), kPixels);
+    const ad::VarId w1 = leaf_of(0, kChannels, 9);
+    const ad::VarId h1 = tape.relu(
+        tape.conv2d(input, w1, 1, kSide, kSide, kChannels, 3));
+    const ad::VarId w2 = leaf_of(1, kChannels, kChannels * 9);
+    const ad::VarId h2 = tape.relu(
+        tape.conv2d(h1, w2, kChannels, kSide, kSide, kChannels, 3));
+    // Global average pooling makes the head translation invariant — the
+    // motif can appear anywhere in the canvas.
+    const ad::VarId pooled = tape.channel_pool(h2, kChannels);
+    const ad::VarId fc_w = leaf_of(2, kChannels, kClasses);
+    const ad::VarId fc_b = leaf_of(3, 1, kClasses);
+    return tape.add_bias(tape.matmul(pooled, fc_w), fc_b);
+  }
+
+  static constexpr size_t kClasses = 8;
+  static constexpr size_t kSide = 12;
+  static constexpr size_t kPixels = kSide * kSide;
+  static constexpr size_t kChannels = 16;
+  static constexpr size_t kTrainSamples = 4096;
+  static constexpr size_t kTestSamples = 1024;
+  static constexpr double kNoise = 0.55;
+
+  std::string name_;
+  Tensor train_x_;
+  Tensor test_x_;
+  std::vector<int> train_y_;
+  std::vector<int> test_y_;
+  Tensor params_;
+  std::vector<LayerSegment> segments_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConvergenceTask> make_vision_task(uint64_t seed,
+                                                  const std::string& name,
+                                                  std::vector<size_t> hidden) {
+  return std::make_unique<MlpVisionTask>(seed, name, std::move(hidden));
+}
+
+std::unique_ptr<ConvergenceTask> make_sequence_task(uint64_t seed,
+                                                    const std::string& name) {
+  return std::make_unique<SeqTask>(seed, name);
+}
+
+std::unique_ptr<ConvergenceTask> make_cnn_task(uint64_t seed,
+                                               const std::string& name) {
+  return std::make_unique<CnnTask>(seed, name);
+}
+
+}  // namespace hitopk::train

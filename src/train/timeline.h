@@ -1,0 +1,105 @@
+// Iteration timeline simulator: the end-to-end training-system model.
+//
+// Composes every substrate — PerfModel (FF&BP), DataCache (I/O), the
+// compression cost models, the cluster collectives, and LARS/PTO — into one
+// simulated training iteration with the paper's pipelining structure:
+// prefetched I/O, wait-free backpropagation (per-bucket collectives launched
+// as gradients materialize), a compression stream, and the LARS + update
+// tail.  Produces the Fig. 1 breakdown (elapsed time that cannot be
+// overlapped) and the Table 3/4 throughput / scaling-efficiency numbers.
+#pragma once
+
+#include <string>
+
+#include "data/datacache.h"
+#include "simgpu/gpu_model.h"
+#include "simnet/cluster.h"
+#include "simnet/topology.h"
+
+namespace hitopk::train {
+
+enum class Algorithm {
+  kDenseTree,     // Dense-SGD: Horovod/NCCL double-binary-tree All-Reduce
+  kDense2dTorus,  // 2DTAR-SGD: hierarchical dense All-Reduce (CommLib)
+  kTopkNaiveAg,   // TopK-SGD: exact top-k + flat sparse All-Gather
+  kMstopkHitopk,  // MSTopK-SGD: MSTopK + HiTopKComm (the paper's system)
+};
+
+std::string algorithm_name(Algorithm algorithm);
+
+struct TrainerOptions {
+  std::string model = "resnet50";
+  int resolution = 224;
+  int local_batch = 256;
+  Algorithm algorithm = Algorithm::kMstopkHitopk;
+  // Gradient density for the sparse algorithms.
+  double density = 0.001;
+  // Wire width: FP16 gradients everywhere (mixed-precision training, §5.3).
+  size_t dense_wire_bytes = 2;
+  size_t sparse_value_bytes = 2;
+  bool use_datacache = true;
+  bool use_pto = true;
+  bool overlap_io = true;    // prefetch pipeline hides I/O behind compute
+  bool overlap_comm = true;  // wait-free backpropagation
+  size_t fusion_bytes = size_t{64} << 20;
+  int mstopk_samplings = 30;
+  // Coefficient of variation of per-GPU compute time (virtualization
+  // jitter).  Synchronous SGD waits for the slowest of P workers; the
+  // expected straggler penalty is modelled by the Gaussian order statistic
+  // E[max of P] ~ 1 + cv * sqrt(2 ln P).  0 disables straggler modelling.
+  double straggler_cv = 0.0;
+  // Per-iteration framework overheads, calibrated against Table 3.
+  // Dense-SGD (stock Horovod) pays per-tensor negotiation on top of a flat
+  // cost; the CommLib schemes fuse aggressively (flat only); the sparse
+  // path adds bookkeeping kernels (zero/extract/scatter) per iteration.
+  double dense_framework_overhead = 3e-3;
+  double dense_per_tensor_overhead = 0.8e-3;
+  double torus_framework_overhead = 3e-3;
+  double sparse_framework_overhead = 22e-3;
+};
+
+struct IterationBreakdown {
+  // Exposed (non-overlapped) seconds per phase; they sum to `total`.
+  double io = 0.0;
+  double ffbp = 0.0;
+  double compression = 0.0;
+  double communication = 0.0;
+  double lars = 0.0;      // LARS rates + weight update
+  double overhead = 0.0;  // framework tax
+  double total = 0.0;
+  // Cluster-wide samples/second.
+  double throughput = 0.0;
+};
+
+class TrainingSimulator {
+ public:
+  TrainingSimulator(simnet::Topology topology, TrainerOptions options);
+
+  // Steady-state training iteration (caches warm when DataCache is on).
+  IterationBreakdown simulate_iteration();
+
+  // Same pipeline with an externally supplied raw (pre-overlap) per-
+  // iteration I/O time — the DAWNBench simulator drives this with a
+  // persistent DataCache whose state evolves across epochs.
+  IterationBreakdown simulate_with_io(double raw_io);
+
+  // The same workload on one GPU (no communication, no compression) — the
+  // scaling-efficiency denominator.
+  IterationBreakdown simulate_single_gpu();
+
+  // throughput(P GPUs) / (P * throughput(1 GPU)).
+  double scaling_efficiency();
+
+  const TrainerOptions& options() const { return options_; }
+  const simnet::Topology& topology() const { return topology_; }
+
+ private:
+  // Raw (pre-overlap) I/O seconds per iteration for one node's workers.
+  double raw_io_seconds();
+
+  simnet::Topology topology_;
+  TrainerOptions options_;
+  simgpu::GpuCostModel gpu_;
+};
+
+}  // namespace hitopk::train

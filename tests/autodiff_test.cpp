@@ -1,0 +1,487 @@
+// Tests for the tape autodiff engine, including numerical gradient checks
+// for every operator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace hitopk::ad {
+namespace {
+
+// Numerical gradient of `loss_fn` (which rebuilds the graph from the given
+// parameter vector) via central differences.
+std::vector<float> numerical_gradient(
+    std::vector<float>& params,
+    const std::function<double(const std::vector<float>&)>& loss_fn,
+    double eps = 1e-3) {
+  std::vector<float> grad(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const float saved = params[i];
+    params[i] = static_cast<float>(saved + eps);
+    const double up = loss_fn(params);
+    params[i] = static_cast<float>(saved - eps);
+    const double down = loss_fn(params);
+    params[i] = saved;
+    grad[i] = static_cast<float>((up - down) / (2.0 * eps));
+  }
+  return grad;
+}
+
+void expect_grad_close(std::span<const float> analytic,
+                       std::span<const float> numeric, float tol = 2e-3f) {
+  ASSERT_EQ(analytic.size(), numeric.size());
+  for (size_t i = 0; i < analytic.size(); ++i) {
+    EXPECT_NEAR(analytic[i], numeric[i],
+                tol * (1.0f + std::fabs(numeric[i])))
+        << "grad element " << i;
+  }
+}
+
+// ------------------------------------------------------------ forward ops
+TEST(Tape, MatmulForwardKnownValues) {
+  Tape tape;
+  Tensor a = Tensor::from(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::from(2, 2, {5, 6, 7, 8});
+  const VarId c = tape.matmul(tape.leaf(a.span(), {}, 2, 2),
+                              tape.leaf(b.span(), {}, 2, 2));
+  auto v = tape.value(c);
+  EXPECT_EQ(v[0], 19);  // 1*5 + 2*7
+  EXPECT_EQ(v[1], 22);
+  EXPECT_EQ(v[2], 43);
+  EXPECT_EQ(v[3], 50);
+}
+
+TEST(Tape, MatmulShapeMismatchThrows) {
+  Tape tape;
+  Tensor a(2, 3), b(2, 3);
+  const VarId va = tape.leaf(a.span(), {}, 2, 3);
+  const VarId vb = tape.leaf(b.span(), {}, 2, 3);
+  EXPECT_THROW(tape.matmul(va, vb), CheckError);
+}
+
+TEST(Tape, BiasBroadcastsOverRows) {
+  Tape tape;
+  Tensor x = Tensor::from(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::from({10, 20});
+  const VarId out = tape.add_bias(tape.leaf(x.span(), {}, 2, 2),
+                                  tape.leaf(b.span(), {}, 1, 2));
+  auto v = tape.value(out);
+  EXPECT_EQ(v[0], 11);
+  EXPECT_EQ(v[3], 24);
+}
+
+TEST(Tape, ReluClampsNegatives) {
+  Tape tape;
+  Tensor x = Tensor::from({-1.0f, 0.0f, 2.0f});
+  const VarId out = tape.relu(tape.leaf(x.span(), {}, 3, 1));
+  auto v = tape.value(out);
+  EXPECT_EQ(v[0], 0.0f);
+  EXPECT_EQ(v[1], 0.0f);
+  EXPECT_EQ(v[2], 2.0f);
+}
+
+TEST(Tape, EmbeddingSelectsRows) {
+  Tape tape;
+  Tensor table = Tensor::from(3, 2, {1, 2, 3, 4, 5, 6});
+  const VarId out =
+      tape.embedding(tape.leaf(table.span(), {}, 3, 2), {2, 0, 2});
+  auto v = tape.value(out);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[1], 6);
+  EXPECT_EQ(v[2], 1);
+  EXPECT_EQ(v[4], 5);
+}
+
+TEST(Tape, EmbeddingOutOfRangeThrows) {
+  Tape tape;
+  Tensor table(3, 2);
+  const VarId t = tape.leaf(table.span(), {}, 3, 2);
+  EXPECT_THROW(tape.embedding(t, {3}), CheckError);
+}
+
+TEST(Tape, MeanPoolAverages) {
+  Tape tape;
+  Tensor x = Tensor::from(4, 1, {1, 3, 10, 20});
+  const VarId out = tape.mean_pool(tape.leaf(x.span(), {}, 4, 1), 2);
+  auto v = tape.value(out);
+  EXPECT_EQ(v[0], 2.0f);
+  EXPECT_EQ(v[1], 15.0f);
+}
+
+TEST(Tape, SoftmaxXentOfUniformLogitsIsLogC) {
+  Tape tape;
+  Tensor logits(4, 5);
+  const double loss = tape.softmax_cross_entropy(
+      tape.leaf(logits.span(), {}, 4, 5), std::vector<int>{0, 1, 2, 3});
+  EXPECT_NEAR(loss, std::log(5.0), 1e-6);
+}
+
+TEST(Tape, SecondLossThrows) {
+  Tape tape;
+  Tensor logits(1, 2);
+  const VarId l = tape.leaf(logits.span(), {}, 1, 2);
+  tape.softmax_cross_entropy(l, std::vector<int>{0});
+  EXPECT_THROW(tape.softmax_cross_entropy(l, std::vector<int>{0}), CheckError);
+}
+
+TEST(Tape, BackwardWithoutLossThrows) {
+  Tape tape;
+  EXPECT_THROW(tape.backward(), CheckError);
+}
+
+// --------------------------------------------------- numerical gradients
+TEST(TapeGradient, LinearSoftmaxLayer) {
+  // loss(W, b) over a fixed batch; check dW and db numerically.
+  Rng rng(5);
+  Tensor x(4, 3);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  std::vector<int> labels{1, 0, 1, 0};
+  std::vector<float> params(3 * 2 + 2);
+  for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 0.5));
+
+  auto loss_fn = [&](const std::vector<float>& p) {
+    Tape tape;
+    std::span<const float> w(p.data(), 6);
+    std::span<const float> b(p.data() + 6, 2);
+    const VarId logits = tape.add_bias(
+        tape.matmul(tape.leaf(x.span(), {}, 4, 3), tape.leaf(w, {}, 3, 2)),
+        tape.leaf(b, {}, 1, 2));
+    return tape.softmax_cross_entropy(logits, labels);
+  };
+
+  std::vector<float> analytic(params.size(), 0.0f);
+  {
+    Tape tape;
+    std::span<const float> w(params.data(), 6);
+    std::span<const float> b(params.data() + 6, 2);
+    std::span<float> gw(analytic.data(), 6);
+    std::span<float> gb(analytic.data() + 6, 2);
+    const VarId logits = tape.add_bias(
+        tape.matmul(tape.leaf(x.span(), {}, 4, 3), tape.leaf(w, gw, 3, 2)),
+        tape.leaf(b, gb, 1, 2));
+    tape.softmax_cross_entropy(logits, labels);
+    tape.backward();
+  }
+  const auto numeric = numerical_gradient(params, loss_fn);
+  expect_grad_close(analytic, numeric);
+}
+
+TEST(TapeGradient, TwoLayerReluMlp) {
+  Rng rng(7);
+  const size_t dim = 4, hidden = 5, classes = 3, batch = 6;
+  Tensor x(batch, dim);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  std::vector<int> labels;
+  for (size_t i = 0; i < batch; ++i) {
+    labels.push_back(static_cast<int>(rng.uniform_index(classes)));
+  }
+  const size_t n_params = dim * hidden + hidden + hidden * classes + classes;
+  std::vector<float> params(n_params);
+  for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 0.4));
+
+  auto build = [&](const std::vector<float>& p, std::vector<float>* grad,
+                   Tape& tape) {
+    size_t off = 0;
+    auto leaf = [&](size_t rows, size_t cols) {
+      std::span<const float> value(p.data() + off, rows * cols);
+      std::span<float> g =
+          grad ? std::span<float>(grad->data() + off, rows * cols)
+               : std::span<float>{};
+      off += rows * cols;
+      return tape.leaf(value, g, rows, cols);
+    };
+    const VarId w1 = leaf(dim, hidden);
+    const VarId b1 = leaf(1, hidden);
+    const VarId w2 = leaf(hidden, classes);
+    const VarId b2 = leaf(1, classes);
+    const VarId input = tape.leaf(x.span(), {}, batch, dim);
+    const VarId h = tape.relu(tape.add_bias(tape.matmul(input, w1), b1));
+    const VarId logits = tape.add_bias(tape.matmul(h, w2), b2);
+    return tape.softmax_cross_entropy(logits, labels);
+  };
+
+  std::vector<float> analytic(n_params, 0.0f);
+  {
+    Tape tape;
+    build(params, &analytic, tape);
+    tape.backward();
+  }
+  auto loss_fn = [&](const std::vector<float>& p) {
+    Tape tape;
+    return build(p, nullptr, tape);
+  };
+  const auto numeric = numerical_gradient(params, loss_fn);
+  expect_grad_close(analytic, numeric, 5e-3f);
+}
+
+TEST(TapeGradient, TanhActivation) {
+  Rng rng(11);
+  std::vector<float> params(6);
+  for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 0.6));
+  Tensor x(3, 2);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  std::vector<int> labels{0, 1, 2};
+
+  auto build = [&](const std::vector<float>& p, std::vector<float>* grad,
+                   Tape& tape) {
+    std::span<const float> w(p.data(), 6);
+    std::span<float> g =
+        grad ? std::span<float>(grad->data(), 6) : std::span<float>{};
+    const VarId h =
+        tape.tanh_act(tape.matmul(tape.leaf(x.span(), {}, 3, 2),
+                                  tape.leaf(w, g, 2, 3)));
+    return tape.softmax_cross_entropy(h, labels);
+  };
+  std::vector<float> analytic(6, 0.0f);
+  {
+    Tape tape;
+    build(params, &analytic, tape);
+    tape.backward();
+  }
+  auto loss_fn = [&](const std::vector<float>& p) {
+    Tape tape;
+    return build(p, nullptr, tape);
+  };
+  expect_grad_close(analytic, numerical_gradient(params, loss_fn));
+}
+
+TEST(TapeGradient, EmbeddingMeanPoolModel) {
+  Rng rng(13);
+  const size_t vocab = 7, width = 3, classes = 4, batch = 5, seq = 4;
+  const size_t n_params = vocab * width + width * classes;
+  std::vector<float> params(n_params);
+  for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 0.5));
+  std::vector<int> ids;
+  std::vector<int> labels;
+  for (size_t i = 0; i < batch; ++i) {
+    labels.push_back(static_cast<int>(rng.uniform_index(classes)));
+    for (size_t t = 0; t < seq; ++t) {
+      ids.push_back(static_cast<int>(rng.uniform_index(vocab)));
+    }
+  }
+
+  auto build = [&](const std::vector<float>& p, std::vector<float>* grad,
+                   Tape& tape) {
+    std::span<const float> table(p.data(), vocab * width);
+    std::span<const float> w(p.data() + vocab * width, width * classes);
+    std::span<float> gt, gw;
+    if (grad) {
+      gt = std::span<float>(grad->data(), vocab * width);
+      gw = std::span<float>(grad->data() + vocab * width, width * classes);
+    }
+    const VarId emb = tape.embedding(tape.leaf(table, gt, vocab, width), ids);
+    const VarId pooled = tape.mean_pool(emb, seq);
+    const VarId logits = tape.matmul(pooled, tape.leaf(w, gw, width, classes));
+    return tape.softmax_cross_entropy(logits, labels);
+  };
+  std::vector<float> analytic(n_params, 0.0f);
+  {
+    Tape tape;
+    build(params, &analytic, tape);
+    tape.backward();
+  }
+  auto loss_fn = [&](const std::vector<float>& p) {
+    Tape tape;
+    return build(p, nullptr, tape);
+  };
+  expect_grad_close(analytic, numerical_gradient(params, loss_fn));
+}
+
+TEST(TapeGradient, GradientsAccumulateAcrossBackwardPasses) {
+  // Two identical backward passes into the same leaf grad buffer must sum.
+  std::vector<float> grad(2, 0.0f);
+  Tensor w = Tensor::from(1, 2, {0.3f, -0.2f});
+  Tensor x = Tensor::from(1, 1, {1.0f});
+  double first_grad = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    Tape tape;
+    const VarId logits =
+        tape.matmul(tape.leaf(x.span(), {}, 1, 1),
+                    tape.leaf(w.span(), std::span<float>(grad), 1, 2));
+    tape.softmax_cross_entropy(logits, std::vector<int>{0});
+    tape.backward();
+    if (pass == 0) first_grad = grad[0];
+  }
+  EXPECT_NEAR(grad[0], 2.0 * first_grad, 1e-6);
+}
+
+TEST(Tape, ChannelPoolAveragesPerChannel) {
+  Tape tape;
+  // 1 row, 2 channels x 3 spatial.
+  Tensor x = Tensor::from(1, 6, {1, 2, 3, 10, 20, 30});
+  const VarId out = tape.channel_pool(tape.leaf(x.span(), {}, 1, 6), 2);
+  auto v = tape.value(out);
+  EXPECT_FLOAT_EQ(v[0], 2.0f);
+  EXPECT_FLOAT_EQ(v[1], 20.0f);
+}
+
+TEST(Tape, ChannelPoolShapeCheck) {
+  Tape tape;
+  Tensor x(1, 7);
+  const VarId v = tape.leaf(x.span(), {}, 1, 7);
+  EXPECT_THROW(tape.channel_pool(v, 2), CheckError);
+}
+
+TEST(TapeGradient, ChannelPoolNumericalCheck) {
+  Rng rng(37);
+  const size_t channels = 3, spatial = 4, classes = 2, batch = 2;
+  Tensor x(batch, channels * spatial);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  std::vector<int> labels{0, 1};
+  std::vector<float> params(channels * classes);
+  for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 0.5));
+  auto build = [&](const std::vector<float>& p, std::vector<float>* grad,
+                   Tape& tape) {
+    std::span<const float> w(p.data(), p.size());
+    std::span<float> g =
+        grad ? std::span<float>(grad->data(), grad->size()) : std::span<float>{};
+    const VarId pooled = tape.channel_pool(
+        tape.leaf(x.span(), {}, batch, channels * spatial), channels);
+    const VarId logits = tape.matmul(pooled, tape.leaf(w, g, channels, classes));
+    return tape.softmax_cross_entropy(logits, labels);
+  };
+  std::vector<float> analytic(params.size(), 0.0f);
+  {
+    Tape tape;
+    build(params, &analytic, tape);
+    tape.backward();
+  }
+  auto loss_fn = [&](const std::vector<float>& p) {
+    Tape tape;
+    return build(p, nullptr, tape);
+  };
+  expect_grad_close(analytic, numerical_gradient(params, loss_fn));
+}
+
+TEST(Tape, Conv2dIdentityKernel) {
+  // A kernel with a single center 1 reproduces the input.
+  Tape tape;
+  Tensor x(1, 16);  // 1 channel, 4x4
+  for (size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor kernel = Tensor::from(1, 9, {0, 0, 0, 0, 1, 0, 0, 0, 0});
+  const VarId out = tape.conv2d(tape.leaf(x.span(), {}, 1, 16),
+                                tape.leaf(kernel.span(), {}, 1, 9), 1, 4, 4, 1,
+                                3);
+  auto v = tape.value(out);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(v[i], x[i]);
+}
+
+TEST(Tape, Conv2dBoxKernelWithPadding) {
+  // All-ones 3x3 kernel on an all-ones image: interior sums 9, corner 4,
+  // edge 6 (zero padding).
+  Tape tape;
+  Tensor x(1, 16);
+  x.fill(1.0f);
+  Tensor kernel(1, 9);
+  kernel.fill(1.0f);
+  const VarId out = tape.conv2d(tape.leaf(x.span(), {}, 1, 16),
+                                tape.leaf(kernel.span(), {}, 1, 9), 1, 4, 4, 1,
+                                3);
+  auto v = tape.value(out);
+  EXPECT_EQ(v[0], 4.0f);   // corner
+  EXPECT_EQ(v[1], 6.0f);   // edge
+  EXPECT_EQ(v[5], 9.0f);   // interior
+}
+
+TEST(Tape, Conv2dShapeChecks) {
+  Tape tape;
+  Tensor x(2, 16), w(3, 9);
+  const VarId vx = tape.leaf(x.span(), {}, 2, 16);
+  const VarId vw = tape.leaf(w.span(), {}, 3, 9);
+  EXPECT_NO_THROW(tape.conv2d(vx, vw, 1, 4, 4, 3, 3));
+  EXPECT_THROW(tape.conv2d(vx, vw, 2, 4, 4, 3, 3), CheckError);  // c_in wrong
+  EXPECT_THROW(tape.conv2d(vx, vw, 1, 4, 4, 3, 2), CheckError);  // even k
+}
+
+TEST(TapeGradient, Conv2dNumericalCheck) {
+  // conv(1->2 channels, 3x3, 5x5 image) -> xent over flattened output
+  // columns... simpler: conv -> matmul to classes -> xent; check both the
+  // kernel and a downstream dense weight.
+  Rng rng(19);
+  const size_t h = 5, w = 5, c_out = 2, classes = 3, batch = 3;
+  Tensor x(batch, h * w);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  std::vector<int> labels{0, 2, 1};
+  const size_t n_params = c_out * 9 + c_out * h * w * classes;
+  std::vector<float> params(n_params);
+  for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 0.3));
+
+  auto build = [&](const std::vector<float>& p, std::vector<float>* grad,
+                   Tape& tape) {
+    std::span<const float> kernel(p.data(), c_out * 9);
+    std::span<const float> dense(p.data() + c_out * 9,
+                                 c_out * h * w * classes);
+    std::span<float> gk, gd;
+    if (grad) {
+      gk = std::span<float>(grad->data(), c_out * 9);
+      gd = std::span<float>(grad->data() + c_out * 9,
+                            c_out * h * w * classes);
+    }
+    const VarId conv = tape.conv2d(tape.leaf(x.span(), {}, batch, h * w),
+                                   tape.leaf(kernel, gk, c_out, 9), 1, h, w,
+                                   c_out, 3);
+    const VarId act = tape.tanh_act(conv);
+    const VarId logits =
+        tape.matmul(act, tape.leaf(dense, gd, c_out * h * w, classes));
+    return tape.softmax_cross_entropy(logits, labels);
+  };
+  std::vector<float> analytic(n_params, 0.0f);
+  {
+    Tape tape;
+    build(params, &analytic, tape);
+    tape.backward();
+  }
+  auto loss_fn = [&](const std::vector<float>& p) {
+    Tape tape;
+    return build(p, nullptr, tape);
+  };
+  expect_grad_close(analytic, numerical_gradient(params, loss_fn), 5e-3f);
+}
+
+TEST(TapeGradient, Conv2dInputGradientFlowsThroughStackedConvs) {
+  // Two stacked convs: the first kernel's gradient must be nonzero (dX of
+  // the second conv feeds it).
+  Rng rng(23);
+  const size_t h = 4, w = 4;
+  Tensor x(2, h * w);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  std::vector<float> k1(2 * 9), k2(1 * 2 * 9);
+  for (auto& v : k1) v = static_cast<float>(rng.normal(0.0, 0.4));
+  for (auto& v : k2) v = static_cast<float>(rng.normal(0.0, 0.4));
+  std::vector<float> g1(k1.size(), 0.0f), g2(k2.size(), 0.0f);
+  Tape tape;
+  const VarId c1 = tape.conv2d(
+      tape.leaf(x.span(), {}, 2, h * w),
+      tape.leaf(std::span<const float>(k1), std::span<float>(g1), 2, 9), 1, h,
+      w, 2, 3);
+  const VarId c2 = tape.conv2d(
+      tape.relu(c1),
+      tape.leaf(std::span<const float>(k2), std::span<float>(g2), 1, 18), 2,
+      h, w, 1, 3);
+  tape.softmax_cross_entropy(c2, std::vector<int>{0, 5});
+  tape.backward();
+  double norm1 = 0.0;
+  for (float v : g1) norm1 += std::fabs(v);
+  EXPECT_GT(norm1, 0.0);
+}
+
+TEST(Tape, CountTopkCorrect) {
+  // logits rows: correct label ranked 1st, 3rd, and last.
+  std::vector<float> logits{
+      9, 1, 2, 3, 4,   // label 0: rank 1
+      5, 1, 9, 8, 0,   // label 1: rank 4
+      0, 1, 2, 3, 9,   // label 4: rank 1
+  };
+  std::vector<int> labels{0, 1, 4};
+  EXPECT_EQ(Tape::count_topk_correct(logits, 3, 5, labels, 1), 2u);
+  EXPECT_EQ(Tape::count_topk_correct(logits, 3, 5, labels, 3), 2u);
+  EXPECT_EQ(Tape::count_topk_correct(logits, 3, 5, labels, 4), 3u);
+}
+
+}  // namespace
+}  // namespace hitopk::ad

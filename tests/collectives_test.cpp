@@ -1,0 +1,561 @@
+// Tests for ring / tree / 2D-torus / hierarchical / sparse collectives and
+// HiTopKComm (Algorithm 2): functional correctness against dense references,
+// timing invariants, and the Fig. 7 performance ordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "collectives/common.h"
+#include "collectives/hier_allreduce.h"
+#include "collectives/hitopkcomm.h"
+#include "collectives/naive_allgather.h"
+#include "collectives/ring.h"
+#include "collectives/torus2d.h"
+#include "collectives/tree_allreduce.h"
+#include "compress/exact_topk.h"
+#include "compress/mstopk.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace hitopk::coll {
+namespace {
+
+using compress::SparseTensor;
+using simnet::Cluster;
+using simnet::LinkParams;
+using simnet::Topology;
+
+// Uniform test fabric: fast intra, slow inter (1 GB/s vs 0.1 GB/s).
+Topology fabric(int nodes, int gpus) {
+  return Topology(nodes, gpus, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8});
+}
+
+// Builds per-rank random buffers and returns (buffers, dense reference sum).
+struct Fixture {
+  std::vector<Tensor> buffers;
+  Tensor reference;
+  RankData spans;
+};
+
+Fixture make_fixture(int world, size_t elems, uint64_t seed) {
+  Fixture f;
+  f.reference = Tensor(elems);
+  Rng rng(seed);
+  for (int r = 0; r < world; ++r) {
+    Tensor t(elems);
+    t.fill_normal(rng, 0.0f, 1.0f);
+    f.reference += t;
+    f.buffers.push_back(std::move(t));
+  }
+  for (auto& b : f.buffers) f.spans.push_back(b.span());
+  return f;
+}
+
+void expect_all_equal_reference(const Fixture& f, float tol = 1e-4f) {
+  for (const auto& b : f.buffers) {
+    for (size_t i = 0; i < b.size(); ++i) {
+      ASSERT_NEAR(b[i], f.reference[i], tol) << "element " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------ chunking
+TEST(ChunkRange, BalancedPartition) {
+  // 10 elements over 4 parts: 3,3,2,2.
+  EXPECT_EQ(chunk_range(10, 4, 0).count, 3u);
+  EXPECT_EQ(chunk_range(10, 4, 1).count, 3u);
+  EXPECT_EQ(chunk_range(10, 4, 2).count, 2u);
+  EXPECT_EQ(chunk_range(10, 4, 3).count, 2u);
+  EXPECT_EQ(chunk_range(10, 4, 3).begin, 8u);
+  // Contiguous cover.
+  size_t total = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(chunk_range(10, 4, i).begin, total);
+    total += chunk_range(10, 4, i).count;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ChunkRange, MorePartsThanElements) {
+  EXPECT_EQ(chunk_range(2, 4, 0).count, 1u);
+  EXPECT_EQ(chunk_range(2, 4, 3).count, 0u);
+}
+
+TEST(Groups, Construction) {
+  Topology t = fabric(2, 4);
+  EXPECT_EQ(node_group(t, 1), (Group{4, 5, 6, 7}));
+  EXPECT_EQ(cross_node_group(t, 2), (Group{2, 6}));
+  EXPECT_EQ(world_group(t).size(), 8u);
+}
+
+// ------------------------------------------------------------ ring RS/AG
+class RingGroupSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingGroupSizeTest, ReduceScatterOwnedChunksHoldSums) {
+  const int g = GetParam();
+  Topology topo = fabric(1, g);
+  Cluster cluster(topo);
+  const size_t elems = 67;  // not divisible by g: exercises ragged chunks
+  Fixture f = make_fixture(g, elems, 100 + static_cast<uint64_t>(g));
+  Group group = world_group(topo);
+  ring_reduce_scatter(cluster, group, f.spans, elems, 4, 0.0);
+  for (int r = 0; r < g; ++r) {
+    const ChunkRange range =
+        chunk_range(elems, static_cast<size_t>(g), static_cast<size_t>(r));
+    for (size_t i = range.begin; i < range.begin + range.count; ++i) {
+      ASSERT_NEAR(f.buffers[static_cast<size_t>(r)][i], f.reference[i], 1e-4f)
+          << "rank " << r << " elem " << i;
+    }
+  }
+}
+
+TEST_P(RingGroupSizeTest, AllReduceMatchesReferenceEverywhere) {
+  const int g = GetParam();
+  Topology topo = fabric(1, g);
+  Cluster cluster(topo);
+  const size_t elems = 129;
+  Fixture f = make_fixture(g, elems, 200 + static_cast<uint64_t>(g));
+  ring_allreduce(cluster, world_group(topo), f.spans, elems, 4, 0.0);
+  expect_all_equal_reference(f);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, RingGroupSizeTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(RingAllGather, ReplicatesOwnedChunks) {
+  const int g = 4;
+  Topology topo = fabric(1, g);
+  Cluster cluster(topo);
+  const size_t elems = 20;
+  // Each rank owns chunk r filled with its rank id; others garbage (-1).
+  std::vector<Tensor> buffers;
+  for (int r = 0; r < g; ++r) {
+    Tensor t(elems);
+    t.fill(-1.0f);
+    const ChunkRange range = chunk_range(elems, g, static_cast<size_t>(r));
+    for (size_t i = range.begin; i < range.begin + range.count; ++i) {
+      t[i] = static_cast<float>(r);
+    }
+    buffers.push_back(std::move(t));
+  }
+  RankData spans;
+  for (auto& b : buffers) spans.push_back(b.span());
+  ring_allgather(cluster, world_group(topo), spans, elems, 4, 0.0);
+  for (int r = 0; r < g; ++r) {
+    for (int c = 0; c < g; ++c) {
+      const ChunkRange range = chunk_range(elems, g, static_cast<size_t>(c));
+      for (size_t i = range.begin; i < range.begin + range.count; ++i) {
+        ASSERT_EQ(buffers[static_cast<size_t>(r)][i], static_cast<float>(c));
+      }
+    }
+  }
+}
+
+TEST(RingTiming, HomogeneousRingMatchesAlphaBetaModel) {
+  // G ranks on one node: RS time = (G-1) * (alpha + chunk_bytes * beta).
+  const int g = 4;
+  Topology topo = fabric(1, g);
+  Cluster cluster(topo);
+  const size_t elems = 4000;  // divisible by 4 -> uniform 1000-elem chunks
+  const double done = ring_reduce_scatter(cluster, world_group(topo), {},
+                                          elems, 4, 0.0);
+  const double expected = 3.0 * (1e-6 + 4000.0 * 1e-9);
+  EXPECT_NEAR(done, expected, 1e-12);
+}
+
+TEST(RingTiming, Fp16HalvesTransferTime) {
+  const int g = 4;
+  Topology topo = fabric(1, g);
+  const size_t elems = 40000;
+  Cluster c32(topo), c16(topo);
+  const double t32 =
+      ring_allreduce(c32, world_group(topo), {}, elems, 4, 0.0);
+  const double t16 =
+      ring_allreduce(c16, world_group(topo), {}, elems, 2, 0.0);
+  EXPECT_LT(t16, t32);
+  EXPECT_GT(t16, 0.4 * t32);
+}
+
+TEST(RingTiming, TimingOnlyMatchesFunctional) {
+  const int g = 5;
+  Topology topo = fabric(1, g);
+  const size_t elems = 123;
+  Cluster ca(topo), cb(topo);
+  Fixture f = make_fixture(g, elems, 300);
+  const double functional =
+      ring_allreduce(ca, world_group(topo), f.spans, elems, 4, 0.0);
+  const double timing_only =
+      ring_allreduce(cb, world_group(topo), {}, elems, 4, 0.0);
+  EXPECT_DOUBLE_EQ(functional, timing_only);
+}
+
+TEST(RingAllGatherBytes, VariablePayloadTiming) {
+  const int g = 3;
+  Topology topo = fabric(1, g);
+  Cluster cluster(topo);
+  // Every origin block traverses g-1 hops; with one large block the total is
+  // dominated by it: each of the 2 steps must move the 10^6-byte block once.
+  const double done = ring_allgather_bytes(cluster, world_group(topo),
+                                           {1000000, 10, 10}, 0.0);
+  EXPECT_GE(done, 2.0 * (1e-6 + 1e6 * 1e-9));
+}
+
+// ------------------------------------------------------------ tree
+class TreeWorldTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeWorldTest, AllReduceMatchesReference) {
+  const int world = GetParam();
+  Topology topo = fabric(world >= 4 ? 2 : 1, world >= 4 ? world / 2 : world);
+  Cluster cluster(topo);
+  const size_t elems = 101;
+  Fixture f = make_fixture(world, elems, 400 + static_cast<uint64_t>(world));
+  tree_allreduce(cluster, world_group(topo), f.spans, elems, TreeOptions{},
+                 0.0);
+  expect_all_equal_reference(f);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, TreeWorldTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 16));
+
+TEST(TreeAllReduce, TimeGrowsLogarithmicallyAcrossNodes) {
+  // The double binary tree runs across node leaders: doubling the node
+  // count adds roughly one tree level, not double the time (for
+  // latency-dominated small payloads).
+  const size_t elems = 64;
+  Topology t8 = fabric(8, 1);
+  Topology t16 = fabric(16, 1);
+  Cluster c8(t8), c16(t16);
+  const double time8 =
+      tree_allreduce(c8, world_group(t8), {}, elems, TreeOptions{}, 0.0);
+  const double time16 =
+      tree_allreduce(c16, world_group(t16), {}, elems, TreeOptions{}, 0.0);
+  EXPECT_LT(time16, 1.8 * time8);
+}
+
+// ------------------------------------------------------------ 2D torus
+class TorusShapeTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TorusShapeTest, AllReduceMatchesReference) {
+  const auto [m, n] = GetParam();
+  Topology topo = fabric(m, n);
+  Cluster cluster(topo);
+  const size_t elems = 97;
+  Fixture f = make_fixture(m * n, elems,
+                           500 + static_cast<uint64_t>(m * 100 + n));
+  torus2d_allreduce(cluster, f.spans, elems, 4, 0.0);
+  expect_all_equal_reference(f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TorusShapeTest,
+                         ::testing::Values(std::pair{1, 4}, std::pair{2, 2},
+                                           std::pair{2, 4}, std::pair{4, 2},
+                                           std::pair{3, 3}, std::pair{4, 4}));
+
+TEST(Torus2d, BreakdownSumsToTotal) {
+  Topology topo = fabric(4, 4);
+  Cluster cluster(topo);
+  const auto b = torus2d_allreduce(cluster, {}, 100000, 4, 0.0);
+  EXPECT_NEAR(b.reduce_scatter + b.inter_allreduce + b.intra_allgather,
+              b.total, 1e-12);
+  EXPECT_GT(b.inter_allreduce, b.reduce_scatter);  // slow NIC dominates
+}
+
+TEST(Torus2d, BeatsTreeOnCloudTopology) {
+  // The hierarchical scheme must beat the flat tree when inter-node
+  // bandwidth is 10x worse than intra (the paper's §5.3 observation).
+  Topology topo = fabric(8, 8);
+  const size_t elems = 1 << 20;
+  Cluster ct(topo), c2(topo);
+  const double tree =
+      tree_allreduce(ct, world_group(topo), {}, elems, TreeOptions{}, 0.0);
+  const double torus = torus2d_allreduce(c2, {}, elems, 4, 0.0).total;
+  EXPECT_LT(torus, tree);
+}
+
+// ------------------------------------------------------------ hierarchical
+TEST(HierAllReduce, MatchesReference) {
+  Topology topo = fabric(3, 4);
+  Cluster cluster(topo);
+  const size_t elems = 77;
+  Fixture f = make_fixture(12, elems, 600);
+  hier_allreduce(cluster, f.spans, elems, 4, 0.0);
+  expect_all_equal_reference(f);
+}
+
+TEST(HierAllReduce, SlowerThanTorusForWideNodes) {
+  // Leaders move the full buffer over the NIC; 2DTAR moves 1/n per GPU.
+  Topology topo = fabric(8, 8);
+  const size_t elems = 1 << 20;
+  Cluster ch(topo), c2(topo);
+  const double hier = hier_allreduce(ch, {}, elems, 4, 0.0).total;
+  const double torus = torus2d_allreduce(c2, {}, elems, 4, 0.0).total;
+  EXPECT_LT(torus, hier);
+}
+
+// ------------------------------------------------------------ NaiveAG
+TEST(NaiveAg, FunctionalAggregationMatchesSparseSum) {
+  Topology topo = fabric(2, 2);
+  Cluster cluster(topo);
+  const size_t elems = 50;
+  Fixture f = make_fixture(4, elems, 700);
+  // Sparsify each rank's gradient to top-5 and aggregate.
+  std::vector<SparseTensor> sparse;
+  Tensor expected(elems);
+  for (int r = 0; r < 4; ++r) {
+    SparseTensor s = compress::exact_topk(f.buffers[r].span(), 5);
+    s.scatter_add_into(expected.span());
+    sparse.push_back(std::move(s));
+  }
+  naive_sparse_allgather(cluster, sparse, f.spans, elems, 4, 0.0, 0.0);
+  for (const auto& b : f.buffers) {
+    for (size_t i = 0; i < elems; ++i) {
+      ASSERT_NEAR(b[i], expected[i], 1e-5f);
+    }
+  }
+}
+
+TEST(NaiveAg, TimeOnlyMatchesFunctionalForUniformK) {
+  Topology topo = fabric(2, 2);
+  const size_t elems = 400;
+  Cluster ca(topo), cb(topo);
+  Fixture f = make_fixture(4, elems, 800);
+  std::vector<SparseTensor> sparse;
+  for (int r = 0; r < 4; ++r) {
+    sparse.push_back(compress::exact_topk(f.buffers[r].span(), 16));
+  }
+  const double functional =
+      naive_sparse_allgather(ca, sparse, f.spans, elems, 4, 0.0, 0.0).total;
+  const double timed =
+      naive_sparse_allgather_time(cb, 16, 4, 0.0, 0.0).total;
+  EXPECT_DOUBLE_EQ(functional, timed);
+}
+
+TEST(NaiveAg, CrossesNodeBoundaryForEveryBlock) {
+  Topology topo = fabric(2, 2);
+  Cluster cluster(topo);
+  naive_sparse_allgather_time(cluster, 100, 4, 0.0, 0.0);
+  // Flat ring over 4 ranks: blocks cross the node boundary repeatedly.
+  EXPECT_GT(cluster.inter_node_bytes(), 0u);
+  EXPECT_GT(cluster.intra_node_bytes(), 0u);
+}
+
+// ------------------------------------------------------------ HiTopKComm
+TEST(HiTopKComm, DensityOneEqualsDenseAllReduce) {
+  Topology topo = fabric(2, 4);
+  Cluster cluster(topo);
+  const size_t elems = 96;
+  Fixture f = make_fixture(8, elems, 900);
+  HiTopKOptions options;
+  options.density = 1.0;
+  hitopk_comm(cluster, f.spans, elems, options, 0.0);
+  expect_all_equal_reference(f);
+}
+
+TEST(HiTopKComm, AllRanksIdenticalResult) {
+  Topology topo = fabric(2, 4);
+  Cluster cluster(topo);
+  const size_t elems = 256;
+  Fixture f = make_fixture(8, elems, 1000);
+  HiTopKOptions options;
+  options.density = 0.1;
+  hitopk_comm(cluster, f.spans, elems, options, 0.0);
+  for (int r = 1; r < 8; ++r) {
+    for (size_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(f.buffers[static_cast<size_t>(r)][i], f.buffers[0][i]);
+    }
+  }
+}
+
+TEST(HiTopKComm, SingleNodeMatchesPerShardMsTopKOfSum) {
+  // With m = 1 the result must be exactly: per shard j, the MSTopK
+  // selection (seeded as rank j) applied to the dense node sum.
+  const int n = 4;
+  Topology topo = fabric(1, n);
+  Cluster cluster(topo);
+  const size_t elems = 200;
+  Fixture f = make_fixture(n, elems, 1100);
+  HiTopKOptions options;
+  options.density = 0.1;
+  options.seed = 77;
+  hitopk_comm(cluster, f.spans, elems, options, 0.0);
+
+  Tensor expected(elems);
+  for (int j = 0; j < n; ++j) {
+    const ChunkRange shard = chunk_range(elems, n, static_cast<size_t>(j));
+    const size_t k = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(options.density *
+                                            static_cast<double>(shard.count))));
+    compress::MsTopK mstopk(options.mstopk_samplings,
+                            options.seed + static_cast<uint64_t>(j));
+    auto shard_ref = f.reference.slice(shard.begin, shard.count);
+    SparseTensor s = mstopk.compress(shard_ref, k);
+    for (size_t i = 0; i < s.nnz(); ++i) {
+      expected[shard.begin + s.indices[i]] += s.values[i];
+    }
+  }
+  for (size_t i = 0; i < elems; ++i) {
+    ASSERT_NEAR(f.buffers[0][i], expected[i], 1e-4f) << "elem " << i;
+  }
+}
+
+TEST(HiTopKComm, SparsityBoundedByDensity) {
+  Topology topo = fabric(4, 4);
+  Cluster cluster(topo);
+  const size_t elems = 1600;
+  Fixture f = make_fixture(16, elems, 1200);
+  HiTopKOptions options;
+  options.density = 0.01;
+  hitopk_comm(cluster, f.spans, elems, options, 0.0);
+  // Result nnz <= m * n * k~ (k~ >= 1 per shard here).
+  size_t nnz = 0;
+  for (size_t i = 0; i < elems; ++i) {
+    if (f.buffers[0][i] != 0.0f) ++nnz;
+  }
+  const size_t shard = elems / 4;
+  const size_t k_tilde = std::max<size_t>(
+      1, static_cast<size_t>(options.density * static_cast<double>(shard)));
+  EXPECT_LE(nnz, 4u * 4u * k_tilde);
+  EXPECT_GT(nnz, 0u);
+}
+
+TEST(HiTopKComm, NonzerosAreNodeSumSubsets) {
+  // Every nonzero of the result must be the sum over a subset of nodes of
+  // that coordinate's node sums — verified here with single-GPU nodes where
+  // node sums are just the rank gradients.
+  Topology topo = fabric(3, 1);
+  Cluster cluster(topo);
+  const size_t elems = 60;
+  Fixture f = make_fixture(3, elems, 1300);
+  // Keep original gradients: buffers are overwritten by the collective.
+  std::vector<Tensor> originals = f.buffers;
+  HiTopKOptions options;
+  options.density = 0.2;
+  hitopk_comm(cluster, f.spans, elems, options, 0.0);
+  for (size_t i = 0; i < elems; ++i) {
+    const float v = f.buffers[0][i];
+    if (v == 0.0f) continue;
+    // Enumerate all 2^3 node subsets; the value must match one of them.
+    bool matched = false;
+    for (int mask = 1; mask < 8 && !matched; ++mask) {
+      float sum = 0.0f;
+      for (int node = 0; node < 3; ++node) {
+        if (mask & (1 << node)) sum += originals[static_cast<size_t>(node)][i];
+      }
+      matched = std::fabs(sum - v) < 1e-5f;
+    }
+    EXPECT_TRUE(matched) << "element " << i << " value " << v;
+  }
+}
+
+TEST(HiTopKComm, TimingOnlyMatchesFunctionalWhenDisjoint) {
+  // Craft gradients so every node selects disjoint indices: then functional
+  // payloads equal the timing-only assumption and the clocks agree exactly.
+  const int m = 2, n = 2;
+  Topology topo = fabric(m, n);
+  const size_t elems = 80;  // shards of 40; k~ = 4 at density 0.1
+  std::vector<Tensor> buffers(static_cast<size_t>(m * n), Tensor(elems));
+  Rng rng(1400);
+  for (int node = 0; node < m; ++node) {
+    for (int local = 0; local < n; ++local) {
+      auto& t = buffers[static_cast<size_t>(node * n + local)];
+      t.fill_normal(rng, 0.0f, 0.001f);
+      // Node `node` has huge values in positions node, node+m, node+2m ...
+      for (size_t i = static_cast<size_t>(node); i < elems;
+           i += static_cast<size_t>(m)) {
+        t[i] = 10.0f + static_cast<float>(i);
+      }
+    }
+  }
+  RankData spans;
+  for (auto& b : buffers) spans.push_back(b.span());
+  HiTopKOptions options;
+  options.density = 0.1;
+  Cluster ca(topo), cb(topo);
+  const double functional =
+      hitopk_comm(ca, spans, elems, options, 0.0).total;
+  const double timed = hitopk_comm(cb, {}, elems, options, 0.0).total;
+  // Functional payload in step 4 is bounded by the timing-only assumption.
+  EXPECT_LE(functional, timed + 1e-12);
+  EXPECT_GT(functional, 0.5 * timed);
+}
+
+TEST(HiTopKComm, BreakdownSumsToTotal) {
+  Topology topo = fabric(4, 4);
+  Cluster cluster(topo);
+  HiTopKOptions options;
+  options.density = 0.01;
+  const auto b = hitopk_comm(cluster, {}, 1 << 20, options, 0.0);
+  EXPECT_NEAR(b.reduce_scatter + b.mstopk + b.inter_allgather +
+                  b.intra_allgather,
+              b.total, 1e-12);
+  EXPECT_GT(b.inter_allgather, 0.0);
+}
+
+TEST(HiTopKComm, ErrorFeedbackCarriesResidual) {
+  Topology topo = fabric(1, 2);
+  Cluster cluster(topo);
+  const size_t elems = 40;
+  Fixture f = make_fixture(2, elems, 1500);
+  compress::ErrorFeedback ef;
+  HiTopKOptions options;
+  options.density = 0.1;
+  options.error_feedback = &ef;
+  options.ef_key_prefix = "g";
+  hitopk_comm(cluster, f.spans, elems, options, 0.0);
+  EXPECT_EQ(ef.num_tensors(), 2u);
+  EXPECT_GT(ef.residual_sq_norm(), 0.0);  // something was left behind
+}
+
+// -------------------------------------------------- Fig. 7 ordering
+TEST(Fig7Ordering, HiTopKFastestOnCloudCluster) {
+  // The paper's qualitative result (Fig. 7): for large tensors on the
+  // 16x8 cloud topology with FP16 payloads and rho = 0.01,
+  //   HiTopKComm < 2DTAR < TreeAR < NaiveAG.
+  Topology topo = Topology::tencent_cloud(16, 8);
+  const size_t elems = 50'000'000;
+  const size_t fp16 = 2;
+  const double density = 0.01;
+
+  Cluster c_naive(topo);
+  const double naive =
+      naive_sparse_allgather_time(
+          c_naive, static_cast<size_t>(density * static_cast<double>(elems)),
+          fp16, 0.0, 0.0)
+          .total;
+
+  Cluster c_tree(topo);
+  TreeOptions tree_options;
+  tree_options.wire_bytes = fp16;
+  const double tree = tree_allreduce(c_tree, world_group(topo), {}, elems,
+                                     tree_options, 0.0);
+
+  Cluster c_torus(topo);
+  const double torus = torus2d_allreduce(c_torus, {}, elems, fp16, 0.0).total;
+
+  Cluster c_hitopk(topo);
+  HiTopKOptions options;
+  options.density = density;
+  options.value_wire_bytes = fp16;
+  const double hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
+
+  EXPECT_LT(hitopk, torus);
+  EXPECT_LT(torus, tree);
+  EXPECT_LT(tree, naive);
+}
+
+TEST(Fig7Ordering, InterAllGatherDominatesHiTopKBreakdown) {
+  // Fig. 8: the inter-node All-Gather is the dominant step.
+  Topology topo = Topology::tencent_cloud(16, 8);
+  Cluster cluster(topo);
+  HiTopKOptions options;
+  options.density = 0.01;
+  const auto b = hitopk_comm(cluster, {}, 25'000'000, options, 0.0);
+  EXPECT_GT(b.inter_allgather, b.reduce_scatter);
+  EXPECT_GT(b.inter_allgather, b.intra_allgather);
+}
+
+}  // namespace
+}  // namespace hitopk::coll

@@ -1,0 +1,509 @@
+// Tests for the compression operators: exact top-k, DGC, MSTopK (Alg. 1),
+// random-k, threshold-k, error feedback, and cross-operator properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "compress/dgc_topk.h"
+#include "compress/error_feedback.h"
+#include "compress/exact_topk.h"
+#include "compress/mstopk.h"
+#include "compress/other_compressors.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace hitopk::compress {
+namespace {
+
+Tensor random_gradient(size_t d, uint64_t seed, double stddev = 1.0) {
+  Rng rng(seed);
+  Tensor t(d);
+  t.fill_normal(rng, 0.0f, static_cast<float>(stddev));
+  return t;
+}
+
+// Magnitude of the smallest selected element must be >= the (k+slack)-th
+// exact magnitude; used to judge approximate selections.
+float kth_magnitude(const Tensor& x, size_t k) {
+  return exact_topk_threshold(x.span(), k);
+}
+
+// ------------------------------------------------------------ SparseTensor
+TEST(SparseTensor, ScatterAddAccumulatesDuplicates) {
+  SparseTensor s;
+  s.dense_size = 4;
+  s.indices = {1, 1, 3};
+  s.values = {2.0f, 3.0f, -1.0f};
+  Tensor dense(4);
+  s.scatter_add_into(dense.span());
+  EXPECT_EQ(dense[1], 5.0f);
+  EXPECT_EQ(dense[3], -1.0f);
+  EXPECT_EQ(dense[0], 0.0f);
+}
+
+TEST(SparseTensor, ToDense) {
+  SparseTensor s;
+  s.dense_size = 3;
+  s.indices = {2};
+  s.values = {7.0f};
+  Tensor d = s.to_dense();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[2], 7.0f);
+}
+
+TEST(SparseTensor, SortByIndex) {
+  SparseTensor s;
+  s.dense_size = 10;
+  s.indices = {5, 1, 9};
+  s.values = {50.0f, 10.0f, 90.0f};
+  s.sort_by_index();
+  EXPECT_EQ(s.indices, (std::vector<uint32_t>{1, 5, 9}));
+  EXPECT_EQ(s.values, (std::vector<float>{10.0f, 50.0f, 90.0f}));
+}
+
+TEST(SparseTensor, ValidityChecks) {
+  SparseTensor s;
+  s.dense_size = 4;
+  s.indices = {3};
+  s.values = {1.0f};
+  EXPECT_TRUE(s.is_valid());
+  s.indices = {4};
+  EXPECT_FALSE(s.is_valid());
+  s.indices = {0, 1};
+  EXPECT_FALSE(s.is_valid());  // values/indices length mismatch
+}
+
+TEST(SparseTensor, AccumulateManyParts) {
+  SparseTensor a, b;
+  a.dense_size = b.dense_size = 5;
+  a.indices = {0, 2};
+  a.values = {1.0f, 2.0f};
+  b.indices = {2, 4};
+  b.values = {10.0f, 20.0f};
+  std::vector<SparseTensor> parts{a, b};
+  Tensor sum = accumulate(parts, 5);
+  EXPECT_EQ(sum[0], 1.0f);
+  EXPECT_EQ(sum[2], 12.0f);
+  EXPECT_EQ(sum[4], 20.0f);
+}
+
+// ------------------------------------------------------------ ExactTopK
+TEST(ExactTopK, SelectsLargestMagnitudes) {
+  Tensor x = Tensor::from({0.1f, -5.0f, 3.0f, -0.2f, 4.0f});
+  SparseTensor s = exact_topk(x.span(), 2);
+  EXPECT_EQ(s.nnz(), 2u);
+  EXPECT_EQ(s.indices, (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(s.values, (std::vector<float>{-5.0f, 4.0f}));
+}
+
+TEST(ExactTopK, KZeroIsEmpty) {
+  Tensor x = Tensor::from({1.0f, 2.0f});
+  EXPECT_EQ(exact_topk(x.span(), 0).nnz(), 0u);
+}
+
+TEST(ExactTopK, KLargerThanInputReturnsAll) {
+  Tensor x = Tensor::from({1.0f, 2.0f});
+  SparseTensor s = exact_topk(x.span(), 10);
+  EXPECT_EQ(s.nnz(), 2u);
+}
+
+TEST(ExactTopK, TieBreakIsDeterministic) {
+  Tensor x = Tensor::from({1.0f, -1.0f, 1.0f, -1.0f});
+  SparseTensor a = exact_topk(x.span(), 2);
+  SparseTensor b = exact_topk(x.span(), 2);
+  EXPECT_EQ(a.indices, b.indices);
+  EXPECT_EQ(a.indices, (std::vector<uint32_t>{0, 1}));  // lower index wins
+}
+
+TEST(ExactTopK, ThresholdMatchesSelection) {
+  Tensor x = random_gradient(1000, 5);
+  const size_t k = 50;
+  const float thres = exact_topk_threshold(x.span(), k);
+  EXPECT_EQ(x.count_abs_ge(thres), k);  // continuous values: no ties
+}
+
+TEST(ExactTopK, IndicesSortedAscending) {
+  Tensor x = random_gradient(500, 6);
+  SparseTensor s = exact_topk(x.span(), 100);
+  EXPECT_TRUE(std::is_sorted(s.indices.begin(), s.indices.end()));
+}
+
+// ------------------------------------------------------------ MSTopK
+TEST(MsTopK, ReturnsExactlyK) {
+  MsTopK mstopk(30, 1);
+  for (size_t d : {100u, 1000u, 4096u}) {
+    Tensor x = random_gradient(d, d);
+    for (size_t k : {1u, 10u, 99u}) {
+      SparseTensor s = mstopk.compress(x.span(), k);
+      EXPECT_EQ(s.nnz(), k) << "d=" << d << " k=" << k;
+      EXPECT_TRUE(s.is_valid());
+    }
+  }
+}
+
+TEST(MsTopK, ValuesMatchInputAtIndices) {
+  MsTopK mstopk(30, 2);
+  Tensor x = random_gradient(2048, 7);
+  SparseTensor s = mstopk.compress(x.span(), 64);
+  for (size_t i = 0; i < s.nnz(); ++i) {
+    EXPECT_EQ(s.values[i], x[s.indices[i]]);
+  }
+}
+
+TEST(MsTopK, NoDuplicateIndices) {
+  MsTopK mstopk(30, 3);
+  Tensor x = random_gradient(4096, 9);
+  SparseTensor s = mstopk.compress(x.span(), 200);
+  std::set<uint32_t> unique(s.indices.begin(), s.indices.end());
+  EXPECT_EQ(unique.size(), s.nnz());
+}
+
+TEST(MsTopK, CertainSetContainsAllAboveThres1) {
+  // Every element with |x| >= thres1 must be selected (Alg. 1 line 25).
+  MsTopK mstopk(30, 4);
+  Tensor x = random_gradient(8192, 11);
+  const size_t k = 82;
+  SparseTensor s = mstopk.compress(x.span(), k);
+  const auto& stats = mstopk.last_stats();
+  ASSERT_GT(stats.thres1, 0.0f);
+  std::set<uint32_t> chosen(s.indices.begin(), s.indices.end());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) >= stats.thres1) {
+      EXPECT_TRUE(chosen.count(static_cast<uint32_t>(i)))
+          << "certain element " << i << " missing";
+    }
+  }
+}
+
+TEST(MsTopK, AllSelectedAboveThres2) {
+  // Nothing below the loose bracket can be selected.
+  MsTopK mstopk(30, 5);
+  Tensor x = random_gradient(8192, 13);
+  const size_t k = 82;
+  SparseTensor s = mstopk.compress(x.span(), k);
+  const auto& stats = mstopk.last_stats();
+  for (size_t i = 0; i < s.nnz(); ++i) {
+    EXPECT_GE(std::fabs(s.values[i]) + 1e-7f, stats.thres2);
+  }
+}
+
+TEST(MsTopK, ApproximationQualityWithManySamplings) {
+  // With N = 30 samplings the selected mass should be close to exact top-k
+  // mass for Gaussian gradients.
+  MsTopK mstopk(30, 6);
+  Tensor x = random_gradient(100000, 17);
+  const size_t k = 1000;  // rho = 0.01
+  SparseTensor approx = mstopk.compress(x.span(), k);
+  SparseTensor exact = exact_topk(x.span(), k);
+  double approx_mass = 0.0, exact_mass = 0.0;
+  for (float v : approx.values) approx_mass += std::fabs(v);
+  for (float v : exact.values) exact_mass += std::fabs(v);
+  EXPECT_GT(approx_mass, 0.95 * exact_mass);
+}
+
+TEST(MsTopK, BracketCountsAreConsistent) {
+  MsTopK mstopk(30, 7);
+  Tensor x = random_gradient(50000, 19);
+  const size_t k = 500;
+  SparseTensor s = mstopk.compress(x.span(), k);
+  const auto& stats = mstopk.last_stats();
+  // Recorded bracket counts must match the data: thres1 selects k1 <= k
+  // elements, thres2 selects k2 > k elements, and the brackets straddle the
+  // exact threshold's count.
+  EXPECT_EQ(x.count_abs_ge(stats.thres1), stats.k1);
+  EXPECT_LE(stats.k1, k);
+  EXPECT_EQ(x.count_abs_ge(stats.thres2), stats.k2);
+  EXPECT_GE(stats.k2, k);
+  // thres2 admits at least k elements, so it cannot exceed the exact k-th
+  // magnitude.
+  EXPECT_LE(stats.thres2, kth_magnitude(x, k) + 1e-7f);
+}
+
+TEST(MsTopK, KGreaterEqualDReturnsEverything) {
+  MsTopK mstopk(30, 8);
+  Tensor x = random_gradient(64, 23);
+  SparseTensor s = mstopk.compress(x.span(), 64);
+  EXPECT_EQ(s.nnz(), 64u);
+  s = mstopk.compress(x.span(), 1000);
+  EXPECT_EQ(s.nnz(), 64u);
+}
+
+TEST(MsTopK, AllZeroInputFallsBack) {
+  MsTopK mstopk(30, 9);
+  Tensor x(128);
+  SparseTensor s = mstopk.compress(x.span(), 16);
+  EXPECT_EQ(s.nnz(), 16u);
+  EXPECT_TRUE(s.is_valid());
+}
+
+TEST(MsTopK, ConstantMagnitudeInputFallsBack) {
+  MsTopK mstopk(30, 10);
+  Tensor x(128);
+  x.fill(3.0f);
+  SparseTensor s = mstopk.compress(x.span(), 10);
+  EXPECT_EQ(s.nnz(), 10u);
+}
+
+TEST(MsTopK, EmptyAndKZero) {
+  MsTopK mstopk(30, 11);
+  Tensor x = random_gradient(10, 29);
+  EXPECT_EQ(mstopk.compress(x.span(), 0).nnz(), 0u);
+  Tensor empty;
+  EXPECT_EQ(mstopk.compress(empty.span(), 5).nnz(), 0u);
+}
+
+TEST(MsTopK, MoreSamplingsTightenBrackets) {
+  Tensor x = random_gradient(100000, 31);
+  const size_t k = 1000;
+  MsTopK coarse(5, 12), fine(30, 12);
+  coarse.compress(x.span(), k);
+  const float coarse_gap =
+      coarse.last_stats().thres1 - coarse.last_stats().thres2;
+  fine.compress(x.span(), k);
+  const float fine_gap = fine.last_stats().thres1 - fine.last_stats().thres2;
+  EXPECT_LE(fine_gap, coarse_gap + 1e-7f);
+}
+
+TEST(MsTopK, HeavyTailedInput) {
+  // Gradients with a few huge entries: the certain set catches them.
+  Rng rng(37);
+  Tensor x(10000);
+  x.fill_normal(rng, 0.0f, 0.01f);
+  for (size_t i = 0; i < 20; ++i) {
+    x[i * 481] = (i % 2 ? 50.0f : -50.0f);
+  }
+  MsTopK mstopk(30, 13);
+  SparseTensor s = mstopk.compress(x.span(), 100);
+  EXPECT_EQ(s.nnz(), 100u);
+  std::set<uint32_t> chosen(s.indices.begin(), s.indices.end());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_TRUE(chosen.count(static_cast<uint32_t>(i * 481)));
+  }
+}
+
+// ------------------------------------------------------------ DGC
+TEST(DgcTopK, ReturnsAtMostK) {
+  DgcTopK dgc(0.01, 3);
+  Tensor x = random_gradient(50000, 41);
+  SparseTensor s = dgc.compress(x.span(), 500);
+  EXPECT_LE(s.nnz(), 500u);
+  EXPECT_GE(s.nnz(), 400u);  // threshold estimation is close for Gaussians
+  EXPECT_TRUE(s.is_valid());
+}
+
+TEST(DgcTopK, UsesAtLeastTwoTopKCalls) {
+  DgcTopK dgc(0.01, 5);
+  Tensor x = random_gradient(50000, 43);
+  dgc.compress(x.span(), 500);
+  EXPECT_GE(dgc.last_topk_calls(), 2);
+}
+
+TEST(DgcTopK, SelectionQualityNearExact) {
+  DgcTopK dgc(0.05, 7);
+  Tensor x = random_gradient(100000, 47);
+  const size_t k = 1000;
+  SparseTensor approx = dgc.compress(x.span(), k);
+  SparseTensor exact = exact_topk(x.span(), k);
+  double approx_mass = 0.0, exact_mass = 0.0;
+  for (float v : approx.values) approx_mass += std::fabs(v);
+  for (float v : exact.values) exact_mass += std::fabs(v);
+  EXPECT_GT(approx_mass, 0.9 * exact_mass);
+}
+
+TEST(DgcTopK, SmallInputFallsBackToExact) {
+  DgcTopK dgc(0.01, 9);
+  Tensor x = Tensor::from({5.0f, -1.0f, 3.0f});
+  SparseTensor s = dgc.compress(x.span(), 3);
+  EXPECT_EQ(s.nnz(), 3u);
+}
+
+TEST(DgcTopK, ValuesMatchInput) {
+  DgcTopK dgc(0.01, 11);
+  Tensor x = random_gradient(20000, 53);
+  SparseTensor s = dgc.compress(x.span(), 200);
+  for (size_t i = 0; i < s.nnz(); ++i) {
+    EXPECT_EQ(s.values[i], x[s.indices[i]]);
+  }
+}
+
+// ------------------------------------------------------------ RandomK
+TEST(RandomK, ExactlyKDistinctIndices) {
+  RandomK rk(13);
+  Tensor x = random_gradient(1000, 59);
+  SparseTensor s = rk.compress(x.span(), 100);
+  EXPECT_EQ(s.nnz(), 100u);
+  std::set<uint32_t> unique(s.indices.begin(), s.indices.end());
+  EXPECT_EQ(unique.size(), 100u);
+  EXPECT_TRUE(s.is_valid());
+}
+
+TEST(RandomK, CoversSpaceOverManyDraws) {
+  RandomK rk(17);
+  Tensor x = random_gradient(64, 61);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    SparseTensor s = rk.compress(x.span(), 4);
+    seen.insert(s.indices.begin(), s.indices.end());
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+// ------------------------------------------------------------ ThresholdK
+TEST(ThresholdK, SelectsAllAboveThreshold) {
+  ThresholdK tk(1.0f);
+  Tensor x = Tensor::from({0.5f, -2.0f, 1.0f, 3.0f, -0.9f});
+  SparseTensor s = tk.compress(x.span(), 0);
+  EXPECT_EQ(s.indices, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+// ------------------------------------------------------------ ErrorFeedback
+TEST(ErrorFeedback, FirstApplyIsIdentity) {
+  ErrorFeedback ef;
+  Tensor g = Tensor::from({1.0f, 2.0f, 3.0f});
+  Tensor original = g;
+  ef.apply("w", g.span());
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g[i], original[i]);
+}
+
+TEST(ErrorFeedback, ResidualIsUnsentRemainder) {
+  ErrorFeedback ef;
+  Tensor g = Tensor::from({1.0f, -4.0f, 3.0f, 0.5f});
+  SparseTensor sent = exact_topk(g.span(), 2);  // picks -4 and 3
+  ef.absorb("w", g.span(), sent);
+  // Next gradient of zeros: apply returns exactly the residual.
+  Tensor next(4);
+  ef.apply("w", next.span());
+  EXPECT_EQ(next[0], 1.0f);
+  EXPECT_EQ(next[1], 0.0f);
+  EXPECT_EQ(next[2], 0.0f);
+  EXPECT_EQ(next[3], 0.5f);
+}
+
+TEST(ErrorFeedback, ClosureNoGradientIsLost) {
+  // Invariant: sent_t + residual_t == grad_t + residual_{t-1}.
+  ErrorFeedback ef;
+  Rng rng(67);
+  Tensor weights_sum(64);  // total mass delivered over time
+  Tensor true_sum(64);     // total gradient mass produced
+  for (int step = 0; step < 50; ++step) {
+    Tensor g(64);
+    g.fill_normal(rng, 0.0f, 1.0f);
+    true_sum += g;
+    ef.apply("w", g.span());
+    SparseTensor sent = exact_topk(g.span(), 8);
+    ef.absorb("w", g.span(), sent);
+    Tensor delivered = sent.to_dense();
+    weights_sum += delivered;
+  }
+  // delivered_total + final_residual == produced_total
+  Tensor residual(64);
+  ef.apply("w", residual.span());
+  weights_sum += residual;
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(weights_sum[i], true_sum[i], 1e-4f);
+  }
+}
+
+TEST(ErrorFeedback, IndependentKeys) {
+  ErrorFeedback ef;
+  Tensor a = Tensor::from({1.0f});
+  Tensor b = Tensor::from({2.0f});
+  SparseTensor none;
+  none.dense_size = 1;
+  ef.absorb("a", a.span(), none);
+  ef.absorb("b", b.span(), none);
+  EXPECT_EQ(ef.num_tensors(), 2u);
+  Tensor ra(1), rb(1);
+  ef.apply("a", ra.span());
+  ef.apply("b", rb.span());
+  EXPECT_EQ(ra[0], 1.0f);
+  EXPECT_EQ(rb[0], 2.0f);
+}
+
+TEST(ErrorFeedback, ShapeChangeThrows) {
+  ErrorFeedback ef;
+  Tensor a(4);
+  ef.apply("w", a.span());
+  Tensor b(5);
+  EXPECT_THROW(ef.apply("w", b.span()), CheckError);
+}
+
+TEST(ErrorFeedback, ResetClearsResiduals) {
+  ErrorFeedback ef;
+  Tensor g = Tensor::from({3.0f});
+  SparseTensor none;
+  none.dense_size = 1;
+  ef.absorb("w", g.span(), none);
+  EXPECT_GT(ef.residual_sq_norm(), 0.0);
+  ef.reset();
+  EXPECT_EQ(ef.num_tensors(), 0u);
+  EXPECT_EQ(ef.residual_sq_norm(), 0.0);
+}
+
+// ------------------------------------------------------------ registry
+TEST(Registry, CreatesAllKnownCompressors) {
+  for (const char* name : {"exact_topk", "dgc", "mstopk", "random_k"}) {
+    auto c = make_compressor(name, 1);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_compressor("nope"), CheckError);
+}
+
+// ---------------------------------------------- cross-operator properties
+class CompressorPropertyTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CompressorPropertyTest, ExactlyKOnGaussian) {
+  auto c = make_compressor(GetParam(), 99);
+  Tensor x = random_gradient(10000, 71);
+  for (size_t k : {1u, 10u, 100u, 1000u}) {
+    SparseTensor s = c->compress(x.span(), k);
+    if (std::string(GetParam()) == "dgc") {
+      EXPECT_LE(s.nnz(), k);
+      EXPECT_GE(s.nnz(), k * 8 / 10);
+    } else {
+      EXPECT_EQ(s.nnz(), k);
+    }
+    EXPECT_TRUE(s.is_valid());
+  }
+}
+
+TEST_P(CompressorPropertyTest, ValuesAlwaysMatchInput) {
+  auto c = make_compressor(GetParam(), 101);
+  Tensor x = random_gradient(5000, 73);
+  SparseTensor s = c->compress(x.span(), 128);
+  for (size_t i = 0; i < s.nnz(); ++i) {
+    EXPECT_EQ(s.values[i], x[s.indices[i]]);
+  }
+}
+
+TEST_P(CompressorPropertyTest, DistinctIndices) {
+  auto c = make_compressor(GetParam(), 103);
+  Tensor x = random_gradient(5000, 79);
+  SparseTensor s = c->compress(x.span(), 256);
+  std::set<uint32_t> unique(s.indices.begin(), s.indices.end());
+  EXPECT_EQ(unique.size(), s.nnz());
+}
+
+TEST_P(CompressorPropertyTest, DecompressRoundTripPreservesSelected) {
+  auto c = make_compressor(GetParam(), 107);
+  Tensor x = random_gradient(2000, 83);
+  SparseTensor s = c->compress(x.span(), 100);
+  Tensor dense = s.to_dense();
+  for (size_t i = 0; i < s.nnz(); ++i) {
+    EXPECT_EQ(dense[s.indices[i]], x[s.indices[i]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCompressors, CompressorPropertyTest,
+                         ::testing::Values("exact_topk", "dgc", "mstopk",
+                                           "random_k"));
+
+}  // namespace
+}  // namespace hitopk::compress

@@ -1,0 +1,341 @@
+// Unit tests for the core substrate: checks, RNG, tensor, half, stats, table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "core/check.h"
+#include "core/half.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "core/tensor.h"
+
+namespace hitopk {
+namespace {
+
+// ---------------------------------------------------------------- check
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(HITOPK_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(HITOPK_CHECK(false) << "context", CheckError);
+}
+
+TEST(Check, MessageContainsConditionAndContext) {
+  try {
+    int k = 7;
+    HITOPK_CHECK(k < 5) << "k was" << k;
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("k < 5"), std::string::npos);
+    EXPECT_NE(what.find("k was 7"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacros) {
+  EXPECT_NO_THROW(HITOPK_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(HITOPK_CHECK_LT(2, 3));
+  EXPECT_THROW(HITOPK_CHECK_GT(2, 3), CheckError);
+  EXPECT_THROW(HITOPK_CHECK_NE(5, 5), CheckError);
+}
+
+// ---------------------------------------------------------------- rng
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_index(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  // The child stream must not replay the parent stream.
+  Rng parent_copy(23);
+  (void)parent_copy.next_u64();  // same advance as fork consumed
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent_copy.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, UniformIndexZeroThrows) {
+  Rng rng(31);
+  EXPECT_THROW(rng.uniform_index(0), CheckError);
+}
+
+// ---------------------------------------------------------------- tensor
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tensor, OneDimensionalConstruction) {
+  Tensor t(5);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.rows(), 5u);
+  EXPECT_EQ(t.cols(), 1u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, TwoDimensionalAccess) {
+  Tensor t(2, 3);
+  t.at(1, 2) = 42.0f;
+  EXPECT_EQ(t.at(1, 2), 42.0f);
+  EXPECT_EQ(t[5], 42.0f);  // row-major
+  EXPECT_THROW(t.at(2, 0), CheckError);
+}
+
+TEST(Tensor, FromValues) {
+  Tensor t = Tensor::from({1.0f, -2.0f, 3.0f});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], -2.0f);
+}
+
+TEST(Tensor, From2dShapeMismatchThrows) {
+  EXPECT_THROW(Tensor::from(2, 2, {1.0f, 2.0f, 3.0f}), CheckError);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a = Tensor::from({1.0f, 2.0f, 3.0f});
+  Tensor b = Tensor::from({10.0f, 20.0f, 30.0f});
+  a += b;
+  EXPECT_EQ(a[2], 33.0f);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0f);
+  a *= 2.0f;
+  EXPECT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, MismatchedAddThrows) {
+  Tensor a(3), b(4);
+  EXPECT_THROW(a += b, CheckError);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from({3.0f, -4.0f});
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.l2_norm(), 5.0f);
+  EXPECT_FLOAT_EQ(t.abs_mean(), 3.5f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 4.0f);
+}
+
+TEST(Tensor, CountAbsGe) {
+  Tensor t = Tensor::from({0.5f, -1.5f, 2.5f, -0.1f});
+  EXPECT_EQ(t.count_abs_ge(1.0f), 2u);
+  EXPECT_EQ(t.count_abs_ge(0.0f), 4u);
+  EXPECT_EQ(t.count_abs_ge(3.0f), 0u);
+}
+
+TEST(Tensor, SliceViewsShareStorage) {
+  Tensor t(10);
+  auto view = t.slice(2, 3);
+  view[0] = 9.0f;
+  EXPECT_EQ(t[2], 9.0f);
+  EXPECT_THROW(t.slice(8, 3), CheckError);
+}
+
+TEST(Tensor, FillRandomRespectsBounds) {
+  Rng rng(37);
+  Tensor t(1000);
+  t.fill_uniform(rng, -2.0f, 2.0f);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -2.0f);
+    EXPECT_LT(t[i], 2.0f);
+  }
+}
+
+TEST(TensorOps, AddIntoAndZero) {
+  Tensor a = Tensor::from({1.0f, 2.0f});
+  Tensor b = Tensor::from({3.0f, 4.0f});
+  tensor_ops::add_into(a.span(), b.span());
+  EXPECT_EQ(a[1], 6.0f);
+  tensor_ops::zero(a.span());
+  EXPECT_EQ(a[0], 0.0f);
+}
+
+// ---------------------------------------------------------------- half
+TEST(Half, ExactSmallValuesRoundTrip) {
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f}) {
+    EXPECT_EQ(half_to_float(float_to_half(v)), v) << v;
+  }
+}
+
+TEST(Half, RoundingErrorBounded) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.uniform(-100.0, 100.0));
+    const float r = half_to_float(float_to_half(v));
+    // FP16 has 11 significand bits: relative error <= 2^-11.
+    EXPECT_NEAR(r, v, std::fabs(v) * 0x1.0p-10 + 1e-7f) << v;
+  }
+}
+
+TEST(Half, OverflowToInfinity) {
+  const Half h = float_to_half(1e6f);
+  EXPECT_TRUE(std::isinf(half_to_float(h)));
+  const Half hneg = float_to_half(-1e6f);
+  EXPECT_TRUE(std::isinf(half_to_float(hneg)));
+  EXPECT_LT(half_to_float(hneg), 0.0f);
+}
+
+TEST(Half, NanPreserved) {
+  const Half h = float_to_half(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(half_to_float(h)));
+}
+
+TEST(Half, SubnormalRange) {
+  // Smallest positive normal half is 2^-14; below that we get subnormals.
+  const float tiny = 0x1.0p-20f;
+  const float r = half_to_float(float_to_half(tiny));
+  EXPECT_NEAR(r, tiny, tiny * 0.05f);
+}
+
+TEST(Half, UnderflowToZero) {
+  EXPECT_EQ(half_to_float(float_to_half(1e-30f)), 0.0f);
+}
+
+TEST(Half, BulkConversionMatchesScalar) {
+  Rng rng(43);
+  std::vector<float> src(257);
+  for (auto& v : src) v = static_cast<float>(rng.normal(0.0, 10.0));
+  std::vector<Half> halves(src.size());
+  std::vector<float> dst(src.size());
+  float_to_half(src, halves);
+  half_to_float(halves, dst);
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(dst[i], half_to_float(float_to_half(src[i])));
+  }
+}
+
+TEST(Half, RoundTripIsIdempotent) {
+  Rng rng(47);
+  std::vector<float> v(100);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, 1.0));
+  fp16_round_trip(v);
+  auto once = v;
+  fp16_round_trip(v);
+  EXPECT_EQ(v, once);
+}
+
+// ---------------------------------------------------------------- stats
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+// ---------------------------------------------------------------- table
+TEST(TablePrinter, AlignedOutput) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinter, CellCountMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), CheckError);
+}
+
+TEST(TablePrinter, Formatting) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt_int(42), "42");
+  EXPECT_EQ(TablePrinter::fmt_percent(0.905, 1), "90.5%");
+}
+
+}  // namespace
+}  // namespace hitopk

@@ -1,0 +1,99 @@
+// Tests for the V100 cost model: the Fig. 6 operator ordering and the §5.4
+// LARS anchors.
+#include <gtest/gtest.h>
+
+#include "models/calibration.h"
+#include "simgpu/gpu_model.h"
+
+namespace hitopk::simgpu {
+namespace {
+
+TEST(GpuCostModel, CoalescedPassFasterThanSortPass) {
+  GpuCostModel gpu;
+  EXPECT_LT(gpu.coalesced_pass_seconds(1 << 20),
+            gpu.sort_pass_seconds(1 << 20));
+}
+
+TEST(GpuCostModel, ZeroSizeOpsCostNothing) {
+  GpuCostModel gpu;
+  EXPECT_EQ(gpu.exact_topk_seconds(0), 0.0);
+  EXPECT_EQ(gpu.mstopk_seconds(0, 0), 0.0);
+  EXPECT_EQ(gpu.dgc_topk_seconds(0), 0.0);
+}
+
+TEST(GpuCostModel, Fig6OrderingHoldsAcrossSizes) {
+  // nn.topk > DGC > MSTopK at every measured size of Fig. 6.
+  GpuCostModel gpu;
+  for (size_t d : {size_t{256} << 10, size_t{1} << 20, size_t{8} << 20,
+                   size_t{32} << 20, size_t{128} << 20}) {
+    const size_t k = d / 1000;
+    const double exact = gpu.exact_topk_seconds(d);
+    const double dgc = gpu.dgc_topk_seconds(d);
+    const double mstopk = gpu.mstopk_seconds(d, k, 30);
+    EXPECT_GT(exact, dgc) << "d=" << d;
+    EXPECT_GT(dgc, mstopk) << "d=" << d;
+  }
+}
+
+TEST(GpuCostModel, ExactTopKCalibratedToPaper) {
+  // Fig. 6b: nn.topk at 128 M elements is roughly 1.2 s.
+  GpuCostModel gpu;
+  const double t = gpu.exact_topk_seconds(128'000'000);
+  EXPECT_GT(t, 0.8);
+  EXPECT_LT(t, 1.6);
+}
+
+TEST(GpuCostModel, MsTopKNegligibleAtScale) {
+  // Fig. 6: MSTopK stays well under 50 ms even at 128 M elements.
+  GpuCostModel gpu;
+  EXPECT_LT(gpu.mstopk_seconds(128'000'000, 128'000, 30), 0.05);
+}
+
+TEST(GpuCostModel, MsTopKScalesWithSamplings) {
+  GpuCostModel gpu;
+  const double n10 = gpu.mstopk_seconds(1 << 24, 1 << 14, 10);
+  const double n30 = gpu.mstopk_seconds(1 << 24, 1 << 14, 30);
+  EXPECT_GT(n30, n10);
+  EXPECT_LT(n30, 3.5 * n10);
+}
+
+TEST(GpuCostModel, CostsMonotonicInSize) {
+  GpuCostModel gpu;
+  size_t prev_d = 1 << 16;
+  for (size_t d = 1 << 18; d <= (1u << 26); d <<= 2) {
+    EXPECT_GT(gpu.exact_topk_seconds(d), gpu.exact_topk_seconds(prev_d));
+    EXPECT_GT(gpu.mstopk_seconds(d, d / 1000, 30),
+              gpu.mstopk_seconds(prev_d, prev_d / 1000, 30));
+    EXPECT_GT(gpu.dgc_topk_seconds(d), gpu.dgc_topk_seconds(prev_d));
+    prev_d = d;
+  }
+}
+
+TEST(GpuCostModel, LarsAnchoredToPaper) {
+  // §5.4: full-model LARS is ~11 ms on ResNet-50 (161 layers, 25.6 M) and
+  // ~30 ms on Transformer.
+  GpuCostModel gpu;
+  const double resnet = gpu.lars_seconds(161, 25'600'000);
+  EXPECT_GT(resnet, 0.008);
+  EXPECT_LT(resnet, 0.014);
+  const double transformer = gpu.lars_seconds(256 + 196, 110'000'000);
+  EXPECT_GT(transformer, 0.020);
+  EXPECT_LT(transformer, 0.040);
+}
+
+TEST(GpuCostModel, ScatterAddScalesWithNnz) {
+  GpuCostModel gpu;
+  EXPECT_GT(gpu.scatter_add_seconds(1 << 22), gpu.scatter_add_seconds(1 << 12));
+}
+
+TEST(GpuCostModel, Fig1CompressionDominatesFfbp) {
+  // Fig. 1's motivation: exact top-k on the full ResNet-50 gradient
+  // (25.6 M elements) costs ~0.24 s, exceeding the 0.204 s FF&BP time.
+  GpuCostModel gpu;
+  const double compression = gpu.exact_topk_seconds(25'600'000);
+  EXPECT_GT(compression, 0.15);
+  EXPECT_LT(compression, 0.35);
+}
+
+}  // namespace
+}  // namespace hitopk::simgpu

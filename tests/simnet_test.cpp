@@ -1,0 +1,173 @@
+// Tests for the cluster timing engine: topology mapping, alpha-beta link
+// costs, port serialization, and the shared-NIC contention model.
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "simnet/cluster.h"
+#include "simnet/topology.h"
+
+namespace hitopk::simnet {
+namespace {
+
+Topology tiny() {
+  // 2 nodes x 2 GPUs, round numbers for hand-checkable costs:
+  // intra 1 GB/s / 1 us, inter 0.1 GB/s / 10 us.
+  return Topology(2, 2, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8});
+}
+
+// ------------------------------------------------------------ topology
+TEST(Topology, RankMapping) {
+  Topology t = tiny();
+  EXPECT_EQ(t.world_size(), 4);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(3), 1);
+  EXPECT_EQ(t.local_rank(3), 1);
+  EXPECT_EQ(t.rank_of(1, 0), 2);
+  EXPECT_TRUE(t.same_node(0, 1));
+  EXPECT_FALSE(t.same_node(1, 2));
+}
+
+TEST(Topology, LinkSelection) {
+  Topology t = tiny();
+  EXPECT_DOUBLE_EQ(t.link_between(0, 1).beta, 1e-9);
+  EXPECT_DOUBLE_EQ(t.link_between(0, 2).beta, 1e-8);
+}
+
+TEST(Topology, TransferSeconds) {
+  LinkParams link{2e-6, 1e-9};
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(1000), 2e-6 + 1e-6);
+}
+
+TEST(Topology, OutOfRangeRankThrows) {
+  Topology t = tiny();
+  EXPECT_THROW(t.node_of(4), CheckError);
+  EXPECT_THROW(t.rank_of(2, 0), CheckError);
+  EXPECT_THROW(t.rank_of(0, 2), CheckError);
+}
+
+TEST(Topology, PresetsOrderedByInterBandwidth) {
+  // NIC aggregate capacity: 100G IB > 32GbE (Aliyun) > 25GbE (Tencent);
+  // per-flow TCP rate is the same on both Ethernet clouds, and InfiniBand
+  // flows reach line rate.
+  auto tencent = Topology::tencent_cloud();
+  auto aliyun = Topology::aliyun();
+  auto ib = Topology::infiniband_100g();
+  EXPECT_GT(tencent.nic_beta(), aliyun.nic_beta());
+  EXPECT_GT(aliyun.nic_beta(), ib.nic_beta());
+  EXPECT_EQ(tencent.inter().beta, aliyun.inter().beta);
+  EXPECT_GT(tencent.inter().beta, ib.inter().beta);
+  EXPECT_LT(tencent.intra().beta, tencent.inter().beta);
+  EXPECT_EQ(tencent.world_size(), 128);
+}
+
+TEST(Topology, DescribeMentionsShape) {
+  const std::string s = Topology::tencent_cloud().describe();
+  EXPECT_NE(s.find("16 nodes"), std::string::npos);
+  EXPECT_NE(s.find("8 GPUs"), std::string::npos);
+}
+
+// ------------------------------------------------------------ cluster
+TEST(Cluster, SingleTransferCost) {
+  Cluster c(tiny());
+  // Intra-node: 1000 bytes at 1 GB/s + 1 us = 2 us.
+  EXPECT_DOUBLE_EQ(c.send(0, 1, 1000, 0.0), 2e-6);
+  c.reset();
+  // Inter-node: 1000 bytes at 0.1 GB/s + 10 us = 20 us.
+  EXPECT_DOUBLE_EQ(c.send(0, 2, 1000, 0.0), 2e-5);
+}
+
+TEST(Cluster, DataReadyDelaysStart) {
+  Cluster c(tiny());
+  EXPECT_DOUBLE_EQ(c.send(0, 1, 1000, 5e-6), 5e-6 + 2e-6);
+}
+
+TEST(Cluster, SendPortSerializesSameSource) {
+  Cluster c(tiny());
+  const double first = c.send(0, 1, 1000, 0.0);
+  // Second send from rank 0 must wait for the first to finish.
+  const double second = c.send(0, 1, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(second, first + 2e-6);
+}
+
+TEST(Cluster, RecvPortSerializesSameDestination) {
+  Cluster c(Topology(1, 3, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8}));
+  const double first = c.send(0, 2, 1000, 0.0);
+  const double second = c.send(1, 2, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(second, first + 2e-6);
+}
+
+TEST(Cluster, DisjointIntraNodePairsRunInParallel) {
+  Cluster c(Topology(1, 4, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8}));
+  const double a = c.send(0, 1, 1000, 0.0);
+  const double b = c.send(2, 3, 1000, 0.0);
+  // NVLink peer links are independent: both finish at the same time.
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Cluster, SharedNicSerializesInterNodeStreams) {
+  // Two GPUs of node 0 each send to their peer in node 1: both cross the
+  // node-0 NIC, so the second flow starts only after the NIC has *serviced*
+  // the first flow's bytes (here nic_beta == flow beta: 1000 B * 1e-8 =
+  // 10 us of service), even though the first flow itself completes at 20 us.
+  Cluster c(tiny());
+  const double a = c.send(0, 2, 1000, 0.0);
+  const double b = c.send(1, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, 2e-5);
+  EXPECT_DOUBLE_EQ(b, 1e-5 + 2e-5);
+}
+
+TEST(Cluster, NicCapacityAllowsFlowAggregation) {
+  // With NIC capacity 4x the per-flow rate, four concurrent flows pipeline
+  // through the NIC: each starts one service quantum after the previous.
+  Topology topo(2, 4, LinkParams{0.0, 1e-9}, LinkParams{0.0, 1e-8},
+                /*nic_beta=*/2.5e-9);
+  Cluster c(topo);
+  const size_t bytes = 1'000'000;
+  double last = 0.0;
+  for (int g = 0; g < 4; ++g) {
+    last = std::max(last, c.send(g, 4 + g, bytes, 0.0));
+  }
+  // Pure serialization would take 4 * 10 ms = 40 ms; aggregation finishes
+  // the last flow at 3 * 2.5 ms (service staggering) + 10 ms = 17.5 ms.
+  EXPECT_NEAR(last, 3.0 * 2.5e-3 + 1e-2, 1e-9);
+}
+
+TEST(Cluster, InterNodeStreamsFromDifferentNodesDoNotContend) {
+  Cluster c(Topology(3, 1, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8}));
+  const double a = c.send(0, 1, 1000, 0.0);
+  c.reset();
+  const double b0 = c.send(0, 1, 1000, 0.0);
+  const double b1 = c.send(2, 1, 1000, 0.0);  // same dst node: recv NIC busy
+  EXPECT_DOUBLE_EQ(b0, a);
+  EXPECT_GT(b1, b0);
+}
+
+TEST(Cluster, SelfSendThrows) {
+  Cluster c(tiny());
+  EXPECT_THROW(c.send(1, 1, 10, 0.0), CheckError);
+}
+
+TEST(Cluster, TrafficAccounting) {
+  Cluster c(tiny());
+  c.send(0, 1, 100, 0.0);
+  c.send(0, 2, 200, 0.0);
+  EXPECT_EQ(c.intra_node_bytes(), 100u);
+  EXPECT_EQ(c.inter_node_bytes(), 200u);
+  c.reset();
+  EXPECT_EQ(c.intra_node_bytes(), 0u);
+  EXPECT_EQ(c.quiescent_time(), 0.0);
+}
+
+TEST(Cluster, QuiescentTimeIsMaxPortTime) {
+  Cluster c(tiny());
+  c.send(0, 1, 1000, 0.0);
+  c.send(0, 2, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(c.quiescent_time(), 2e-6 + 2e-5);
+}
+
+TEST(Cluster, ComputeIsPureDelay) {
+  EXPECT_DOUBLE_EQ(Cluster::compute(1.0, 0.25), 1.25);
+}
+
+}  // namespace
+}  // namespace hitopk::simnet

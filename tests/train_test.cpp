@@ -1,0 +1,279 @@
+// Tests for the training system: tensor fusion, the iteration timeline
+// (Fig. 1 / Table 3 shapes), and the DAWNBench schedule (Tables 4-5).
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "train/dawnbench.h"
+#include "train/fusion.h"
+#include "train/timeline.h"
+
+namespace hitopk::train {
+namespace {
+
+using simnet::Topology;
+
+// ------------------------------------------------------------ fusion
+TEST(Fusion, SingleTensorBelowThresholdIsOneBucket) {
+  const auto buckets = fuse_buckets({100}, 1 << 20);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].elems, 100u);
+  EXPECT_DOUBLE_EQ(buckets[0].ready_fraction, 1.0);
+}
+
+TEST(Fusion, SplitsAtThreshold) {
+  // 4-byte elements; threshold 40 bytes = 10 elements.
+  const auto buckets = fuse_buckets({6, 6, 6, 6}, 40);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].elems, 12u);
+  EXPECT_EQ(buckets[1].elems, 12u);
+  EXPECT_DOUBLE_EQ(buckets[0].ready_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(buckets[1].ready_fraction, 1.0);
+}
+
+TEST(Fusion, ElementsAndLayersConserved) {
+  const models::ModelSpec model = models::resnet50();
+  const auto sizes = model.backprop_order_sizes();
+  const auto buckets = fuse_buckets(sizes, 64 << 20);
+  size_t elems = 0, layers = 0;
+  for (const auto& b : buckets) {
+    elems += b.elems;
+    layers += b.layers;
+  }
+  EXPECT_EQ(elems, model.total_params());
+  EXPECT_EQ(layers, model.num_tensors());
+}
+
+TEST(Fusion, ReadyFractionsMonotonic) {
+  const auto sizes = models::vgg19().backprop_order_sizes();
+  const auto buckets = fuse_buckets(sizes, 8 << 20);
+  EXPECT_GT(buckets.size(), 2u);
+  double prev = 0.0;
+  for (const auto& b : buckets) {
+    EXPECT_GT(b.ready_fraction, prev);
+    prev = b.ready_fraction;
+  }
+  EXPECT_DOUBLE_EQ(buckets.back().ready_fraction, 1.0);
+}
+
+TEST(Fusion, LargeTensorGetsOwnBucket) {
+  // VGG's fc1 (102.8M elems = 411 MB) exceeds any normal threshold alone.
+  const auto buckets = fuse_buckets(models::vgg19().backprop_order_sizes(),
+                                    64 << 20);
+  bool found = false;
+  for (const auto& b : buckets) {
+    if (b.elems >= 25088u * 4096u) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------------ timeline
+TrainerOptions base_options(Algorithm algorithm, const char* model = "resnet50",
+                            int resolution = 224, int batch = 256) {
+  TrainerOptions options;
+  options.model = model;
+  options.resolution = resolution;
+  options.local_batch = batch;
+  options.algorithm = algorithm;
+  return options;
+}
+
+TEST(Timeline, BreakdownSumsToTotal) {
+  TrainingSimulator sim(Topology::tencent_cloud(16, 8),
+                        base_options(Algorithm::kMstopkHitopk));
+  const auto it = sim.simulate_iteration();
+  EXPECT_NEAR(it.io + it.ffbp + it.compression + it.communication + it.lars +
+                  it.overhead,
+              it.total, 1e-9);
+  EXPECT_GT(it.throughput, 0.0);
+}
+
+TEST(Timeline, Table3AlgorithmOrdering) {
+  // Dense-SGD slowest everywhere.  MSTopK-SGD vs 2DTAR-SGD: near-tie at
+  // ResNet@224 (the paper has 2DTAR ahead by 1%; we tolerate +-8%), a clear
+  // win on ResNet@96 and VGG-19, and at least a small win on Transformer
+  // (our simulated 2DTAR Transformer overlaps better than the paper's
+  // measured one, so the 1.38x gap narrows; see EXPERIMENTS.md).
+  const Topology topo = Topology::tencent_cloud(16, 8);
+  struct Case {
+    const char* model;
+    int res;
+    int batch;
+    double min_ratio;  // MSTopK / 2DTAR throughput
+    double max_ratio;
+  };
+  for (const Case c : {Case{"resnet50", 224, 256, 0.92, 1.08},
+                       Case{"resnet50", 96, 256, 1.05, 1.5},
+                       Case{"vgg19", 224, 128, 1.10, 1.9},
+                       Case{"transformer", 224, 16, 1.02, 1.6}}) {
+    TrainingSimulator dense(topo, base_options(Algorithm::kDenseTree, c.model,
+                                               c.res, c.batch));
+    TrainingSimulator torus(topo, base_options(Algorithm::kDense2dTorus,
+                                               c.model, c.res, c.batch));
+    TrainingSimulator mstopk(topo, base_options(Algorithm::kMstopkHitopk,
+                                                c.model, c.res, c.batch));
+    const double td = dense.simulate_iteration().throughput;
+    const double tt = torus.simulate_iteration().throughput;
+    const double tm = mstopk.simulate_iteration().throughput;
+    EXPECT_LT(td, tt) << c.model << c.res;
+    EXPECT_LT(td, tm) << c.model << c.res;
+    EXPECT_GT(tm / tt, c.min_ratio) << c.model << c.res;
+    EXPECT_LT(tm / tt, c.max_ratio) << c.model << c.res;
+  }
+}
+
+TEST(Timeline, TopkCompressionExposedLikeFig1) {
+  // Fig. 1: TopK-SGD's exact top-k compression is a large non-overlapped
+  // chunk, comparable to FF&BP itself at 224^2.
+  TrainingSimulator sim(Topology::tencent_cloud(16, 8),
+                        base_options(Algorithm::kTopkNaiveAg));
+  const auto it = sim.simulate_iteration();
+  EXPECT_GT(it.compression, 0.1);
+  EXPECT_LT(it.compression, 0.35);
+}
+
+TEST(Timeline, DenseCommunicationDominatesAtLowResolution) {
+  // Fig. 1 / §2.2: at 96^2 the compute shrinks but communication does not.
+  TrainingSimulator sim(Topology::tencent_cloud(16, 8),
+                        base_options(Algorithm::kDenseTree, "resnet50", 96));
+  const auto it = sim.simulate_iteration();
+  EXPECT_GT(it.communication, it.ffbp);
+}
+
+TEST(Timeline, ScalingEfficiencyInUnitRange) {
+  for (Algorithm a : {Algorithm::kDenseTree, Algorithm::kDense2dTorus,
+                      Algorithm::kTopkNaiveAg, Algorithm::kMstopkHitopk}) {
+    TrainingSimulator sim(Topology::tencent_cloud(16, 8), base_options(a));
+    const double se = sim.scaling_efficiency();
+    EXPECT_GT(se, 0.0) << algorithm_name(a);
+    EXPECT_LT(se, 1.0) << algorithm_name(a);
+  }
+}
+
+TEST(Timeline, MstopkScalingEfficiencyNearPaperAt96) {
+  // Table 3: MSTopK-SGD at 96^2 reaches ~70% SE (ours computes SE against
+  // its own single-GPU baseline; allow a generous band).
+  TrainingSimulator sim(Topology::tencent_cloud(16, 8),
+                        base_options(Algorithm::kMstopkHitopk, "resnet50", 96));
+  const double se = sim.scaling_efficiency();
+  EXPECT_GT(se, 0.6);
+  EXPECT_LT(se, 0.95);
+}
+
+TEST(Timeline, FasterInterconnectHelpsDense) {
+  TrainingSimulator eth(Topology::tencent_cloud(16, 8),
+                        base_options(Algorithm::kDenseTree));
+  TrainingSimulator ib(Topology::infiniband_100g(16, 8),
+                       base_options(Algorithm::kDenseTree));
+  EXPECT_GT(ib.simulate_iteration().throughput,
+            1.3 * eth.simulate_iteration().throughput);
+}
+
+TEST(Timeline, OverlapReducesExposedCommunication) {
+  TrainerOptions overlapped = base_options(Algorithm::kDense2dTorus);
+  TrainerOptions serial = overlapped;
+  serial.overlap_comm = false;
+  const Topology topo = Topology::tencent_cloud(16, 8);
+  TrainingSimulator a(topo, overlapped), b(topo, serial);
+  EXPECT_LE(a.simulate_iteration().communication,
+            b.simulate_iteration().communication);
+}
+
+TEST(Timeline, DataCacheRemovesExposedIo) {
+  TrainerOptions cached = base_options(Algorithm::kMstopkHitopk, "resnet50", 96);
+  TrainerOptions naive = cached;
+  naive.use_datacache = false;
+  const Topology topo = Topology::tencent_cloud(16, 8);
+  TrainingSimulator a(topo, cached), b(topo, naive);
+  EXPECT_LT(a.simulate_iteration().io + 1e-9,
+            b.simulate_iteration().io + 1e-9);
+}
+
+TEST(Timeline, SingleGpuHasNoCommunication) {
+  TrainingSimulator sim(Topology::tencent_cloud(16, 8),
+                        base_options(Algorithm::kMstopkHitopk));
+  const auto it = sim.simulate_single_gpu();
+  EXPECT_GT(it.throughput, 0.0);
+  EXPECT_EQ(it.communication, 0.0);
+  EXPECT_EQ(it.compression, 0.0);
+}
+
+TEST(Timeline, SingleGpuThroughputNearPaperBaselines) {
+  // §5.5.2: single-GPU baselines 1150 (ResNet@224), 560 (VGG), 32
+  // (Transformer) samples/s.
+  TrainingSimulator resnet(Topology::tencent_cloud(1, 1),
+                           base_options(Algorithm::kDenseTree));
+  EXPECT_NEAR(resnet.simulate_single_gpu().throughput, 1150.0, 120.0);
+  TrainingSimulator vgg(Topology::tencent_cloud(1, 1),
+                        base_options(Algorithm::kDenseTree, "vgg19", 224, 128));
+  EXPECT_NEAR(vgg.simulate_single_gpu().throughput, 560.0, 60.0);
+  TrainingSimulator trf(
+      Topology::tencent_cloud(1, 1),
+      base_options(Algorithm::kDenseTree, "transformer", 224, 16));
+  EXPECT_NEAR(trf.simulate_single_gpu().throughput, 32.0, 4.0);
+}
+
+TEST(Timeline, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(Algorithm::kDenseTree), "Dense-SGD");
+  EXPECT_EQ(algorithm_name(Algorithm::kMstopkHitopk), "MSTopK-SGD");
+}
+
+// ------------------------------------------------------------ DAWNBench
+TEST(Dawnbench, PaperRecipeShape) {
+  const auto schedule = DawnbenchSchedule::paper_recipe();
+  EXPECT_EQ(schedule.total_epochs(), 28);
+  EXPECT_EQ(schedule.phases.size(), 4u);
+  EXPECT_EQ(schedule.phases[0].resolution, 96);
+  EXPECT_EQ(schedule.phases[0].algorithm, Algorithm::kMstopkHitopk);
+  EXPECT_EQ(schedule.phases[3].local_batch, 128);
+}
+
+TEST(Dawnbench, TotalTimeNearPaperRecord) {
+  // Table 5: 151 seconds on 128 V100s over 25 GbE.
+  const auto report = simulate_dawnbench(simnet::Topology::tencent_cloud(16, 8),
+                                         DawnbenchSchedule::paper_recipe());
+  EXPECT_GT(report.total_seconds, 120.0);
+  EXPECT_LT(report.total_seconds, 185.0);
+}
+
+TEST(Dawnbench, ThroughputDecreasesWithResolution) {
+  const auto report = simulate_dawnbench(simnet::Topology::tencent_cloud(16, 8),
+                                         DawnbenchSchedule::paper_recipe());
+  ASSERT_EQ(report.phases.size(), 4u);
+  for (size_t i = 1; i < report.phases.size(); ++i) {
+    EXPECT_LT(report.phases[i].cluster_throughput,
+              report.phases[i - 1].cluster_throughput);
+  }
+}
+
+TEST(Dawnbench, ColdCachesCostMore) {
+  auto schedule = DawnbenchSchedule::paper_recipe();
+  schedule.prewarm_caches = false;
+  const auto cold = simulate_dawnbench(simnet::Topology::tencent_cloud(16, 8),
+                                       schedule);
+  schedule.prewarm_caches = true;
+  const auto warm = simulate_dawnbench(simnet::Topology::tencent_cloud(16, 8),
+                                       schedule);
+  EXPECT_GT(cold.total_seconds, warm.total_seconds + 5.0);
+}
+
+TEST(Dawnbench, SlowerInterconnectStillUnderCompetitorTime) {
+  // The paper's point: 25 GbE beats Alibaba's 158 s on 32 GbE.  Our 25 GbE
+  // simulation must stay under 158 s.
+  const auto report = simulate_dawnbench(simnet::Topology::tencent_cloud(16, 8),
+                                         DawnbenchSchedule::paper_recipe());
+  EXPECT_LT(report.total_seconds, 158.0);
+}
+
+TEST(Dawnbench, DenseOnlyRecipeIsSlower) {
+  // Ablation: replacing MSTopK-SGD with 2DTAR-SGD in the 96^2 phase loses
+  // throughput exactly where scaling is hardest.
+  auto dense_recipe = DawnbenchSchedule::paper_recipe();
+  dense_recipe.phases[0].algorithm = Algorithm::kDense2dTorus;
+  const auto topo = simnet::Topology::tencent_cloud(16, 8);
+  const auto dense = simulate_dawnbench(topo, dense_recipe);
+  const auto paper = simulate_dawnbench(topo, DawnbenchSchedule::paper_recipe());
+  EXPECT_GT(dense.total_seconds, paper.total_seconds);
+}
+
+}  // namespace
+}  // namespace hitopk::train

@@ -5,7 +5,9 @@
 
 #include "collectives/ring.h"
 #include "compress/mstopk.h"
+#include "core/parallel.h"
 #include "core/tensor.h"
+#include "core/workspace.h"
 
 namespace hitopk::coll {
 namespace {
@@ -24,10 +26,18 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const int n = topo.gpus_per_node();
+  const int world = topo.world_size();
   const bool functional = !data.empty();
   check_data(world_group(topo), data, elems);
 
   HiTopKBreakdown out;
+
+  // Owned-shard layout: GPU `local` of every node owns shard `local`.
+  std::vector<ChunkRange> shards(static_cast<size_t>(n));
+  for (int local = 0; local < n; ++local) {
+    shards[static_cast<size_t>(local)] =
+        chunk_range(elems, static_cast<size_t>(n), static_cast<size_t>(local));
+  }
 
   // ---- Step 1: intra-node reduce-scatter (dense, Alg. 2 lines 2-4).
   double t1 = start;
@@ -44,13 +54,11 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
 
   // ---- Step 2: MSTopK on each GPU's owned shard (Alg. 2 lines 5-8).
   // Per-rank sparse selection, indices local to the shard.
-  std::vector<compress::SparseTensor> selected(
-      static_cast<size_t>(topo.world_size()));
+  std::vector<compress::SparseTensor> selected(static_cast<size_t>(world));
   size_t max_k = 0;
   double mstopk_seconds = 0.0;
   for (int local = 0; local < n; ++local) {
-    const ChunkRange shard =
-        chunk_range(elems, static_cast<size_t>(n), static_cast<size_t>(local));
+    const ChunkRange& shard = shards[static_cast<size_t>(local)];
     const size_t k = shard_k(options.density, shard.count);
     max_k = std::max(max_k, k);
     if (options.gpu != nullptr) {
@@ -58,24 +66,47 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
           mstopk_seconds, options.gpu->mstopk_seconds(shard.count, k,
                                                       options.mstopk_samplings));
     }
-    if (!functional) continue;
-    for (int node = 0; node < m; ++node) {
-      const int rank = topo.rank_of(node, local);
-      auto shard_span =
-          data[static_cast<size_t>(rank)].subspan(shard.begin, shard.count);
-      compress::MsTopK mstopk(options.mstopk_samplings,
-                              options.seed + static_cast<uint64_t>(rank));
-      if (options.error_feedback != nullptr) {
-        options.error_feedback->apply(
-            options.ef_key_prefix + ":" + std::to_string(rank), shard_span);
-      }
-      selected[static_cast<size_t>(rank)] = mstopk.compress(shard_span, k);
-      if (options.error_feedback != nullptr) {
-        options.error_feedback->absorb(
-            options.ef_key_prefix + ":" + std::to_string(rank), shard_span,
-            selected[static_cast<size_t>(rank)]);
+  }
+  if (functional) {
+    // Error-feedback keys are per rank and constant across iterations:
+    // build each "<prefix>:<rank>" string once instead of re-concatenating
+    // it in the selection loop, and pre-create the residual entries so the
+    // parallel workers below only ever look them up (inserts would race).
+    std::vector<std::string> ef_keys;
+    if (options.error_feedback != nullptr) {
+      ef_keys.resize(static_cast<size_t>(world));
+      for (int rank = 0; rank < world; ++rank) {
+        ef_keys[static_cast<size_t>(rank)] =
+            options.ef_key_prefix + ":" + std::to_string(rank);
+        const ChunkRange& shard =
+            shards[static_cast<size_t>(topo.local_rank(rank))];
+        options.error_feedback->ensure(ef_keys[static_cast<size_t>(rank)],
+                                       shard.count);
       }
     }
+    // Every rank simulates an independent GPU: disjoint shard buffers,
+    // per-rank seeded RNG, per-rank residual entry.  The iterations commute,
+    // so the parallel execution is bitwise identical to the serial loop.
+    const compress::MsTopKMode mode = options.mstopk_histogram
+                                          ? compress::MsTopKMode::kHistogram
+                                          : compress::MsTopKMode::kMultiPass;
+    parallel_for(0, static_cast<size_t>(world), [&](size_t r) {
+      const int rank = static_cast<int>(r);
+      const ChunkRange& shard =
+          shards[static_cast<size_t>(topo.local_rank(rank))];
+      const size_t k = shard_k(options.density, shard.count);
+      auto shard_span = data[r].subspan(shard.begin, shard.count);
+      compress::MsTopK mstopk(options.mstopk_samplings,
+                              options.seed + static_cast<uint64_t>(rank),
+                              mode);
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->apply(ef_keys[r], shard_span);
+      }
+      selected[r] = mstopk.compress(shard_span, k);
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->absorb(ef_keys[r], shard_span, selected[r]);
+      }
+    });
   }
   out.selected_per_shard = max_k;
   const double t2 = simnet::Cluster::compute(t1, mstopk_seconds);
@@ -83,16 +114,25 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
 
   // ---- Step 3: n concurrent inter-node all-gathers (Alg. 2 lines 11-14)
   // plus local accumulation with duplicate-index adds (lines 15-20).
-  // shard_acc[rank] is the dense accumulation of the m sparse blocks.
-  std::vector<Tensor> shard_acc;
-  if (functional) shard_acc.resize(static_cast<size_t>(topo.world_size()));
+  // Every rank of stream `local` computes the identical dense accumulation
+  // of the stream's m sparse blocks, so it is computed once per stream (not
+  // once per rank) and shared; stream_sparse[local] is its sparse form with
+  // global indices, ready for step 4.
+  std::vector<compress::SparseTensor> stream_sparse;
+  if (functional) {
+    // Streams with empty shards (elems < n) are skipped below but still
+    // scatter-added during the rebuild, so every entry needs a valid (empty)
+    // sparse tensor over the full gradient.
+    stream_sparse.resize(static_cast<size_t>(n));
+    for (auto& sparse : stream_sparse) sparse.dense_size = elems;
+  }
   std::vector<Group> stream_groups;
   std::vector<std::vector<size_t>> stream_payloads;
+  std::vector<int> stream_locals;
   for (int local = 0; local < n; ++local) {
-    const ChunkRange shard =
-        chunk_range(elems, static_cast<size_t>(n), static_cast<size_t>(local));
+    const ChunkRange& shard = shards[static_cast<size_t>(local)];
     if (shard.count == 0) continue;
-    const Group group = cross_node_group(topo, local);
+    Group group = cross_node_group(topo, local);
     std::vector<size_t> payload(group.size());
     for (size_t i = 0; i < group.size(); ++i) {
       const size_t nnz = functional
@@ -101,16 +141,28 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
       payload[i] = nnz * (options.value_wire_bytes + 4);
     }
     stream_payloads.push_back(std::move(payload));
-    if (functional) {
-      for (int rank : group) {
-        Tensor acc(shard.count);
-        for (int peer : group) {
-          selected[static_cast<size_t>(peer)].scatter_add_into(acc.span());
-        }
-        shard_acc[static_cast<size_t>(rank)] = std::move(acc);
-      }
-    }
     stream_groups.push_back(std::move(group));
+    stream_locals.push_back(local);
+  }
+  if (functional) {
+    parallel_for(0, stream_locals.size(), [&](size_t s) {
+      const int local = stream_locals[s];
+      const ChunkRange& shard = shards[static_cast<size_t>(local)];
+      const Group& group = stream_groups[s];
+      Scratch<float> acc(shard.count, /*zeroed=*/true);
+      for (int peer : group) {
+        selected[static_cast<size_t>(peer)].scatter_add_into(acc.span());
+      }
+      compress::SparseTensor sparse;
+      sparse.dense_size = elems;
+      for (size_t i = 0; i < shard.count; ++i) {
+        if (acc[i] != 0.0f) {
+          sparse.indices.push_back(static_cast<uint32_t>(shard.begin + i));
+          sparse.values.push_back(acc[i]);
+        }
+      }
+      stream_sparse[static_cast<size_t>(local)] = std::move(sparse);
+    });
   }
   // The n streams run concurrently (Alg. 2 line 11: "for j in [n] in
   // parallel"), sharing each node's NIC.
@@ -129,25 +181,6 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
 
   // ---- Step 4: intra-node all-gather of the accumulated sparse shards
   // (Alg. 2 lines 21-23).  Each GPU contributes at most m*k~ nonzeros.
-  std::vector<compress::SparseTensor> shard_sparse;
-  if (functional) {
-    shard_sparse.resize(static_cast<size_t>(topo.world_size()));
-    for (int rank = 0; rank < topo.world_size(); ++rank) {
-      const int local = topo.local_rank(rank);
-      const ChunkRange shard = chunk_range(elems, static_cast<size_t>(n),
-                                           static_cast<size_t>(local));
-      compress::SparseTensor sparse;
-      sparse.dense_size = elems;
-      const Tensor& acc = shard_acc[static_cast<size_t>(rank)];
-      for (size_t i = 0; i < acc.size(); ++i) {
-        if (acc[i] != 0.0f) {
-          sparse.indices.push_back(static_cast<uint32_t>(shard.begin + i));
-          sparse.values.push_back(acc[i]);
-        }
-      }
-      shard_sparse[static_cast<size_t>(rank)] = std::move(sparse);
-    }
-  }
   double t4_comm = t3;
   for (int node = 0; node < m; ++node) {
     const Group group = node_group(topo, node);
@@ -155,7 +188,8 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
     for (size_t i = 0; i < group.size(); ++i) {
       size_t nnz;
       if (functional) {
-        nnz = shard_sparse[static_cast<size_t>(group[i])].nnz();
+        const int local = topo.local_rank(group[i]);
+        nnz = stream_sparse[static_cast<size_t>(local)].nnz();
       } else {
         const ChunkRange shard = chunk_range(
             elems, static_cast<size_t>(n), static_cast<size_t>(i));
@@ -179,17 +213,15 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
   out.total = t4 - start;
 
   if (functional) {
-    // Rebuild the full aggregated gradient on every rank: the union of all
-    // node-local shard accumulations (identical across nodes by step 3).
-    for (int rank = 0; rank < topo.world_size(); ++rank) {
-      auto dst = data[static_cast<size_t>(rank)];
+    // Rebuild the full aggregated gradient on every rank: the union of the
+    // n per-stream accumulations (identical across nodes by step 3).
+    parallel_for(0, static_cast<size_t>(world), [&](size_t r) {
+      auto dst = data[r];
       std::fill(dst.begin(), dst.end(), 0.0f);
-      const int node = topo.node_of(rank);
       for (int local = 0; local < n; ++local) {
-        const int peer = topo.rank_of(node, local);
-        shard_sparse[static_cast<size_t>(peer)].scatter_add_into(dst);
+        stream_sparse[static_cast<size_t>(local)].scatter_add_into(dst);
       }
-    }
+    });
   }
   return out;
 }

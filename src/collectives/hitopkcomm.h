@@ -30,8 +30,13 @@ struct HiTopKOptions {
   double density = 0.01;
   // Bytes per value on the wire (2 = FP16, 4 = FP32); indices are 4 bytes.
   size_t value_wire_bytes = 4;
-  // N of Algorithm 1.
+  // N of Algorithm 1.  The device timing model always scales with N; the
+  // functional selection consumes it only in legacy multi-pass mode.
   int mstopk_samplings = 30;
+  // Selection operator for the functional path: the single-pass histogram
+  // MSTopK (default) or the legacy multi-pass binary search (validation
+  // reference; see MsTopKMode).
+  bool mstopk_histogram = true;
   uint64_t seed = 42;
   // Device model for compression / scatter-add timing; nullptr times pure
   // communication (Fig. 7 mode).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "collectives/ring.h"
+#include "core/parallel.h"
 #include "core/tensor.h"
 
 namespace hitopk::coll {
@@ -38,11 +39,12 @@ NaiveAgResult naive_sparse_allgather(
   out.total = done - start;
 
   if (!data.empty()) {
-    // All ranks compute the identical sum; build it once, copy everywhere.
+    // All ranks compute the identical sum; build it once, copy everywhere
+    // (one independent destination buffer per rank).
     Tensor sum = compress::accumulate(sparse, elems);
-    for (auto& span : data) {
-      std::copy(sum.span().begin(), sum.span().end(), span.begin());
-    }
+    parallel_for(0, data.size(), [&](size_t r) {
+      std::copy(sum.span().begin(), sum.span().end(), data[r].begin());
+    });
   }
   return out;
 }

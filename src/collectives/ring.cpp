@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace hitopk::coll {
 namespace {
 
@@ -23,11 +25,14 @@ void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
               size_t wire_bytes, std::vector<Ready>& ready) {
   const size_t g = groups.empty() ? 0 : groups[0].size();
   if (g <= 1) return;
+  const size_t nq = groups.size();
   std::vector<Ready> next(ready.size());
   for (size_t s = 0; s + 1 < g; ++s) {
-    for (size_t q = 0; q < groups.size(); ++q) next[q] = ready[q];
+    // Timing: the cluster port clocks mutate on every send, so the send
+    // order stays serial (and identical to the pre-parallel code).
+    for (size_t q = 0; q < nq; ++q) next[q] = ready[q];
     for (size_t i = 0; i < g; ++i) {
-      for (size_t q = 0; q < groups.size(); ++q) {
+      for (size_t q = 0; q < nq; ++q) {
         const Group& group = groups[q];
         const size_t peer = (i + 1) % g;
         const size_t chunk = rs_send_chunk(i, s, g);
@@ -36,14 +41,27 @@ void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
             cluster.send(group[i], group[peer], range.count * wire_bytes,
                          ready[q][i]);
         next[q][peer] = std::max(next[q][peer], done);
-        if (!data.empty() && !data[q].empty() && range.count > 0) {
-          auto src = data[q][i].subspan(range.begin, range.count);
-          auto dst = data[q][peer].subspan(range.begin, range.count);
-          for (size_t e = 0; e < range.count; ++e) dst[e] += src[e];
-        }
       }
     }
     ready.swap(next);
+    // Data movement: within one step every (group, rank) pair reduces into a
+    // distinct (buffer, chunk) destination and reads a chunk no other pair
+    // writes, so the pairs run concurrently and bitwise-match the serial
+    // loop.
+    if (!data.empty()) {
+      parallel_for(0, g * nq, [&](size_t pair) {
+        const size_t i = pair / nq;
+        const size_t q = pair % nq;
+        if (data[q].empty()) return;
+        const size_t peer = (i + 1) % g;
+        const size_t chunk = rs_send_chunk(i, s, g);
+        const ChunkRange range = chunk_range(elems, g, chunk);
+        if (range.count == 0) return;
+        auto src = data[q][i].subspan(range.begin, range.count);
+        auto dst = data[q][peer].subspan(range.begin, range.count);
+        for (size_t e = 0; e < range.count; ++e) dst[e] += src[e];
+      });
+    }
   }
 }
 
@@ -52,11 +70,13 @@ void ag_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
               size_t wire_bytes, std::vector<Ready>& ready) {
   const size_t g = groups.empty() ? 0 : groups[0].size();
   if (g <= 1) return;
+  const size_t nq = groups.size();
   std::vector<Ready> next(ready.size());
   for (size_t s = 0; s + 1 < g; ++s) {
-    for (size_t q = 0; q < groups.size(); ++q) next[q] = ready[q];
+    // Serial timing, parallel data movement — see rs_steps.
+    for (size_t q = 0; q < nq; ++q) next[q] = ready[q];
     for (size_t i = 0; i < g; ++i) {
-      for (size_t q = 0; q < groups.size(); ++q) {
+      for (size_t q = 0; q < nq; ++q) {
         const Group& group = groups[q];
         const size_t peer = (i + 1) % g;
         const size_t chunk = ag_send_chunk(i, s, g);
@@ -65,14 +85,23 @@ void ag_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
             cluster.send(group[i], group[peer], range.count * wire_bytes,
                          ready[q][i]);
         next[q][peer] = std::max(next[q][peer], done);
-        if (!data.empty() && !data[q].empty() && range.count > 0) {
-          auto src = data[q][i].subspan(range.begin, range.count);
-          auto dst = data[q][peer].subspan(range.begin, range.count);
-          std::copy(src.begin(), src.end(), dst.begin());
-        }
       }
     }
     ready.swap(next);
+    if (!data.empty()) {
+      parallel_for(0, g * nq, [&](size_t pair) {
+        const size_t i = pair / nq;
+        const size_t q = pair % nq;
+        if (data[q].empty()) return;
+        const size_t peer = (i + 1) % g;
+        const size_t chunk = ag_send_chunk(i, s, g);
+        const ChunkRange range = chunk_range(elems, g, chunk);
+        if (range.count == 0) return;
+        auto src = data[q][i].subspan(range.begin, range.count);
+        auto dst = data[q][peer].subspan(range.begin, range.count);
+        std::copy(src.begin(), src.end(), dst.begin());
+      });
+    }
   }
 }
 

@@ -31,8 +31,9 @@ class Compressor {
   virtual SparseTensor compress(std::span<const float> x, size_t k) = 0;
 };
 
-// Factory: name is one of "exact_topk", "dgc", "mstopk", "random_k".
-// Throws CheckError for unknown names.
+// Factory: name is one of "exact_topk", "dgc", "mstopk", "mstopk_legacy"
+// (the multi-pass validation reference), "random_k".  Throws CheckError for
+// unknown names.
 std::unique_ptr<Compressor> make_compressor(const std::string& name,
                                             uint64_t seed = 42);
 

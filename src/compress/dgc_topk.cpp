@@ -5,6 +5,7 @@
 
 #include "compress/exact_topk.h"
 #include "core/check.h"
+#include "core/workspace.h"
 
 namespace hitopk::compress {
 
@@ -26,7 +27,8 @@ SparseTensor DgcTopK::compress(std::span<const float> x, size_t k) {
   // expectation, so keep a floor of 64 samples.
   const size_t sample_size = std::max<size_t>(
       64, static_cast<size_t>(std::ceil(sample_ratio_ * static_cast<double>(d))));
-  std::vector<float> sample(std::min(sample_size, d));
+  Scratch<float> sample_buf(std::min(sample_size, d));
+  std::vector<float>& sample = sample_buf.vec();
   for (auto& s : sample) s = x[rng_.uniform_index(d)];
 
   // Exact top-k on the sample estimates the threshold for k elements of the
@@ -41,7 +43,8 @@ SparseTensor DgcTopK::compress(std::span<const float> x, size_t k) {
 
   // Select candidates above the estimated threshold, relaxing the threshold
   // when the estimate was too aggressive.
-  std::vector<uint32_t> candidates;
+  Scratch<uint32_t> candidates_buf(0);
+  std::vector<uint32_t>& candidates = candidates_buf.vec();
   for (int attempt = 0; attempt < 8; ++attempt) {
     candidates.clear();
     for (size_t i = 0; i < d; ++i) {
@@ -56,10 +59,11 @@ SparseTensor DgcTopK::compress(std::span<const float> x, size_t k) {
   if (candidates.size() <= k) {
     // Threshold hit (or undershot even at relaxation limit): ship what we
     // have, topping up exactly like a second selection pass would.
-    out.indices = std::move(candidates);
+    out.indices.assign(candidates.begin(), candidates.end());
   } else {
     // Hierarchical re-selection: exact top-k restricted to the candidates.
-    std::vector<float> candidate_values(candidates.size());
+    Scratch<float> candidate_values_buf(candidates.size());
+    std::vector<float>& candidate_values = candidate_values_buf.vec();
     for (size_t i = 0; i < candidates.size(); ++i) {
       candidate_values[i] = x[candidates[i]];
     }

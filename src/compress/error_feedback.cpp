@@ -4,19 +4,29 @@
 
 namespace hitopk::compress {
 
-void ErrorFeedback::apply(const std::string& key, std::span<float> grad) {
-  auto [it, inserted] = residuals_.try_emplace(key, grad.size());
-  Tensor& residual = it->second;
-  HITOPK_CHECK_EQ(residual.size(), grad.size())
+Tensor& ErrorFeedback::entry(const std::string& key, size_t size) {
+  // Lookup-first: for keys pre-created via ensure(), this path only ever
+  // performs a const find, which the standard guarantees is safe from
+  // concurrent parallel_for workers (insertion is not).
+  auto it = residuals_.find(key);
+  if (it == residuals_.end()) it = residuals_.try_emplace(key, size).first;
+  HITOPK_CHECK_EQ(it->second.size(), size)
       << "residual shape changed for tensor" << key;
+  return it->second;
+}
+
+void ErrorFeedback::ensure(const std::string& key, size_t size) {
+  entry(key, size);
+}
+
+void ErrorFeedback::apply(const std::string& key, std::span<float> grad) {
+  Tensor& residual = entry(key, grad.size());
   for (size_t i = 0; i < grad.size(); ++i) grad[i] += residual[i];
 }
 
 void ErrorFeedback::absorb(const std::string& key, std::span<const float> grad,
                            const SparseTensor& sent) {
-  auto [it, inserted] = residuals_.try_emplace(key, grad.size());
-  Tensor& residual = it->second;
-  HITOPK_CHECK_EQ(residual.size(), grad.size());
+  Tensor& residual = entry(key, grad.size());
   HITOPK_CHECK_EQ(sent.dense_size, grad.size());
   for (size_t i = 0; i < grad.size(); ++i) residual[i] = grad[i];
   for (size_t i = 0; i < sent.nnz(); ++i) {

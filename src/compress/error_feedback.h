@@ -22,6 +22,13 @@ namespace hitopk::compress {
 
 class ErrorFeedback {
  public:
+  // Pre-creates a zero residual of `size` elements for `key` if absent.
+  // apply/absorb insert missing entries themselves, which mutates the map;
+  // callers that run apply/absorb on distinct keys from parallel workers
+  // (HiTopKComm's per-rank loop) must ensure() every key serially first so
+  // the workers only ever look entries up.
+  void ensure(const std::string& key, size_t size);
+
   // grad += residual[key]; a zero residual is created on first use.
   void apply(const std::string& key, std::span<float> grad);
 
@@ -40,6 +47,9 @@ class ErrorFeedback {
   size_t num_tensors() const { return residuals_.size(); }
 
  private:
+  // Finds (or, on first use, creates) the residual for `key`.
+  Tensor& entry(const std::string& key, size_t size);
+
   std::unordered_map<std::string, Tensor> residuals_;
 };
 

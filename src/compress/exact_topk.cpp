@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "core/workspace.h"
 
 namespace hitopk::compress {
 
@@ -14,7 +15,9 @@ SparseTensor exact_topk(std::span<const float> x, size_t k) {
   k = std::min(k, x.size());
   if (k == 0) return out;
 
-  std::vector<uint32_t> order(x.size());
+  // The d-element permutation is pure scratch: only the first k survive.
+  Scratch<uint32_t> order_buf(x.size());
+  std::vector<uint32_t>& order = order_buf.vec();
   std::iota(order.begin(), order.end(), uint32_t{0});
   // Larger magnitude first; ties broken by lower index for determinism.
   auto by_magnitude = [&](uint32_t a, uint32_t b) {
@@ -25,10 +28,9 @@ SparseTensor exact_topk(std::span<const float> x, size_t k) {
   };
   std::nth_element(order.begin(), order.begin() + static_cast<long>(k - 1),
                    order.end(), by_magnitude);
-  order.resize(k);
-  std::sort(order.begin(), order.end());
+  std::sort(order.begin(), order.begin() + static_cast<long>(k));
 
-  out.indices = std::move(order);
+  out.indices.assign(order.begin(), order.begin() + static_cast<long>(k));
   out.values.resize(k);
   for (size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
   return out;
@@ -37,10 +39,11 @@ SparseTensor exact_topk(std::span<const float> x, size_t k) {
 float exact_topk_threshold(std::span<const float> x, size_t k) {
   if (k == 0 || x.empty()) return 0.0f;
   k = std::min(k, x.size());
-  std::vector<float> mags(x.size());
+  Scratch<float> mags(x.size());
   for (size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
-  std::nth_element(mags.begin(), mags.begin() + static_cast<long>(k - 1),
-                   mags.end(), std::greater<float>());
+  std::nth_element(mags.vec().begin(),
+                   mags.vec().begin() + static_cast<long>(k - 1),
+                   mags.vec().end(), std::greater<float>());
   return mags[k - 1];
 }
 

@@ -2,13 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/check.h"
+#include "core/workspace.h"
 
 namespace hitopk::compress {
+namespace {
 
-MsTopK::MsTopK(int n_samplings, uint64_t seed)
-    : n_samplings_(n_samplings), rng_(seed) {
+// Histogram resolution of the single-pass bracket search.  512 buckets over
+// [mean, max] bracket the k-th magnitude at least as tightly as 9 binary-
+// search samplings (2^9 = 512) while reading the data once instead of nine
+// times.
+constexpr int kHistogramBuckets = 512;
+
+}  // namespace
+
+MsTopK::MsTopK(int n_samplings, uint64_t seed, MsTopKMode mode)
+    : n_samplings_(n_samplings), rng_(seed), mode_(mode) {
   HITOPK_CHECK_GT(n_samplings, 0);
 }
 
@@ -28,16 +39,11 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
     return out;
   }
 
-  // Alg. 1 lines 1-3: magnitude statistics.  One coalesced pass each on the
-  // device; here a single fused pass.
-  double abs_sum = 0.0;
-  float abs_max = 0.0f;
-  for (float v : x) {
-    const float m = std::fabs(v);
-    abs_sum += m;
-    abs_max = std::max(abs_max, m);
-  }
-  const float abs_mean = static_cast<float>(abs_sum / static_cast<double>(d));
+  // Alg. 1 lines 1-3: magnitude statistics, one fused pass.
+  const tensor_ops::AbsStats abs = tensor_ops::abs_stats(x);
+  const float abs_max = abs.abs_max;
+  const float abs_mean =
+      static_cast<float>(abs.abs_sum / static_cast<double>(d));
 
   // Degenerate input (all zeros or all equal magnitude): no threshold can
   // discriminate, fall back to the first k indices.
@@ -51,22 +57,154 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
     return out;
   }
 
+  if (mode_ == MsTopKMode::kHistogram) {
+    histogram_brackets(x, k, abs_mean, abs_max);
+  } else {
+    multi_pass_brackets(x, k, abs_mean, abs_max);
+  }
+  return gather_selection(x, k);
+}
+
+void MsTopK::histogram_brackets(std::span<const float> x, size_t k,
+                                float abs_mean, float abs_max) {
+  const int nb = kHistogramBuckets;
+  const float width =
+      (abs_max - abs_mean) / static_cast<float>(nb);
+  if (!(width >= std::numeric_limits<float>::min())) {
+    // [mean, max] narrower than one normal-float bucket: a denormal width
+    // would make inv_width infinite and 0 * inf = NaN bucket indices, so
+    // treat the collapsed interval as a single boundary at the mean.
+    // Everything >= mean forms the band; the gather's top-up handles the
+    // rest.
+    stats_.thres1 = 0.0f;
+    stats_.thres2 = abs_mean;
+    stats_.k1 = 0;
+    stats_.k2 = tensor_ops::count_abs_ge(x, abs_mean);
+    stats_.samplings = 1;
+    stats_.buckets = nb;
+    return;
+  }
+  const float inv_width = 1.0f / width;
+  // boundary(b) for integer b: below-mean magnitudes map to the virtual
+  // index -1 (bucket 0 of the shifted histogram), b == nb means "no upper
+  // boundary" (ties at the max), and b == -1 means "no lower boundary".
+  auto boundary = [&](int b) {
+    return abs_mean + width * static_cast<float>(b);
+  };
+
+  // The one counting pass, in cache-blocked two-phase form: a vectorizable
+  // arithmetic loop turns a block of magnitudes into bucket indices (fabs,
+  // scale, clamp — no per-element boundary comparisons or branches), then a
+  // scalar loop scatters the indices into four interleaved sub-histograms so
+  // consecutive same-bucket hits don't serialize on one counter.
+  // Multiplication rounding can misplace an element whose magnitude sits
+  // within a few ulps of a boundary by one bucket, which is repaired by the
+  // exact verification pass below.
+  constexpr size_t kBlock = 1024;
+  Scratch<size_t> hist_buf(4 * static_cast<size_t>(nb + 1), /*zeroed=*/true);
+  size_t* h0 = hist_buf.data();
+  size_t* h1 = h0 + (nb + 1);
+  size_t* h2 = h1 + (nb + 1);
+  size_t* h3 = h2 + (nb + 1);
+  const float top = static_cast<float>(nb - 1);
+  int32_t idx[kBlock];
+  auto index_block = [&](const float* p, size_t count) {
+    for (size_t j = 0; j < count; ++j) {
+      float t = (std::fabs(p[j]) - abs_mean) * inv_width;
+      t = std::min(t, top);
+      t = std::max(t, -1.0f);
+      idx[j] = static_cast<int32_t>(t);
+    }
+  };
+  auto scatter_block = [&](size_t count) {
+    size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+      ++h0[static_cast<size_t>(idx[j] + 1)];
+      ++h1[static_cast<size_t>(idx[j + 1] + 1)];
+      ++h2[static_cast<size_t>(idx[j + 2] + 1)];
+      ++h3[static_cast<size_t>(idx[j + 3] + 1)];
+    }
+    for (; j < count; ++j) ++h0[static_cast<size_t>(idx[j] + 1)];
+  };
+  const size_t d = x.size();
+  // Full blocks get a compile-time trip count so the index arithmetic
+  // vectorizes even under -O2's conservative cost model; the remainder goes
+  // through the same lambdas with a runtime count.
+  const size_t full_end = d - d % kBlock;
+  for (size_t base = 0; base < full_end; base += kBlock) {
+    index_block(x.data() + base, kBlock);
+    scatter_block(kBlock);
+  }
+  index_block(x.data() + full_end, d - full_end);
+  scatter_block(d - full_end);
+  stats_.samplings = 1;
+  stats_.buckets = nb;
+
+  // Suffix scan: suffix(b) = approximate count of |x| >= boundary(b)
+  // (histogram slot b+1 and up).  The brackets are the two adjacent
+  // boundaries whose counts straddle k — what the multi-pass binary search
+  // converges to, read off in one scan.
+  size_t suffix = 0;
+  int b2 = -1;  // loosest boundary with count > k
+  for (int b = nb - 1; b >= 0; --b) {
+    const size_t slot = static_cast<size_t>(b + 1);
+    const size_t next = suffix + h0[slot] + h1[slot] + h2[slot] + h3[slot];
+    if (next > k) {
+      b2 = b;
+      break;
+    }
+    suffix = next;
+  }
+  int b1 = b2 + 1;
+
+  // Exact verification: one fused counting pass computes the true element
+  // counts at both bracket boundaries (the |x| >= thres comparison every
+  // later consumer uses).  If boundary rounding put the approximate count on
+  // the wrong side of k, nudge the bracket one bucket and recount — in
+  // practice this loop runs exactly once.
+  for (;;) {
+    const float th1 = b1 <= nb - 1 ? boundary(b1) : 0.0f;
+    const float th2 = b2 >= 0 ? boundary(b2) : 0.0f;
+    size_t c1 = 0, c2 = 0;
+    for (float v : x) {
+      const float m = std::fabs(v);
+      c1 += m >= th1 ? 1 : 0;
+      c2 += m >= th2 ? 1 : 0;
+    }
+    if (b1 <= nb - 1 && c1 > k) {
+      ++b1;
+      continue;
+    }
+    if (b2 >= 0 && c2 <= k) {
+      --b2;
+      continue;
+    }
+    // thres1 == 0 encodes "no threshold selects <= k" (heavy ties at the
+    // max, the legacy search's convention); thres2 == 0 encodes "even the
+    // mean selects <= k", making the band everything below thres1.
+    stats_.thres1 = b1 <= nb - 1 ? th1 : 0.0f;
+    stats_.thres2 = b2 >= 0 ? th2 : 0.0f;
+    stats_.k1 = b1 <= nb - 1 ? c1 : 0;
+    stats_.k2 = c2;
+    return;
+  }
+}
+
+void MsTopK::multi_pass_brackets(std::span<const float> x, size_t k,
+                                 float abs_mean, float abs_max) {
   // Alg. 1 lines 4-24: binary search the threshold ratio in [0, 1], where
   // thres = mean + ratio * (max - mean).  thres1/k1 bracket from below
   // (nnz <= k), thres2/k2 from above (nnz > k).
   double lo = 0.0, hi = 1.0;
   size_t k1 = 0;
-  size_t k2 = d;
+  size_t k2 = x.size();
   float thres1 = 0.0f;
   float thres2 = 0.0f;
   for (int i = 0; i < n_samplings_; ++i) {
     const double ratio = lo + (hi - lo) / 2.0;
     const float thres =
         abs_mean + static_cast<float>(ratio) * (abs_max - abs_mean);
-    size_t nnz = 0;
-    for (float v : x) {
-      if (std::fabs(v) >= thres) ++nnz;
-    }
+    const size_t nnz = tensor_ops::count_abs_ge(x, thres);
     ++stats_.samplings;
     if (nnz <= k) {
       hi = ratio;
@@ -87,14 +225,22 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
   stats_.thres2 = thres2;
   stats_.k1 = k1;
   stats_.k2 = k2;
+}
+
+SparseTensor MsTopK::gather_selection(std::span<const float> x, size_t k) {
+  const size_t d = x.size();
+  const float thres1 = stats_.thres1;
+  const float thres2 = stats_.thres2;
 
   // Alg. 1 lines 25-26: gather the certain set (>= thres1) and the band
   // [thres2, thres1).  thres1 == 0 means no threshold ever selected <= k
   // elements (heavy ties at the max); then the certain set is empty and the
   // band is everything >= thres2.
-  std::vector<uint32_t> certain;
-  std::vector<uint32_t> band;
-  certain.reserve(k1);
+  Scratch<uint32_t> certain_buf(0);
+  Scratch<uint32_t> band_buf(0);
+  std::vector<uint32_t>& certain = certain_buf.vec();
+  std::vector<uint32_t>& band = band_buf.vec();
+  certain.reserve(stats_.k1);
   const bool have_upper = thres1 > 0.0f;
   for (size_t i = 0; i < d; ++i) {
     const float m = std::fabs(x[i]);
@@ -108,7 +254,9 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
 
   // Alg. 1 lines 27-28: random contiguous run of (k - k1) band elements.
   const size_t need = k - certain.size();
-  std::vector<uint32_t> chosen = std::move(certain);
+  std::vector<uint32_t> chosen;
+  chosen.reserve(k);
+  chosen.assign(certain.begin(), certain.end());
   if (need > 0 && !band.empty()) {
     const size_t take = std::min(need, band.size());
     const size_t max_start = band.size() - take;
@@ -127,6 +275,8 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
   }
 
   std::sort(chosen.begin(), chosen.end());
+  SparseTensor out;
+  out.dense_size = d;
   out.indices = std::move(chosen);
   out.values.resize(out.indices.size());
   for (size_t i = 0; i < out.indices.size(); ++i) {

@@ -1,20 +1,34 @@
 // MSTopK: the paper's approximate top-k operator (Algorithm 1).
 //
-// Instead of sorting, MSTopK binary-searches a magnitude threshold in the
-// interval [mean(|x|), max(|x|)].  Each of the N samplings is one coalesced
-// counting pass (count |x(i)| >= thres), which is why the operator is fast
-// on many-core hardware.  The search tracks two brackets:
+// Instead of sorting, MSTopK brackets a magnitude threshold inside the
+// interval [mean(|x|), max(|x|)].  The search tracks two thresholds:
 //   thres1 — the tightest threshold seen selecting <= k elements (k1 of them)
 //   thres2 — the loosest threshold seen selecting  > k elements (k2 of them)
-// After N iterations the result is all k1 elements above thres1 plus a
-// random contiguous run of (k - k1) elements from the band
-// [thres2, thres1), giving exactly k selected elements (lines 25-29).
+// The result is all k1 elements above thres1 plus a random contiguous run of
+// (k - k1) elements from the band [thres2, thres1), giving exactly k
+// selected elements (lines 25-29).
+//
+// Two implementations of the bracket search:
+//   kHistogram (default) — one counting pass builds a 512-bucket magnitude
+//       histogram over [mean, max]; suffix sums give the element count above
+//       every bucket boundary at once, so the brackets fall out of a single
+//       scan of the histogram.  Three passes over the data total (statistics,
+//       histogram, gather), independent of N.
+//   kMultiPass — the paper's literal binary search: each of the N samplings
+//       is one counting pass (count |x(i)| >= thres).  O(N*d); kept as the
+//       validation reference for the histogram variant and for the
+//       sampling-count ablation.
 #pragma once
 
 #include "compress/compressor.h"
 #include "core/rng.h"
 
 namespace hitopk::compress {
+
+enum class MsTopKMode {
+  kHistogram,  // single-pass histogram bracket search (fast path)
+  kMultiPass,  // Alg. 1 literal binary search (validation reference)
+};
 
 struct MsTopKStats {
   // Thresholds bracketing the exact k-th magnitude after the search.
@@ -23,28 +37,45 @@ struct MsTopKStats {
   // Element counts at those thresholds.
   size_t k1 = 0;
   size_t k2 = 0;
-  // Number of counting passes actually executed.
+  // Number of counting passes actually executed (1 for the histogram mode).
   int samplings = 0;
+  // Histogram buckets used (0 in multi-pass mode).
+  int buckets = 0;
 };
 
 class MsTopK : public Compressor {
  public:
   // n_samplings is the paper's N; their experiments use N = 30 (Fig. 6).
-  explicit MsTopK(int n_samplings = 30, uint64_t seed = 42);
+  // Only the multi-pass mode consumes it.
+  explicit MsTopK(int n_samplings = 30, uint64_t seed = 42,
+                  MsTopKMode mode = MsTopKMode::kHistogram);
 
-  std::string name() const override { return "mstopk"; }
+  std::string name() const override {
+    return mode_ == MsTopKMode::kHistogram ? "mstopk" : "mstopk_legacy";
+  }
 
   SparseTensor compress(std::span<const float> x, size_t k) override;
 
   // Search diagnostics for the most recent compress() call (used by the
-  // sampling-count ablation).
+  // sampling-count ablation and the histogram-vs-legacy property tests).
   const MsTopKStats& last_stats() const { return stats_; }
 
   int n_samplings() const { return n_samplings_; }
+  MsTopKMode mode() const { return mode_; }
 
  private:
+  // Bracket searches: fill stats_.{thres1,thres2,k1,k2,samplings,buckets}.
+  void histogram_brackets(std::span<const float> x, size_t k, float abs_mean,
+                          float abs_max);
+  void multi_pass_brackets(std::span<const float> x, size_t k, float abs_mean,
+                           float abs_max);
+
+  // Alg. 1 lines 25-29: emit the certain set plus a random band run.
+  SparseTensor gather_selection(std::span<const float> x, size_t k);
+
   int n_samplings_;
   Rng rng_;
+  MsTopKMode mode_;
   MsTopKStats stats_;
 };
 

@@ -1,0 +1,38 @@
+// Shared thread pool for the functional hot paths.
+//
+// The collectives simulate many independent GPUs on one host: the per-rank
+// MSTopK/error-feedback/scatter-add loops in HiTopKComm and the per-step data
+// movement in the ring collectives are embarrassingly parallel (every
+// iteration touches a disjoint buffer region), so they run on a process-wide
+// pool via parallel_for.  Callers are responsible for that disjointness;
+// parallel_for guarantees only that fn(i) runs exactly once for every i and
+// that all iterations have finished when it returns.  Because iterations are
+// independent, the result is bitwise identical to the serial loop regardless
+// of thread count or scheduling (the determinism test in
+// parallel_determinism_test.cpp pins this down).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hitopk {
+
+// Number of worker threads the pool runs with (including the calling thread).
+// Defaults to std::thread::hardware_concurrency(); the HITOPK_THREADS
+// environment variable overrides it at first use.
+int parallel_threads();
+
+// Overrides the thread count for subsequent parallel_for calls.  n <= 1
+// forces serial execution (useful for A/B determinism tests).  Safe to call
+// between parallel_for invocations, not from inside one.
+void set_parallel_threads(int n);
+
+// Runs fn(i) for every i in [begin, end), partitioned into contiguous blocks
+// of at least `grain` iterations across the pool.  Blocks until every
+// iteration has completed.  The calling thread participates, so nested calls
+// from inside a worker degrade gracefully to inline execution.  The first
+// exception thrown by any iteration is rethrown on the caller.
+void parallel_for(size_t begin, size_t end,
+                  const std::function<void(size_t)>& fn, size_t grain = 1);
+
+}  // namespace hitopk

@@ -86,23 +86,14 @@ float Tensor::l2_norm() const { return tensor_ops::l2_norm(span()); }
 
 float Tensor::abs_mean() const {
   if (data_.empty()) return 0.0f;
-  double acc = 0.0;
-  for (float x : data_) acc += std::fabs(x);
-  return static_cast<float>(acc / static_cast<double>(data_.size()));
+  return static_cast<float>(tensor_ops::abs_stats(span()).abs_sum /
+                            static_cast<double>(data_.size()));
 }
 
-float Tensor::abs_max() const {
-  float best = 0.0f;
-  for (float x : data_) best = std::max(best, std::fabs(x));
-  return best;
-}
+float Tensor::abs_max() const { return tensor_ops::abs_stats(span()).abs_max; }
 
 size_t Tensor::count_abs_ge(float threshold) const {
-  size_t count = 0;
-  for (float x : data_) {
-    if (std::fabs(x) >= threshold) ++count;
-  }
-  return count;
+  return tensor_ops::count_abs_ge(span(), threshold);
 }
 
 std::string Tensor::shape_string() const {
@@ -112,6 +103,45 @@ std::string Tensor::shape_string() const {
 }
 
 namespace tensor_ops {
+
+AbsStats abs_stats(std::span<const float> x) {
+  // Four independent accumulator lanes break the loop-carried dependency so
+  // the compiler can vectorize / pipeline the pass; the lane combination
+  // order is fixed, keeping the result deterministic.
+  double sum0 = 0.0, sum1 = 0.0, sum2 = 0.0, sum3 = 0.0;
+  float max0 = 0.0f, max1 = 0.0f, max2 = 0.0f, max3 = 0.0f;
+  const size_t n = x.size();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float m0 = std::fabs(x[i]);
+    const float m1 = std::fabs(x[i + 1]);
+    const float m2 = std::fabs(x[i + 2]);
+    const float m3 = std::fabs(x[i + 3]);
+    sum0 += m0;
+    sum1 += m1;
+    sum2 += m2;
+    sum3 += m3;
+    max0 = std::max(max0, m0);
+    max1 = std::max(max1, m1);
+    max2 = std::max(max2, m2);
+    max3 = std::max(max3, m3);
+  }
+  for (; i < n; ++i) {
+    const float m = std::fabs(x[i]);
+    sum0 += m;
+    max0 = std::max(max0, m);
+  }
+  AbsStats out;
+  out.abs_sum = (sum0 + sum1) + (sum2 + sum3);
+  out.abs_max = std::max(std::max(max0, max1), std::max(max2, max3));
+  return out;
+}
+
+size_t count_abs_ge(std::span<const float> x, float threshold) {
+  size_t count = 0;
+  for (float v : x) count += std::fabs(v) >= threshold ? 1 : 0;
+  return count;
+}
 
 void add_into(std::span<float> dst, std::span<const float> src) {
   HITOPK_CHECK_EQ(dst.size(), src.size());

@@ -91,6 +91,20 @@ class Tensor {
 // Elementwise helpers over raw spans, shared by compressors and collectives.
 namespace tensor_ops {
 
+// Magnitude statistics gathered in one pass (MSTopK Alg. 1 lines 1-3 needs
+// both; fusing them halves the memory traffic of separate abs_mean/abs_max
+// sweeps).
+struct AbsStats {
+  double abs_sum = 0.0;
+  float abs_max = 0.0f;
+};
+
+// One unrolled pass over x computing sum(|x|) and max(|x|).
+AbsStats abs_stats(std::span<const float> x);
+
+// Count of elements with |x| >= threshold.
+size_t count_abs_ge(std::span<const float> x, float threshold);
+
 // dst += src
 void add_into(std::span<float> dst, std::span<const float> src);
 

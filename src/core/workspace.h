@@ -1,0 +1,82 @@
+// Thread-local scratch-buffer arena.
+//
+// The compression operators and collectives need large temporary buffers
+// (magnitude copies, candidate index lists, per-shard accumulation) on every
+// call; allocating them fresh each time puts malloc/free on the gradient
+// hot path.  Scratch<T> checks a vector<T> out of a thread-local free list
+// and returns it at scope exit with its capacity intact, so steady-state
+// calls reallocate nothing.  Being thread-local, checkout is lock-free and
+// safe from inside parallel_for workers; nested checkouts simply pop further
+// down the free list.
+//
+//   void hot_path(size_t d) {
+//     Scratch<float> mags(d);          // capacity reused across calls
+//     ...use mags.vec() / mags.span()...
+//   }                                  // returned to this thread's pool
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hitopk {
+
+namespace detail {
+
+// The per-thread, per-type free list.  Buffers are handed out LIFO so the
+// most recently used (cache-warm, right-sized) buffer is reused first.
+template <typename T>
+std::vector<std::vector<T>>& workspace_pool() {
+  thread_local std::vector<std::vector<T>> pool;
+  return pool;
+}
+
+}  // namespace detail
+
+template <typename T>
+class Scratch {
+ public:
+  // Checks out a buffer and resizes it to n elements.  Contents are
+  // unspecified unless `zeroed` is true.
+  explicit Scratch(size_t n, bool zeroed = false) {
+    auto& pool = detail::workspace_pool<T>();
+    if (!pool.empty()) {
+      buffer_ = std::move(pool.back());
+      pool.pop_back();
+    }
+    if (zeroed) {
+      buffer_.assign(n, T{});
+    } else {
+      buffer_.resize(n);
+    }
+  }
+
+  ~Scratch() {
+    buffer_.clear();
+    detail::workspace_pool<T>().push_back(std::move(buffer_));
+  }
+
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+
+  std::vector<T>& vec() { return buffer_; }
+  std::span<T> span() { return std::span<T>(buffer_); }
+  std::span<const T> span() const { return std::span<const T>(buffer_); }
+  T* data() { return buffer_.data(); }
+  size_t size() const { return buffer_.size(); }
+  T& operator[](size_t i) { return buffer_[i]; }
+  const T& operator[](size_t i) const { return buffer_[i]; }
+
+ private:
+  std::vector<T> buffer_;
+};
+
+// Drops every buffer cached by the calling thread (diagnostic / test hook).
+void workspace_clear();
+
+// Number of buffers currently parked in the calling thread's float/u32
+// pools (test hook: proves reuse instead of reallocation).
+size_t workspace_cached_buffers();
+
+}  // namespace hitopk

@@ -129,6 +129,7 @@ IterationBreakdown TrainingSimulator::simulate_with_io(double raw_io) {
         hi.density = options_.density;
         hi.value_wire_bytes = options_.sparse_value_bytes;
         hi.mstopk_samplings = options_.mstopk_samplings;
+        hi.mstopk_histogram = options_.mstopk_histogram;
         hi.gpu = &gpu_;
         const auto breakdown =
             coll::hitopk_comm(cluster, {}, bucket.elems, hi, ready);

@@ -1,0 +1,292 @@
+// Tests for the shared thread pool (core/parallel.h), the thread-local
+// scratch arena (core/workspace.h), and the determinism contract of the
+// parallel collectives: hitopk_comm / ring_allreduce executed on the pool
+// must produce bitwise-identical RankData to serial execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "collectives/hitopkcomm.h"
+#include "collectives/ring.h"
+#include "compress/error_feedback.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "core/workspace.h"
+
+namespace hitopk {
+namespace {
+
+using coll::HiTopKOptions;
+using coll::RankData;
+using simnet::Cluster;
+using simnet::LinkParams;
+using simnet::Topology;
+
+// Restores the configured pool width when a test returns.
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(parallel_threads()) {}
+  ~ThreadGuard() { set_parallel_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// ------------------------------------------------------------- parallel_for
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  const size_t n = 10000;
+  std::vector<int> visits(n, 0);
+  parallel_for(0, n, [&](size_t i) { ++visits[i]; });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(visits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, HonorsBeginOffsetAndEmptyRange) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  std::atomic<size_t> sum{0};
+  parallel_for(100, 200, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), (100u + 199u) * 100u / 2u);
+  parallel_for(5, 5, [&](size_t) { FAIL() << "empty range ran"; });
+  parallel_for(7, 3, [&](size_t) { FAIL() << "inverted range ran"; });
+}
+
+TEST(ParallelFor, SerialFallbackMatchesParallel) {
+  ThreadGuard guard;
+  const size_t n = 4096;
+  std::vector<double> serial(n), parallel(n);
+  set_parallel_threads(1);
+  parallel_for(0, n, [&](size_t i) {
+    serial[i] = static_cast<double>(i) * 1.5 + 2.0;
+  });
+  set_parallel_threads(8);
+  parallel_for(0, n, [&](size_t i) {
+    parallel[i] = static_cast<double>(i) * 1.5 + 2.0;
+  });
+  EXPECT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                           n * sizeof(double)));
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 1000,
+                   [&](size_t i) {
+                     if (i == 777) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  std::vector<int> visits(64 * 64, 0);
+  parallel_for(0, 64, [&](size_t outer) {
+    parallel_for(0, 64, [&](size_t inner) { ++visits[outer * 64 + inner]; });
+  });
+  for (int v : visits) ASSERT_EQ(v, 1);
+}
+
+TEST(ParallelFor, ShrinkingThreadCountTakesEffect) {
+  ThreadGuard guard;
+  // Grow the pool first, then shrink: iterations must run on at most the
+  // configured number of distinct threads (workers beyond the width park).
+  set_parallel_threads(8);
+  parallel_for(0, 64, [](size_t) {});
+  set_parallel_threads(2);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  parallel_for(0, 256, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(std::this_thread::get_id());
+  });
+  EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(ParallelFor, GrainLargerThanRangeRunsInline) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  std::vector<int> visits(10, 0);
+  parallel_for(0, 10, [&](size_t i) { ++visits[i]; }, /*grain=*/100);
+  for (int v : visits) ASSERT_EQ(v, 1);
+}
+
+// --------------------------------------------------------------- workspace
+TEST(Workspace, BuffersAreReturnedAndReused) {
+  workspace_clear();
+  EXPECT_EQ(workspace_cached_buffers(), 0u);
+  const float* first_data = nullptr;
+  {
+    Scratch<float> a(1024);
+    first_data = a.data();
+    EXPECT_EQ(a.size(), 1024u);
+  }
+  EXPECT_EQ(workspace_cached_buffers(), 1u);
+  {
+    // Same thread, same type: the returned buffer (and its allocation) is
+    // handed back out.
+    Scratch<float> b(512);
+    EXPECT_EQ(b.data(), first_data);
+    EXPECT_EQ(workspace_cached_buffers(), 0u);
+  }
+  workspace_clear();
+}
+
+TEST(Workspace, ZeroedCheckoutIsZero) {
+  {
+    Scratch<float> dirty(256);
+    for (size_t i = 0; i < dirty.size(); ++i) dirty[i] = 1.0f;
+  }
+  Scratch<float> clean(256, /*zeroed=*/true);
+  for (size_t i = 0; i < clean.size(); ++i) ASSERT_EQ(clean[i], 0.0f);
+}
+
+TEST(Workspace, NestedCheckoutsAreDistinct) {
+  Scratch<uint32_t> outer(100);
+  Scratch<uint32_t> inner(100);
+  EXPECT_NE(outer.data(), inner.data());
+}
+
+// ------------------------------------------------- collective determinism
+Topology fabric(int nodes, int gpus) {
+  return Topology(nodes, gpus, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8});
+}
+
+std::vector<Tensor> random_grads(int world, size_t elems, uint64_t seed) {
+  std::vector<Tensor> grads;
+  Rng rng(seed);
+  for (int r = 0; r < world; ++r) {
+    Tensor t(elems);
+    t.fill_normal(rng, 0.0f, 1.0f);
+    grads.push_back(std::move(t));
+  }
+  return grads;
+}
+
+// Runs functional hitopk_comm over a copy of `grads` with the given pool
+// width and returns the aggregated per-rank buffers.
+std::vector<Tensor> run_hitopk(const std::vector<Tensor>& grads, size_t elems,
+                               const Topology& topo,
+                               const HiTopKOptions& options, int threads,
+                               compress::ErrorFeedback* ef = nullptr) {
+  set_parallel_threads(threads);
+  std::vector<Tensor> copy = grads;
+  RankData spans;
+  for (auto& g : copy) spans.push_back(g.span());
+  Cluster cluster(topo);
+  HiTopKOptions opts = options;
+  opts.error_feedback = ef;
+  coll::hitopk_comm(cluster, spans, elems, opts, 0.0);
+  return copy;
+}
+
+void expect_bitwise_equal(const std::vector<Tensor>& a,
+                          const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].size(), b[r].size());
+    ASSERT_EQ(0, std::memcmp(a[r].data(), b[r].data(),
+                             a[r].size() * sizeof(float)))
+        << "rank " << r << " diverged";
+  }
+}
+
+TEST(ParallelDeterminism, HiTopKCommMatchesSerialBitwise) {
+  ThreadGuard guard;
+  const Topology topo = fabric(3, 4);
+  const size_t elems = 1 << 13;
+  const auto grads = random_grads(topo.world_size(), elems, 301);
+  HiTopKOptions options;
+  options.density = 0.01;
+
+  const auto serial = run_hitopk(grads, elems, topo, options, 1);
+  const auto parallel = run_hitopk(grads, elems, topo, options, 8);
+  expect_bitwise_equal(serial, parallel);
+}
+
+TEST(ParallelDeterminism, HiTopKCommLegacyOperatorMatchesSerialBitwise) {
+  ThreadGuard guard;
+  const Topology topo = fabric(2, 4);
+  const size_t elems = 1 << 12;
+  const auto grads = random_grads(topo.world_size(), elems, 307);
+  HiTopKOptions options;
+  options.density = 0.01;
+  options.mstopk_histogram = false;
+
+  const auto serial = run_hitopk(grads, elems, topo, options, 1);
+  const auto parallel = run_hitopk(grads, elems, topo, options, 8);
+  expect_bitwise_equal(serial, parallel);
+}
+
+TEST(ParallelDeterminism, HiTopKCommWithErrorFeedbackMatchesSerialBitwise) {
+  ThreadGuard guard;
+  const Topology topo = fabric(2, 2);
+  const size_t elems = 1 << 12;
+  HiTopKOptions options;
+  options.density = 0.01;
+
+  // Two iterations so the second run consumes residuals written by the
+  // first: both the residual state and the aggregated output must match.
+  compress::ErrorFeedback ef_serial;
+  compress::ErrorFeedback ef_parallel;
+  std::vector<Tensor> out_serial, out_parallel;
+  for (uint64_t step = 0; step < 2; ++step) {
+    const auto grads = random_grads(topo.world_size(), elems, 311 + step);
+    out_serial = run_hitopk(grads, elems, topo, options, 1, &ef_serial);
+    out_parallel = run_hitopk(grads, elems, topo, options, 8, &ef_parallel);
+  }
+  expect_bitwise_equal(out_serial, out_parallel);
+  EXPECT_EQ(ef_serial.num_tensors(), ef_parallel.num_tensors());
+  EXPECT_DOUBLE_EQ(ef_serial.residual_sq_norm(), ef_parallel.residual_sq_norm());
+}
+
+TEST(ParallelDeterminism, HiTopKCommHandlesFewerElemsThanGpus) {
+  // Regression: with elems < gpus_per_node some shards are empty; their
+  // streams are skipped but must still contribute valid (empty) sparse
+  // tensors to the rebuild instead of default dense_size-0 ones.
+  ThreadGuard guard;
+  set_parallel_threads(1);
+  const Topology topo = fabric(2, 4);
+  const size_t elems = 3;
+  const auto grads = random_grads(topo.world_size(), elems, 317);
+  HiTopKOptions options;
+  options.density = 0.5;
+  const auto out = run_hitopk(grads, elems, topo, options, 1);
+  for (size_t i = 0; i < elems; ++i) {
+    ASSERT_EQ(out[0][i], out[1][i]);  // all ranks identical
+  }
+}
+
+TEST(ParallelDeterminism, RingAllreduceMatchesSerialBitwise) {
+  ThreadGuard guard;
+  const Topology topo = fabric(1, 8);
+  const size_t elems = 4096;
+  const auto grads = random_grads(topo.world_size(), elems, 313);
+  const coll::Group world = coll::world_group(topo);
+
+  auto run = [&](int threads) {
+    set_parallel_threads(threads);
+    std::vector<Tensor> copy = grads;
+    RankData spans;
+    for (auto& g : copy) spans.push_back(g.span());
+    Cluster cluster(topo);
+    coll::ring_allreduce(cluster, world, spans, elems, 4, 0.0);
+    return copy;
+  };
+  expect_bitwise_equal(run(1), run(8));
+}
+
+}  // namespace
+}  // namespace hitopk

@@ -7,6 +7,7 @@
 // through the functional collectives (ring AR / NaiveAG / HiTopKComm).
 // Expected shape: the three curves are nearly identical, with the sparse
 // variants a hair below dense (Table 2).
+#include <chrono>
 #include <iostream>
 
 #include "core/table.h"
@@ -38,6 +39,7 @@ int main() {
   for (const auto& spec : tasks) {
     std::cout << "\n--- " << spec.label << " (top-5 accuracy vs epoch) ---\n";
     std::vector<ConvergenceResult> results;
+    std::vector<double> seconds;
     for (const auto algorithm : algorithms) {
       auto task = make_vision_task(1234, spec.proxy_name, spec.hidden);
       ConvergenceOptions options;
@@ -45,7 +47,11 @@ int main() {
       options.epochs = epochs;
       options.density = 0.01;
       options.seed = 99;
+      const auto start = std::chrono::steady_clock::now();
       results.push_back(run_convergence(*task, options));
+      seconds.push_back(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
     }
     TablePrinter table({"Epoch", "Dense-SGD", "TopK-SGD", "MSTopK-SGD"});
     for (int e = 0; e < epochs; e += (e < 10 ? 1 : 2)) {
@@ -60,6 +66,9 @@ int main() {
               << " topk=" << TablePrinter::fmt_percent(results[1].final_quality)
               << " mstopk="
               << TablePrinter::fmt_percent(results[2].final_quality) << "\n";
+    std::cout << "harness wall time: dense=" << TablePrinter::fmt(seconds[0], 2)
+              << "s topk=" << TablePrinter::fmt(seconds[1], 2)
+              << "s mstopk=" << TablePrinter::fmt(seconds[2], 2) << "s\n";
   }
   std::cout << "\nExpected: near-identical curves; sparse variants within a "
                "point or two of dense at the end (Table 2).\n";

@@ -2,10 +2,90 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "core/check.h"
+#include "core/gemm.h"
 
 namespace hitopk::ad {
+namespace {
+
+// Writes the im2col lowering of one CHW image into `col` (c_in*k*k rows by
+// h*w columns): col[(ci*k+ky)*k+kx][y*w+x] = img[ci][y+ky-pad][x+kx-pad],
+// zero outside the image.  Row-major `col`, so conv forward is the plain
+// product  out (c_out x hw) = W (c_out x c_in*k*k) * col.
+void im2col(const float* img, size_t c_in, size_t h, size_t w, size_t k,
+            float* col) {
+  const long pad = static_cast<long>(k / 2);
+  const size_t hw = h * w;
+  size_t row = 0;
+  for (size_t ci = 0; ci < c_in; ++ci) {
+    for (size_t ky = 0; ky < k; ++ky) {
+      const long dy = static_cast<long>(ky) - pad;
+      for (size_t kx = 0; kx < k; ++kx, ++row) {
+        const long dx = static_cast<long>(kx) - pad;
+        float* dst_row = col + row * hw;
+        // x + dx must land in [0, w):
+        const size_t x0 = static_cast<size_t>(std::max<long>(0, -dx));
+        const size_t x1 = static_cast<size_t>(
+            std::min<long>(static_cast<long>(w), static_cast<long>(w) - dx));
+        for (size_t y = 0; y < h; ++y) {
+          const long sy = static_cast<long>(y) + dy;
+          float* dst = dst_row + y * w;
+          if (sy < 0 || sy >= static_cast<long>(h) || x0 >= x1) {
+            std::memset(dst, 0, w * sizeof(float));
+            continue;
+          }
+          const float* src = img + (ci * h + static_cast<size_t>(sy)) * w;
+          std::memset(dst, 0, x0 * sizeof(float));
+          std::memcpy(dst + x0, src + static_cast<size_t>(
+                                          static_cast<long>(x0) + dx),
+                      (x1 - x0) * sizeof(float));
+          std::memset(dst + x1, 0, (w - x1) * sizeof(float));
+        }
+      }
+    }
+  }
+}
+
+// Adjoint of im2col: scatter-adds the column gradient back onto the image
+// gradient, reversing the zero-padded gather above.
+void col2im_add(const float* col, size_t c_in, size_t h, size_t w, size_t k,
+                float* img_grad) {
+  const long pad = static_cast<long>(k / 2);
+  const size_t hw = h * w;
+  size_t row = 0;
+  for (size_t ci = 0; ci < c_in; ++ci) {
+    for (size_t ky = 0; ky < k; ++ky) {
+      const long dy = static_cast<long>(ky) - pad;
+      for (size_t kx = 0; kx < k; ++kx, ++row) {
+        const long dx = static_cast<long>(kx) - pad;
+        const float* src_row = col + row * hw;
+        const size_t x0 = static_cast<size_t>(std::max<long>(0, -dx));
+        const size_t x1 = static_cast<size_t>(
+            std::min<long>(static_cast<long>(w), static_cast<long>(w) - dx));
+        if (x0 >= x1) continue;
+        for (size_t y = 0; y < h; ++y) {
+          const long sy = static_cast<long>(y) + dy;
+          if (sy < 0 || sy >= static_cast<long>(h)) continue;
+          float* dst = img_grad + (ci * h + static_cast<size_t>(sy)) * w +
+                       static_cast<size_t>(static_cast<long>(x0) + dx);
+          const float* src = src_row + y * w + x0;
+          for (size_t x = 0; x < x1 - x0; ++x) dst[x] += src[x];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Tape::reset() {
+  nodes_.clear();
+  ids_.clear();
+  arena_.reset();
+  loss_node_ = -1;
+}
 
 Tape::Node& Tape::check_id(VarId id) {
   HITOPK_CHECK(id >= 0 && static_cast<size_t>(id) < nodes_.size());
@@ -19,7 +99,17 @@ const Tape::Node& Tape::check_id(VarId id) const {
 
 std::span<const float> Tape::node_value(const Node& n) const {
   return n.op == Op::kLeaf ? n.leaf_value
-                           : std::span<const float>(n.value.span());
+                           : arena_.span(n.value_offset, n.rows * n.cols);
+}
+
+std::span<float> Tape::node_grad(Node& n) {
+  if (n.op == Op::kLeaf) return n.leaf_grad;
+  HITOPK_CHECK_NE(n.grad_offset, kNone) << "node grad not allocated";
+  return arena_.span(n.grad_offset, n.rows * n.cols);
+}
+
+std::span<const int> Tape::node_ids(const Node& n) const {
+  return std::span<const int>(ids_.data() + n.ids_begin, n.ids_count);
 }
 
 std::span<const float> Tape::value(VarId id) const {
@@ -28,6 +118,14 @@ std::span<const float> Tape::value(VarId id) const {
 
 size_t Tape::rows(VarId id) const { return check_id(id).rows; }
 size_t Tape::cols(VarId id) const { return check_id(id).cols; }
+
+VarId Tape::push(Node n, bool zeroed) {
+  if (n.op != Op::kLeaf) {
+    n.value_offset = arena_.alloc(n.rows * n.cols, zeroed);
+  }
+  nodes_.push_back(std::move(n));
+  return static_cast<VarId>(nodes_.size() - 1);
+}
 
 VarId Tape::leaf(std::span<const float> value, std::span<float> grad,
                  size_t rows, size_t cols) {
@@ -41,8 +139,7 @@ VarId Tape::leaf(std::span<const float> value, std::span<float> grad,
   n.cols = cols;
   n.leaf_value = value;
   n.leaf_grad = grad;
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  return push(std::move(n));
 }
 
 VarId Tape::matmul(VarId a, VarId b) {
@@ -55,23 +152,15 @@ VarId Tape::matmul(VarId a, VarId b) {
   n.b = b;
   n.rows = na.rows;
   n.cols = nb.cols;
-  n.value = Tensor(n.rows, n.cols);
-  // C = A * B, ikj loop order for cache-friendly row access.
-  const auto va = node_value(na);
-  const auto vb = node_value(nb);
-  float* c = n.value.data();
   const size_t inner = na.cols;
-  for (size_t i = 0; i < n.rows; ++i) {
-    for (size_t k = 0; k < inner; ++k) {
-      const float aik = va[i * inner + k];
-      if (aik == 0.0f) continue;
-      const float* brow = &vb[k * n.cols];
-      float* crow = &c[i * n.cols];
-      for (size_t j = 0; j < n.cols; ++j) crow[j] += aik * brow[j];
-    }
-  }
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  const VarId id = push(std::move(n));  // may move the arena: re-derive spans
+  Node& self = nodes_.back();
+  gemm::sgemm(gemm::Trans::kNo, gemm::Trans::kNo, self.rows, self.cols, inner,
+              node_value(check_id(a)).data(), inner,
+              node_value(check_id(b)).data(), self.cols,
+              arena_.span(self.value_offset, self.rows * self.cols).data(),
+              self.cols, /*accumulate=*/false);
+  return id;
 }
 
 VarId Tape::add_bias(VarId x, VarId bias) {
@@ -84,16 +173,17 @@ VarId Tape::add_bias(VarId x, VarId bias) {
   n.b = bias;
   n.rows = nx.rows;
   n.cols = nx.cols;
-  n.value = Tensor(n.rows, n.cols);
-  const auto vx = node_value(nx);
-  const auto vb = node_value(nb);
-  for (size_t i = 0; i < n.rows; ++i) {
-    for (size_t j = 0; j < n.cols; ++j) {
-      n.value[i * n.cols + j] = vx[i * n.cols + j] + vb[j];
+  const VarId id = push(std::move(n));
+  Node& self = nodes_.back();
+  const auto vx = node_value(check_id(x));
+  const auto vb = node_value(check_id(bias));
+  auto out = arena_.span(self.value_offset, self.rows * self.cols);
+  for (size_t i = 0; i < self.rows; ++i) {
+    for (size_t j = 0; j < self.cols; ++j) {
+      out[i * self.cols + j] = vx[i * self.cols + j] + vb[j];
     }
   }
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  return id;
 }
 
 VarId Tape::relu(VarId x) {
@@ -103,13 +193,40 @@ VarId Tape::relu(VarId x) {
   n.a = x;
   n.rows = nx.rows;
   n.cols = nx.cols;
-  n.value = Tensor(n.rows, n.cols);
-  const auto vx = node_value(nx);
+  const VarId id = push(std::move(n));
+  Node& self = nodes_.back();
+  const auto vx = node_value(check_id(x));
+  auto out = arena_.span(self.value_offset, vx.size());
   for (size_t i = 0; i < vx.size(); ++i) {
-    n.value[i] = vx[i] > 0.0f ? vx[i] : 0.0f;
+    out[i] = vx[i] > 0.0f ? vx[i] : 0.0f;
   }
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  return id;
+}
+
+VarId Tape::add_bias_relu(VarId x, VarId bias) {
+  const Node& nx = check_id(x);
+  const Node& nb = check_id(bias);
+  HITOPK_CHECK_EQ(nb.rows * nb.cols, nx.cols) << "bias width mismatch";
+  Node n;
+  n.op = Op::kBiasRelu;
+  n.a = x;
+  n.b = bias;
+  n.rows = nx.rows;
+  n.cols = nx.cols;
+  const VarId id = push(std::move(n));
+  Node& self = nodes_.back();
+  const auto vx = node_value(check_id(x));
+  const auto vb = node_value(check_id(bias));
+  auto out = arena_.span(self.value_offset, self.rows * self.cols);
+  for (size_t i = 0; i < self.rows; ++i) {
+    const float* xrow = &vx[i * self.cols];
+    float* orow = &out[i * self.cols];
+    for (size_t j = 0; j < self.cols; ++j) {
+      const float z = xrow[j] + vb[j];
+      orow[j] = z > 0.0f ? z : 0.0f;
+    }
+  }
+  return id;
 }
 
 VarId Tape::tanh_act(VarId x) {
@@ -119,32 +236,40 @@ VarId Tape::tanh_act(VarId x) {
   n.a = x;
   n.rows = nx.rows;
   n.cols = nx.cols;
-  n.value = Tensor(n.rows, n.cols);
-  const auto vx = node_value(nx);
-  for (size_t i = 0; i < vx.size(); ++i) n.value[i] = std::tanh(vx[i]);
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  const VarId id = push(std::move(n));
+  Node& self = nodes_.back();
+  const auto vx = node_value(check_id(x));
+  auto out = arena_.span(self.value_offset, vx.size());
+  for (size_t i = 0; i < vx.size(); ++i) out[i] = std::tanh(vx[i]);
+  return id;
 }
 
-VarId Tape::embedding(VarId table, std::vector<int> ids) {
+VarId Tape::embedding(VarId table, std::span<const int> ids) {
   const Node& nt = check_id(table);
+  // Validate before mutating any tape state, so a failed check leaves the
+  // tape exactly as it was.
+  for (const int row : ids) {
+    HITOPK_CHECK(row >= 0 && static_cast<size_t>(row) < nt.rows)
+        << "embedding id out of range:" << row;
+  }
   Node n;
   n.op = Op::kEmbedding;
   n.a = table;
   n.rows = ids.size();
   n.cols = nt.cols;
-  n.ids = std::move(ids);
-  n.value = Tensor(n.rows, n.cols);
-  const auto vt = node_value(nt);
-  for (size_t i = 0; i < n.rows; ++i) {
-    const int id = n.ids[i];
-    HITOPK_CHECK(id >= 0 && static_cast<size_t>(id) < nt.rows)
-        << "embedding id out of range:" << id;
-    std::copy_n(&vt[static_cast<size_t>(id) * n.cols], n.cols,
-                &n.value[i * n.cols]);
+  n.ids_begin = ids_.size();
+  n.ids_count = ids.size();
+  ids_.insert(ids_.end(), ids.begin(), ids.end());
+  const VarId id = push(std::move(n));
+  Node& self = nodes_.back();
+  const auto vt = node_value(check_id(table));
+  const auto self_ids = node_ids(self);
+  auto out = arena_.span(self.value_offset, self.rows * self.cols);
+  for (size_t i = 0; i < self.rows; ++i) {
+    const size_t row = static_cast<size_t>(self_ids[i]);
+    std::copy_n(&vt[row * self.cols], self.cols, &out[i * self.cols]);
   }
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  return id;
 }
 
 VarId Tape::channel_pool(VarId x, size_t channels) {
@@ -157,19 +282,21 @@ VarId Tape::channel_pool(VarId x, size_t channels) {
   n.group = nx.cols / channels;  // spatial size
   n.rows = nx.rows;
   n.cols = channels;
-  n.value = Tensor(n.rows, n.cols);
-  const auto vx = node_value(nx);
-  const float inv = 1.0f / static_cast<float>(n.group);
-  for (size_t b = 0; b < n.rows; ++b) {
+  const size_t in_cols = nx.cols;
+  const VarId id = push(std::move(n));
+  Node& self = nodes_.back();
+  const auto vx = node_value(check_id(x));
+  auto out = arena_.span(self.value_offset, self.rows * self.cols);
+  const float inv = 1.0f / static_cast<float>(self.group);
+  for (size_t b = 0; b < self.rows; ++b) {
     for (size_t c = 0; c < channels; ++c) {
       double acc = 0.0;
-      const float* src = &vx[b * nx.cols + c * n.group];
-      for (size_t j = 0; j < n.group; ++j) acc += src[j];
-      n.value[b * channels + c] = static_cast<float>(acc) * inv;
+      const float* src = &vx[b * in_cols + c * self.group];
+      for (size_t j = 0; j < self.group; ++j) acc += src[j];
+      out[b * channels + c] = static_cast<float>(acc) * inv;
     }
   }
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  return id;
 }
 
 VarId Tape::conv2d(VarId x, VarId weight, size_t c_in, size_t h, size_t w,
@@ -188,41 +315,40 @@ VarId Tape::conv2d(VarId x, VarId weight, size_t c_in, size_t h, size_t w,
   n.rows = nx.rows;
   n.cols = c_out * h * w;
   n.conv = ConvShape{c_in, h, w, c_out, k};
-  n.value = Tensor(n.rows, n.cols);
+  const VarId id = push(std::move(n));
 
-  const auto vx = node_value(nx);
-  const auto vw = node_value(nw);
-  const long pad = static_cast<long>(k / 2);
-  for (size_t b = 0; b < n.rows; ++b) {
-    const float* img = &vx[b * c_in * h * w];
-    float* out = &n.value[b * c_out * h * w];
-    for (size_t co = 0; co < c_out; ++co) {
-      const float* kernel = &vw[co * c_in * k * k];
-      for (size_t y = 0; y < h; ++y) {
-        for (size_t xw = 0; xw < w; ++xw) {
-          double acc = 0.0;
-          for (size_t ci = 0; ci < c_in; ++ci) {
-            for (size_t ky = 0; ky < k; ++ky) {
-              const long sy = static_cast<long>(y) + static_cast<long>(ky) - pad;
-              if (sy < 0 || sy >= static_cast<long>(h)) continue;
-              for (size_t kx = 0; kx < k; ++kx) {
-                const long sx =
-                    static_cast<long>(xw) + static_cast<long>(kx) - pad;
-                if (sx < 0 || sx >= static_cast<long>(w)) continue;
-                acc += static_cast<double>(
-                           img[(ci * h + static_cast<size_t>(sy)) * w +
-                               static_cast<size_t>(sx)]) *
-                       kernel[(ci * k + ky) * k + kx];
-              }
-            }
-          }
-          out[(co * h + y) * w + xw] = static_cast<float>(acc);
-        }
-      }
-    }
+  const size_t hw = h * w;
+  const size_t patch = c_in * k * k;
+  // The im2col panels are kept in the arena so the backward pass reuses
+  // them for dW instead of re-lowering every image — but only when the
+  // weight can actually receive a gradient.  Gradient-free forward passes
+  // (held-out evaluation) would otherwise size the long-lived arena by
+  // batch * patch * hw floats per conv layer for a cache nothing reads.
+  const Node& weight_node = check_id(weight);
+  const bool needs_cols =
+      weight_node.op != Op::kLeaf || !weight_node.leaf_grad.empty();
+  const size_t batch = nodes_.back().rows;
+  if (needs_cols) {
+    nodes_.back().col_offset = arena_.alloc(batch * patch * hw);
   }
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  Node& self = nodes_.back();
+  const auto vx = node_value(check_id(x));
+  const auto vw = node_value(check_id(weight));
+  auto out = arena_.span(self.value_offset, self.rows * self.cols);
+  Scratch<float> col_scratch(needs_cols ? 0 : patch * hw);
+  for (size_t b = 0; b < self.rows; ++b) {
+    float* col = needs_cols
+                     ? arena_.span(self.col_offset, batch * patch * hw)
+                               .data() +
+                           b * patch * hw
+                     : col_scratch.data();
+    im2col(&vx[b * c_in * hw], c_in, h, w, k, col);
+    // out_b (c_out x hw) = W (c_out x patch) * col (patch x hw)
+    gemm::sgemm(gemm::Trans::kNo, gemm::Trans::kNo, c_out, hw, patch,
+                vw.data(), patch, col, hw, &out[b * c_out * hw], hw,
+                /*accumulate=*/false);
+  }
+  return id;
 }
 
 VarId Tape::mean_pool(VarId x, size_t group) {
@@ -235,238 +361,254 @@ VarId Tape::mean_pool(VarId x, size_t group) {
   n.group = group;
   n.rows = nx.rows / group;
   n.cols = nx.cols;
-  n.value = Tensor(n.rows, n.cols);
-  const auto vx = node_value(nx);
+  const VarId id = push(std::move(n), /*zeroed=*/true);
+  Node& self = nodes_.back();
+  const auto vx = node_value(check_id(x));
+  auto out = arena_.span(self.value_offset, self.rows * self.cols);
   const float inv = 1.0f / static_cast<float>(group);
-  for (size_t i = 0; i < n.rows; ++i) {
+  for (size_t i = 0; i < self.rows; ++i) {
     for (size_t g = 0; g < group; ++g) {
-      const float* src = &vx[(i * group + g) * n.cols];
-      for (size_t j = 0; j < n.cols; ++j) n.value[i * n.cols + j] += src[j];
+      const float* src = &vx[(i * group + g) * self.cols];
+      for (size_t j = 0; j < self.cols; ++j) out[i * self.cols + j] += src[j];
     }
-    for (size_t j = 0; j < n.cols; ++j) n.value[i * n.cols + j] *= inv;
+    for (size_t j = 0; j < self.cols; ++j) out[i * self.cols + j] *= inv;
   }
-  nodes_.push_back(std::move(n));
-  return static_cast<VarId>(nodes_.size() - 1);
+  return id;
 }
 
 double Tape::softmax_cross_entropy(VarId logits, std::span<const int> labels) {
   HITOPK_CHECK_EQ(loss_node_, -1) << "loss already defined on this tape";
   const Node& nl = check_id(logits);
   HITOPK_CHECK_EQ(labels.size(), nl.rows);
+  // Validate before mutating any tape state (see embedding()).
+  for (const int label : labels) {
+    HITOPK_CHECK(label >= 0 && static_cast<size_t>(label) < nl.cols)
+        << "label out of range:" << label;
+  }
   Node n;
   n.op = Op::kSoftmaxXent;
   n.a = logits;
   n.rows = nl.rows;
   n.cols = nl.cols;
-  n.ids.assign(labels.begin(), labels.end());
-  n.value = Tensor(n.rows, n.cols);  // stores the probabilities
+  n.ids_begin = ids_.size();
+  n.ids_count = labels.size();
+  ids_.insert(ids_.end(), labels.begin(), labels.end());
+  const VarId id = push(std::move(n));  // value stores the probabilities
+  Node& self = nodes_.back();
 
-  const auto v = node_value(nl);
+  const auto v = node_value(check_id(logits));
+  const auto self_ids = node_ids(self);
+  auto probs = arena_.span(self.value_offset, self.rows * self.cols);
   double loss = 0.0;
-  for (size_t i = 0; i < n.rows; ++i) {
-    const float* row = &v[i * n.cols];
+  for (size_t i = 0; i < self.rows; ++i) {
+    const float* row = &v[i * self.cols];
+    float* prow = &probs[i * self.cols];
     float max_logit = row[0];
-    for (size_t j = 1; j < n.cols; ++j) max_logit = std::max(max_logit, row[j]);
+    for (size_t j = 1; j < self.cols; ++j) {
+      max_logit = std::max(max_logit, row[j]);
+    }
     double denom = 0.0;
-    for (size_t j = 0; j < n.cols; ++j) {
+    for (size_t j = 0; j < self.cols; ++j) {
       const double e = std::exp(static_cast<double>(row[j] - max_logit));
-      n.value[i * n.cols + j] = static_cast<float>(e);
+      prow[j] = static_cast<float>(e);
       denom += e;
     }
     const float inv = static_cast<float>(1.0 / denom);
-    for (size_t j = 0; j < n.cols; ++j) n.value[i * n.cols + j] *= inv;
-    const int label = n.ids[i];
-    HITOPK_CHECK(label >= 0 && static_cast<size_t>(label) < n.cols);
-    loss -= std::log(
-        std::max(1e-12, static_cast<double>(n.value[i * n.cols + label])));
+    for (size_t j = 0; j < self.cols; ++j) prow[j] *= inv;
+    const size_t label = static_cast<size_t>(self_ids[i]);
+    loss -= std::log(std::max(1e-12, static_cast<double>(prow[label])));
   }
-  loss /= static_cast<double>(n.rows);
-  nodes_.push_back(std::move(n));
-  loss_node_ = static_cast<VarId>(nodes_.size() - 1);
+  loss /= static_cast<double>(self.rows);
+  loss_node_ = id;
   return loss;
+}
+
+void Tape::backward_matmul(Node& n) {
+  const Node& na = check_id(n.a);
+  const size_t inner = na.cols;
+  const auto gc = node_grad(n);
+  auto ga = node_grad(check_id(n.a));
+  auto gb = node_grad(check_id(n.b));
+  if (!ga.empty()) {
+    // dA += dC * B^T
+    gemm::sgemm(gemm::Trans::kNo, gemm::Trans::kYes, n.rows, inner, n.cols,
+                gc.data(), n.cols, node_value(check_id(n.b)).data(), n.cols,
+                ga.data(), inner, /*accumulate=*/true);
+  }
+  if (!gb.empty()) {
+    // dB += A^T * dC
+    gemm::sgemm(gemm::Trans::kYes, gemm::Trans::kNo, inner, n.cols, n.rows,
+                node_value(check_id(n.a)).data(), inner, gc.data(), n.cols,
+                gb.data(), n.cols, /*accumulate=*/true);
+  }
+}
+
+void Tape::backward_conv2d(Node& n) {
+  const auto [c_in, h, w, c_out, k] = n.conv;
+  const size_t hw = h * w;
+  const size_t patch = c_in * k * k;
+  const auto vw = node_value(check_id(n.b));
+  const auto gout = node_grad(n);
+  auto gx = node_grad(check_id(n.a));
+  auto gw = node_grad(check_id(n.b));
+  if (gx.empty() && gw.empty()) return;
+  // A weight that can receive a gradient always has its im2col panels
+  // cached by the forward pass (see conv2d()).
+  HITOPK_CHECK(gw.empty() || n.col_offset != kNone);
+  const auto cols = gw.empty() ? std::span<const float>{}
+                               : arena_.span(n.col_offset,
+                                             n.rows * patch * hw);
+  Scratch<float> dcol(gx.empty() ? 0 : patch * hw);
+  for (size_t b = 0; b < n.rows; ++b) {
+    const float* gout_img = &gout[b * c_out * hw];
+    if (!gw.empty()) {
+      // dW += dOut (c_out x hw) * col^T (hw x patch); col cached by forward
+      gemm::sgemm(gemm::Trans::kNo, gemm::Trans::kYes, c_out, patch, hw,
+                  gout_img, hw, &cols[b * patch * hw], hw, gw.data(), patch,
+                  /*accumulate=*/true);
+    }
+    if (!gx.empty()) {
+      // dcol (patch x hw) = W^T (patch x c_out) * dOut (c_out x hw)
+      gemm::sgemm(gemm::Trans::kYes, gemm::Trans::kNo, patch, hw, c_out,
+                  vw.data(), patch, gout_img, hw, dcol.data(), hw,
+                  /*accumulate=*/false);
+      col2im_add(dcol.data(), c_in, h, w, k, &gx[b * c_in * hw]);
+    }
+  }
 }
 
 void Tape::backward() {
   HITOPK_CHECK_NE(loss_node_, -1) << "no loss op recorded";
+  // Zeroed arena grad blocks for every non-leaf node; leaf gradients
+  // accumulate into external storage and are left untouched.  The terminal
+  // xent node's own grad is never read (its backward step seeds its input
+  // directly), so it gets no block.
   for (auto& n : nodes_) {
-    if (n.op != Op::kLeaf) {
-      n.grad = Tensor(n.rows, n.cols);
-    } else if (n.op == Op::kLeaf) {
-      // Leaf gradients accumulate into external storage; nothing to reset.
+    if (n.op != Op::kLeaf && n.op != Op::kSoftmaxXent) {
+      n.grad_offset = arena_.alloc(n.rows * n.cols, /*zeroed=*/true);
     }
   }
   // Seed: d(loss)/d(logits) = (P - onehot) / n, written directly into the
   // xent node's input gradient during its backward step below.
   for (size_t idx = nodes_.size(); idx-- > 0;) {
     Node& n = nodes_[idx];
-    auto input_grad = [&](VarId id) -> std::span<float> {
-      Node& in = check_id(id);
-      return in.op == Op::kLeaf ? in.leaf_grad
-                                : std::span<float>(in.grad.span());
-    };
     switch (n.op) {
       case Op::kLeaf:
         break;
       case Op::kSoftmaxXent: {
-        auto gx = input_grad(n.a);
+        auto gx = node_grad(check_id(n.a));
         if (gx.empty()) break;
+        const auto probs = node_value(n);
+        const auto labels = node_ids(n);
         const float inv_n = 1.0f / static_cast<float>(n.rows);
         for (size_t i = 0; i < n.rows; ++i) {
           for (size_t j = 0; j < n.cols; ++j) {
-            float g = n.value[i * n.cols + j];
-            if (static_cast<size_t>(n.ids[i]) == j) g -= 1.0f;
+            float g = probs[i * n.cols + j];
+            if (static_cast<size_t>(labels[i]) == j) g -= 1.0f;
             gx[i * n.cols + j] += g * inv_n;
           }
         }
         break;
       }
-      case Op::kMatmul: {
-        const Node& na = check_id(n.a);
-        const Node& nb = check_id(n.b);
-        const auto va = node_value(na);
-        const auto vb = node_value(nb);
-        const size_t inner = na.cols;
-        auto ga = input_grad(n.a);
-        auto gb = input_grad(n.b);
-        // dA = dC * B^T
-        if (!ga.empty()) {
-          for (size_t i = 0; i < n.rows; ++i) {
-            for (size_t k = 0; k < inner; ++k) {
-              double acc = 0.0;
-              const float* gc = &n.grad[i * n.cols];
-              const float* brow = &vb[k * n.cols];
-              for (size_t j = 0; j < n.cols; ++j) acc += gc[j] * brow[j];
-              ga[i * inner + k] += static_cast<float>(acc);
-            }
-          }
-        }
-        // dB = A^T * dC
-        if (!gb.empty()) {
-          for (size_t i = 0; i < n.rows; ++i) {
-            const float* arow = &va[i * inner];
-            const float* gc = &n.grad[i * n.cols];
-            for (size_t k = 0; k < inner; ++k) {
-              const float aik = arow[k];
-              if (aik == 0.0f) continue;
-              float* grow = &gb[k * n.cols];
-              for (size_t j = 0; j < n.cols; ++j) grow[j] += aik * gc[j];
-            }
-          }
-        }
+      case Op::kMatmul:
+        backward_matmul(n);
         break;
-      }
       case Op::kAddBias: {
-        auto gx = input_grad(n.a);
-        auto gb = input_grad(n.b);
+        const auto gc = node_grad(n);
+        auto gx = node_grad(check_id(n.a));
+        auto gb = node_grad(check_id(n.b));
         if (!gx.empty()) {
-          for (size_t i = 0; i < n.grad.size(); ++i) gx[i] += n.grad[i];
+          for (size_t i = 0; i < gc.size(); ++i) gx[i] += gc[i];
         }
         if (!gb.empty()) {
           for (size_t i = 0; i < n.rows; ++i) {
             for (size_t j = 0; j < n.cols; ++j) {
-              gb[j] += n.grad[i * n.cols + j];
+              gb[j] += gc[i * n.cols + j];
             }
           }
         }
         break;
       }
       case Op::kRelu: {
-        auto gx = input_grad(n.a);
+        auto gx = node_grad(check_id(n.a));
         if (gx.empty()) break;
+        const auto gc = node_grad(n);
         const auto vx = node_value(check_id(n.a));
-        for (size_t i = 0; i < n.grad.size(); ++i) {
-          if (vx[i] > 0.0f) gx[i] += n.grad[i];
+        for (size_t i = 0; i < gc.size(); ++i) {
+          if (vx[i] > 0.0f) gx[i] += gc[i];
+        }
+        break;
+      }
+      case Op::kBiasRelu: {
+        // out = relu(x + b): the mask is out > 0 (== x + b > 0); one fused
+        // pass accumulates both input grads, matching add_bias-then-relu
+        // bitwise.
+        const auto gc = node_grad(n);
+        const auto out = node_value(n);
+        auto gx = node_grad(check_id(n.a));
+        auto gb = node_grad(check_id(n.b));
+        for (size_t i = 0; i < n.rows; ++i) {
+          const float* orow = &out[i * n.cols];
+          const float* grow = &gc[i * n.cols];
+          for (size_t j = 0; j < n.cols; ++j) {
+            if (orow[j] > 0.0f) {
+              if (!gx.empty()) gx[i * n.cols + j] += grow[j];
+              if (!gb.empty()) gb[j] += grow[j];
+            }
+          }
         }
         break;
       }
       case Op::kTanh: {
-        auto gx = input_grad(n.a);
+        auto gx = node_grad(check_id(n.a));
         if (gx.empty()) break;
-        for (size_t i = 0; i < n.grad.size(); ++i) {
-          gx[i] += n.grad[i] * (1.0f - n.value[i] * n.value[i]);
+        const auto gc = node_grad(n);
+        const auto out = node_value(n);
+        for (size_t i = 0; i < gc.size(); ++i) {
+          gx[i] += gc[i] * (1.0f - out[i] * out[i]);
         }
         break;
       }
       case Op::kEmbedding: {
-        auto gt = input_grad(n.a);
+        auto gt = node_grad(check_id(n.a));
         if (gt.empty()) break;
+        const auto gc = node_grad(n);
+        const auto ids = node_ids(n);
         for (size_t i = 0; i < n.rows; ++i) {
-          const size_t row = static_cast<size_t>(n.ids[i]);
+          const size_t row = static_cast<size_t>(ids[i]);
           for (size_t j = 0; j < n.cols; ++j) {
-            gt[row * n.cols + j] += n.grad[i * n.cols + j];
+            gt[row * n.cols + j] += gc[i * n.cols + j];
           }
         }
         break;
       }
       case Op::kChannelPool: {
-        auto gx = input_grad(n.a);
+        auto gx = node_grad(check_id(n.a));
         if (gx.empty()) break;
+        const auto gc = node_grad(n);
         const float inv = 1.0f / static_cast<float>(n.group);
         for (size_t b = 0; b < n.rows; ++b) {
           for (size_t c = 0; c < n.cols; ++c) {
-            const float g = n.grad[b * n.cols + c] * inv;
+            const float g = gc[b * n.cols + c] * inv;
             float* dst = &gx[(b * n.cols + c) * n.group];
             for (size_t j = 0; j < n.group; ++j) dst[j] += g;
           }
         }
         break;
       }
-      case Op::kConv2d: {
-        const auto [c_in, h, w, c_out, k] = n.conv;
-        const long pad = static_cast<long>(k / 2);
-        const Node& nx = check_id(n.a);
-        const Node& nw = check_id(n.b);
-        const auto vx = node_value(nx);
-        const auto vw = node_value(nw);
-        auto gx = input_grad(n.a);
-        auto gw = input_grad(n.b);
-        for (size_t b = 0; b < n.rows; ++b) {
-          const float* img = &vx[b * c_in * h * w];
-          const float* gout = &n.grad[b * c_out * h * w];
-          for (size_t co = 0; co < c_out; ++co) {
-            const float* kernel = &vw[co * c_in * k * k];
-            for (size_t y = 0; y < h; ++y) {
-              for (size_t xw = 0; xw < w; ++xw) {
-                const float g = gout[(co * h + y) * w + xw];
-                if (g == 0.0f) continue;
-                for (size_t ci = 0; ci < c_in; ++ci) {
-                  for (size_t ky = 0; ky < k; ++ky) {
-                    const long sy =
-                        static_cast<long>(y) + static_cast<long>(ky) - pad;
-                    if (sy < 0 || sy >= static_cast<long>(h)) continue;
-                    for (size_t kx = 0; kx < k; ++kx) {
-                      const long sx =
-                          static_cast<long>(xw) + static_cast<long>(kx) - pad;
-                      if (sx < 0 || sx >= static_cast<long>(w)) continue;
-                      const size_t img_index =
-                          (ci * h + static_cast<size_t>(sy)) * w +
-                          static_cast<size_t>(sx);
-                      if (!gw.empty()) {
-                        gw[co * c_in * k * k + (ci * k + ky) * k + kx] +=
-                            g * img[img_index];
-                      }
-                      if (!gx.empty()) {
-                        gx[b * c_in * h * w + img_index] +=
-                            g * kernel[(ci * k + ky) * k + kx];
-                      }
-                    }
-                  }
-                }
-              }
-            }
-          }
-        }
+      case Op::kConv2d:
+        backward_conv2d(n);
         break;
-      }
       case Op::kMeanPool: {
-        auto gx = input_grad(n.a);
+        auto gx = node_grad(check_id(n.a));
         if (gx.empty()) break;
+        const auto gc = node_grad(n);
         const float inv = 1.0f / static_cast<float>(n.group);
         for (size_t i = 0; i < n.rows; ++i) {
           for (size_t g = 0; g < n.group; ++g) {
             for (size_t j = 0; j < n.cols; ++j) {
               gx[(i * n.group + g) * n.cols + j] +=
-                  n.grad[i * n.cols + j] * inv;
+                  gc[i * n.cols + j] * inv;
             }
           }
         }

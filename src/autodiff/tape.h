@@ -5,18 +5,30 @@
 // implements a small eager autodiff: operations evaluate immediately and
 // record themselves on a tape; backward() walks the tape in reverse.
 //
+// Engine layout (the "near-hardware-speed" rebuild):
+//   - Every dense product — matmul forward, both backward products
+//     (dA = dC*B^T, dB = A^T*dC), and im2col-lowered conv2d forward and
+//     backward — runs through the register-tiled SGEMM in core/gemm.h.
+//   - Node value/grad storage is bump-allocated from a core/workspace Arena
+//     (thread-local backing buffers), not per-node heap Tensors; reset()
+//     rewinds the tape for the next iteration with capacity intact, so
+//     steady-state iterations allocate nothing.
+//   - add_bias_relu() fuses the rows+bias add with the ReLU clamp (one
+//     traversal forward, one masked accumulate backward); it is bitwise
+//     equivalent to add_bias() followed by relu().
+//
 // Leaves reference external storage (the trainer's flat parameter/gradient
-// buffers), so one Tape is built per iteration and parameters persist
-// outside it.  Supported ops cover the MLP classifier and the
-// embedding-based sequence model used as convergence stand-ins:
-// matmul, bias add, relu, tanh, embedding lookup, mean pooling, and
-// softmax cross-entropy.
+// buffers), so parameters persist outside the tape.  Supported ops cover
+// the MLP classifier, the embedding-based sequence model, and the small CNN
+// used as convergence stand-ins: matmul, bias add, (fused) relu, tanh,
+// embedding lookup, conv2d, mean/channel pooling, and softmax cross-entropy.
 #pragma once
 
+#include <initializer_list>
 #include <span>
 #include <vector>
 
-#include "core/tensor.h"
+#include "core/workspace.h"
 
 namespace hitopk::ad {
 
@@ -24,7 +36,14 @@ using VarId = int;
 
 class Tape {
  public:
-  Tape() = default;
+  // Reserves room for a typical model's worth of nodes up front; the
+  // convergence stand-ins record 10-12 nodes per pass.
+  Tape() { nodes_.reserve(16); }
+
+  // Rewinds the tape for a fresh forward/backward pass.  Node storage
+  // capacity (arena buffer, node vector, id staging) survives, so a reused
+  // tape is bitwise-identical to a fresh one but allocation-free.
+  void reset();
 
   // Leaf over external row-major storage.  `grad` may be empty (constants /
   // inputs); when present, backward() accumulates into it.
@@ -38,11 +57,20 @@ class Tape {
   VarId add_bias(VarId x, VarId bias);
 
   VarId relu(VarId x);
+
+  // Fused relu(X + b); bitwise-identical to add_bias() then relu() but one
+  // tape node and one memory pass.
+  VarId add_bias_relu(VarId x, VarId bias);
+
   VarId tanh_act(VarId x);
 
   // Rows of `table` (vocab x width) selected by ids; result is
   // (ids.size() x width).  Backward scatter-adds into the table's grad.
-  VarId embedding(VarId table, std::vector<int> ids);
+  // The ids are copied into tape-owned staging (reused across reset()).
+  VarId embedding(VarId table, std::span<const int> ids);
+  VarId embedding(VarId table, std::initializer_list<int> ids) {
+    return embedding(table, std::span<const int>(ids.begin(), ids.size()));
+  }
 
   // 2-D convolution, stride 1, "same" zero padding.  x is
   // (batch x c_in*h*w) with CHW layout per row; weight is
@@ -84,6 +112,7 @@ class Tape {
     kMatmul,
     kAddBias,
     kRelu,
+    kBiasRelu,
     kTanh,
     kEmbedding,
     kMeanPool,
@@ -96,26 +125,40 @@ class Tape {
     size_t c_in = 0, h = 0, w = 0, c_out = 0, k = 0;
   };
 
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
   struct Node {
     Op op = Op::kLeaf;
     VarId a = -1;
     VarId b = -1;
     size_t rows = 0;
     size_t cols = 0;
-    Tensor value;                      // owned value (non-leaf)
-    Tensor grad;                       // owned gradient buffer
+    size_t value_offset = kNone;       // arena value block (non-leaf)
+    size_t grad_offset = kNone;        // arena grad block (set by backward)
+    size_t col_offset = kNone;         // conv2d: cached im2col panels
     std::span<const float> leaf_value; // leaf external value
     std::span<float> leaf_grad;        // leaf external grad (may be empty)
-    std::vector<int> ids;              // embedding / labels
+    size_t ids_begin = 0;              // embedding / labels, in ids_
+    size_t ids_count = 0;
     size_t group = 1;                  // mean-pool group size
     ConvShape conv;                    // conv2d geometry
   };
 
+  // Appends the node and allocates its arena value block; returns its id.
+  // Accumulating forward kernels pass zeroed = true.
+  VarId push(Node n, bool zeroed = false);
+
   std::span<const float> node_value(const Node& n) const;
+  std::span<float> node_grad(Node& n);
+  std::span<const int> node_ids(const Node& n) const;
   Node& check_id(VarId id);
   const Node& check_id(VarId id) const;
+  void backward_matmul(Node& n);
+  void backward_conv2d(Node& n);
 
   std::vector<Node> nodes_;
+  std::vector<int> ids_;  // staging for embedding ids / xent labels
+  Arena arena_;
   VarId loss_node_ = -1;
 };
 

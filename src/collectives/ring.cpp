@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/parallel.h"
+#include "core/tensor.h"
 
 namespace hitopk::coll {
 namespace {
@@ -59,7 +60,7 @@ void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
         if (range.count == 0) return;
         auto src = data[q][i].subspan(range.begin, range.count);
         auto dst = data[q][peer].subspan(range.begin, range.count);
-        for (size_t e = 0; e < range.count; ++e) dst[e] += src[e];
+        tensor_ops::add_into(dst, src);  // vectorized reduce
       });
     }
   }

@@ -1,5 +1,7 @@
 #include "compress/error_feedback.h"
 
+#include <algorithm>
+
 #include "core/check.h"
 
 namespace hitopk::compress {
@@ -21,18 +23,24 @@ void ErrorFeedback::ensure(const std::string& key, size_t size) {
 
 void ErrorFeedback::apply(const std::string& key, std::span<float> grad) {
   Tensor& residual = entry(key, grad.size());
-  for (size_t i = 0; i < grad.size(); ++i) grad[i] += residual[i];
+  tensor_ops::add_into(grad, residual.span());  // vectorized
 }
 
 void ErrorFeedback::absorb(const std::string& key, std::span<const float> grad,
                            const SparseTensor& sent) {
   Tensor& residual = entry(key, grad.size());
   HITOPK_CHECK_EQ(sent.dense_size, grad.size());
-  for (size_t i = 0; i < grad.size(); ++i) residual[i] = grad[i];
+  std::copy(grad.begin(), grad.end(), residual.span().begin());
+  // Validate the sent indices once, then clear them unchecked — this runs
+  // per worker per iteration on the full gradient.
+  uint32_t max_index = 0;
   for (size_t i = 0; i < sent.nnz(); ++i) {
-    HITOPK_CHECK_LT(sent.indices[i], residual.size());
-    residual[sent.indices[i]] = 0.0f;
+    max_index = std::max(max_index, sent.indices[i]);
   }
+  HITOPK_CHECK(sent.nnz() == 0 || max_index < residual.size())
+      << "sent index out of range";
+  float* r = residual.data();
+  for (size_t i = 0; i < sent.nnz(); ++i) r[sent.indices[i]] = 0.0f;
 }
 
 double ErrorFeedback::residual_sq_norm() const {

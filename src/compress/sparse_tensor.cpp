@@ -1,18 +1,30 @@
 #include "compress/sparse_tensor.h"
 
 #include <algorithm>
-#include <numeric>
+#include <bit>
 
 #include "core/check.h"
+#include "core/workspace.h"
 
 namespace hitopk::compress {
 
 void SparseTensor::scatter_add_into(std::span<float> dense) const {
   HITOPK_CHECK_EQ(dense.size(), dense_size);
   HITOPK_CHECK_EQ(values.size(), indices.size());
+  if (values.empty()) return;
+  // Validate all indices up front (a branch-free max-fold the vectorizer
+  // likes), then run the scatter-add with no per-element bounds check —
+  // this loop is the aggregation hot path of HiTopKComm / NaiveAG.
+  uint32_t max_index = 0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    max_index = std::max(max_index, indices[i]);
+  }
+  HITOPK_CHECK_LT(max_index, dense.size()) << "sparse index out of range";
+  const uint32_t* idx = indices.data();
+  const float* val = values.data();
+  float* out = dense.data();
   for (size_t i = 0; i < values.size(); ++i) {
-    HITOPK_CHECK_LT(indices[i], dense.size());
-    dense[indices[i]] += values[i];
+    out[idx[i]] += val[i];
   }
 }
 
@@ -24,18 +36,25 @@ Tensor SparseTensor::to_dense() const {
 
 void SparseTensor::sort_by_index() {
   HITOPK_CHECK_EQ(values.size(), indices.size());
-  std::vector<size_t> order(values.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::sort(order.begin(), order.end(),
-            [&](size_t a, size_t b) { return indices[a] < indices[b]; });
-  std::vector<float> new_values(values.size());
-  std::vector<uint32_t> new_indices(indices.size());
-  for (size_t i = 0; i < order.size(); ++i) {
-    new_values[i] = values[order[i]];
-    new_indices[i] = indices[order[i]];
+  const size_t n = values.size();
+  if (n < 2) return;
+  // Sort (index, value) as one packed 64-bit key — index in the high word —
+  // instead of sorting a permutation array and gathering through it (three
+  // fresh allocations plus a random-access gather).  The single scratch
+  // buffer comes from the thread-local workspace pool, so steady-state
+  // calls allocate nothing, and the sort itself moves key and value
+  // together.  Ties on index order deterministically by value bits.
+  static_assert(sizeof(size_t) == 8, "packed key-value sort needs 64 bits");
+  Scratch<size_t> packed(n);
+  for (size_t i = 0; i < n; ++i) {
+    packed[i] = (static_cast<size_t>(indices[i]) << 32) |
+                std::bit_cast<uint32_t>(values[i]);
   }
-  values = std::move(new_values);
-  indices = std::move(new_indices);
+  std::sort(packed.data(), packed.data() + n);
+  for (size_t i = 0; i < n; ++i) {
+    indices[i] = static_cast<uint32_t>(packed[i] >> 32);
+    values[i] = std::bit_cast<float>(static_cast<uint32_t>(packed[i]));
+  }
 }
 
 bool SparseTensor::is_valid() const {

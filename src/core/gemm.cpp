@@ -1,0 +1,244 @@
+#include "core/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/check.h"
+#include "core/workspace.h"
+
+namespace hitopk::gemm {
+namespace {
+
+// Packs the (mb x kb) block of op(A) into kMr-row panels: panel p holds
+// rows [p*kMr, p*kMr + kMr), element (m, kk) at panel[kk * kMr + m].  Rows
+// past mb are zero-filled so the microkernel always runs a full tile.
+void pack_a(Trans trans, const float* a, size_t lda, size_t mb, size_t k0,
+            size_t kb, float* dst) {
+  const size_t panels = (mb + kMr - 1) / kMr;
+  for (size_t p = 0; p < panels; ++p) {
+    float* panel = dst + p * kMr * kb;
+    const size_t i0 = p * kMr;
+    const size_t rows = std::min(kMr, mb - i0);
+    for (size_t kk = 0; kk < kb; ++kk) {
+      float* col = panel + kk * kMr;
+      for (size_t m = 0; m < rows; ++m) {
+        col[m] = trans == Trans::kNo ? a[(i0 + m) * lda + k0 + kk]
+                                     : a[(k0 + kk) * lda + i0 + m];
+      }
+      for (size_t m = rows; m < kMr; ++m) col[m] = 0.0f;
+    }
+  }
+}
+
+// Packs the (kb x nb) block of op(B) into kNr-column panels: panel q holds
+// columns [q*kNr, q*kNr + kNr), element (kk, j) at panel[kk * kNr + j],
+// zero-padded past nb.
+void pack_b(Trans trans, const float* b, size_t ldb, size_t nb, size_t k0,
+            size_t kb, float* dst) {
+  const size_t panels = (nb + kNr - 1) / kNr;
+  for (size_t q = 0; q < panels; ++q) {
+    float* panel = dst + q * kNr * kb;
+    const size_t j0 = q * kNr;
+    const size_t cols = std::min(kNr, nb - j0);
+    for (size_t kk = 0; kk < kb; ++kk) {
+      float* row = panel + kk * kNr;
+      for (size_t j = 0; j < cols; ++j) {
+        row[j] = trans == Trans::kNo ? b[(k0 + kk) * ldb + j0 + j]
+                                     : b[(j0 + j) * ldb + k0 + kk];
+      }
+      for (size_t j = cols; j < kNr; ++j) row[j] = 0.0f;
+    }
+  }
+}
+
+// One kMr x kNr output tile: out = sum over kk of a_panel(:,kk) * one
+// kNr-wide band of B rows, where consecutive B rows are b_stride floats
+// apart — kNr for packed panels, the matrix's own leading dimension when B
+// is read in place (op(B) == B keeps rows contiguous, and skipping the pack
+// saves a full copy of the often weight-sized matrix per call; at the small
+// batch sizes of the convergence harness that copy rivals the useful
+// flops).  The m/j loops have constant trip counts, so the j loop
+// vectorizes and the accumulators stay in registers; kk advances in
+// increasing order, which fixes the float summation order per element.
+void micro_kernel(size_t kb, const float* __restrict__ ap,
+                  const float* __restrict__ b, size_t b_stride,
+                  float* __restrict__ out) {
+  static_assert(kMr == 4, "accumulator rows are unrolled by hand");
+  float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  for (size_t kk = 0; kk < kb; ++kk) {
+    const float* av = ap + kk * kMr;
+    const float* bv = b + kk * b_stride;
+    const float a0 = av[0], a1 = av[1], a2 = av[2], a3 = av[3];
+    for (size_t j = 0; j < kNr; ++j) {
+      const float bj = bv[j];
+      acc0[j] += a0 * bj;
+      acc1[j] += a1 * bj;
+      acc2[j] += a2 * bj;
+      acc3[j] += a3 * bj;
+    }
+  }
+  std::memcpy(out, acc0, sizeof(acc0));
+  std::memcpy(out + kNr, acc1, sizeof(acc1));
+  std::memcpy(out + 2 * kNr, acc2, sizeof(acc2));
+  std::memcpy(out + 3 * kNr, acc3, sizeof(acc3));
+}
+
+// Ragged column tail for the direct-B path: each output element is the
+// increasing-k dot of a packed-A row with a B column (same summation order
+// as the tiles).
+void direct_b_tail(size_t kb, size_t mr, const float* ap, const float* b,
+                   size_t ldb, size_t j0, size_t n, float* c, size_t ldc,
+                   bool add) {
+  for (size_t mm = 0; mm < mr; ++mm) {
+    for (size_t j = j0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < kb; ++kk) {
+        acc += ap[kk * kMr + mm] * b[kk * ldb + j];
+      }
+      c[mm * ldc + j] = add ? c[mm * ldc + j] + acc : acc;
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+           const float* a, size_t lda, const float* b, size_t ldb, float* c,
+           size_t ldc, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (!accumulate) {
+      for (size_t i = 0; i < m; ++i) {
+        std::memset(c + i * ldc, 0, n * sizeof(float));
+      }
+    }
+    return;
+  }
+  const size_t mp = (m + kMr - 1) / kMr;
+  const size_t np = (n + kNr - 1) / kNr;
+  const size_t kb_max = std::min(k, kKc);
+  const bool direct_b = trans_b == Trans::kNo;
+  Scratch<float> a_pack(mp * kMr * kb_max);
+  Scratch<float> b_pack(direct_b ? 0 : np * kNr * kb_max);
+
+  // Stores one computed tile into C, honoring ragged edges and the
+  // overwrite-vs-accumulate mode; full tiles take the constant-trip path.
+  auto store_tile = [&](const float* tile, size_t i0, size_t mr, size_t j0,
+                        size_t nr, bool add) {
+    if (mr == kMr && nr == kNr) {
+      if (add) {
+        for (size_t mm = 0; mm < kMr; ++mm) {
+          float* crow = c + (i0 + mm) * ldc + j0;
+          const float* trow = tile + mm * kNr;
+          for (size_t j = 0; j < kNr; ++j) crow[j] += trow[j];
+        }
+      } else {
+        for (size_t mm = 0; mm < kMr; ++mm) {
+          std::memcpy(c + (i0 + mm) * ldc + j0, tile + mm * kNr,
+                      kNr * sizeof(float));
+        }
+      }
+    } else {
+      for (size_t mm = 0; mm < mr; ++mm) {
+        float* crow = c + (i0 + mm) * ldc + j0;
+        const float* trow = tile + mm * kNr;
+        for (size_t j = 0; j < nr; ++j) {
+          crow[j] = add ? crow[j] + trow[j] : trow[j];
+        }
+      }
+    }
+  };
+
+  for (size_t k0 = 0; k0 < k; k0 += kKc) {
+    const size_t kb = std::min(kKc, k - k0);
+    // The first K block overwrites C unless the caller asked to accumulate;
+    // later blocks always add their partial sums (in increasing k0 order).
+    const bool add = accumulate || k0 > 0;
+    pack_a(trans_a, a, lda, m, k0, kb, a_pack.data());
+    if (!direct_b) {
+      pack_b(trans_b, b, ldb, n, k0, kb, b_pack.data());
+    }
+    const size_t n_full = (n / kNr) * kNr;
+    for (size_t p = 0; p < mp; ++p) {
+      const float* ap = a_pack.data() + p * kMr * kb;
+      const size_t i0 = p * kMr;
+      const size_t mr = std::min(kMr, m - i0);
+      float tile[kMr * kNr];
+      if (direct_b) {
+        // B rows are contiguous as stored: stream them in place instead of
+        // copying the whole (often weight-sized) matrix into panels.
+        const float* b_block = b + k0 * ldb;
+        for (size_t j0 = 0; j0 < n_full; j0 += kNr) {
+          micro_kernel(kb, ap, b_block + j0, ldb, tile);
+          store_tile(tile, i0, mr, j0, kNr, add);
+        }
+        if (n_full < n) {
+          direct_b_tail(kb, mr, ap, b_block, ldb, n_full, n, c + i0 * ldc,
+                        ldc, add);
+        }
+      } else {
+        for (size_t q = 0; q < np; ++q) {
+          const size_t j0 = q * kNr;
+          micro_kernel(kb, ap, b_pack.data() + q * kNr * kb, kNr, tile);
+          store_tile(tile, i0, mr, j0, std::min(kNr, n - j0), add);
+        }
+      }
+    }
+  }
+}
+
+void sgemm_naive(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+                 const float* a, size_t lda, const float* b, size_t ldb,
+                 float* c, size_t ldc, bool accumulate) {
+  // Loop orders mirror the pre-GEMM tape kernels (forward ikj, backward
+  // dot-product / rank-1 loops), so bench_micro_gemm's baseline is the real
+  // pre-rebuild engine, not a strawman.  Per output element every variant
+  // accumulates its k products in increasing order, like sgemm().
+  if (!accumulate) {
+    for (size_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, n * sizeof(float));
+    }
+  }
+  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float aik = a[i * lda + kk];
+        const float* brow = b + kk * ldb;
+        float* crow = c + i * ldc;
+        for (size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  } else if (trans_a == Trans::kNo && trans_b == Trans::kYes) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      for (size_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        c[i * ldc + j] += acc;
+      }
+    }
+  } else if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* arow = a + kk * lda;
+      const float* brow = b + kk * ldb;
+      for (size_t i = 0; i < m; ++i) {
+        const float aki = arow[i];
+        float* crow = c + i * ldc;
+        for (size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) {
+          acc += a[kk * lda + i] * b[j * ldb + kk];
+        }
+        c[i * ldc + j] += acc;
+      }
+    }
+  }
+}
+
+}  // namespace hitopk::gemm

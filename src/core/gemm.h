@@ -1,0 +1,54 @@
+// Blocked, register-tiled single-precision GEMM for the autodiff engine.
+//
+// The convergence experiments (Fig. 10 / Table 2) spend nearly all their
+// compute in small-to-medium dense products: MLP layers (batch x hidden),
+// their two backward products (dA = dC*B^T, dB = A^T*dC), and im2col-lowered
+// convolutions.  sgemm() computes C (+)= op(A) * op(B) through one packed
+// microkernel whose inner loops have compile-time-constant trip counts
+// (kMr x kNr register tile), which is what the GCC12 -O2 "very cheap"
+// vectorizer cost model needs to engage — the same constraint the MSTopK
+// histogram kernels are written around.
+//
+// Transposition is absorbed during packing, so all four variants run the
+// identical microkernel.  For K <= kKc (every shape the synthetic tasks
+// produce) each output element accumulates its K products in strictly
+// increasing k order in float, i.e. bitwise-identically to the textbook
+// `for k: c += a[i][k] * b[k][j]` loop; larger K is split into kKc-sized
+// blocks whose partial sums are added in order.
+#pragma once
+
+#include <cstddef>
+
+namespace hitopk::gemm {
+
+enum class Trans {
+  kNo,   // operand used as stored
+  kYes,  // operand used transposed
+};
+
+// Register tile (microkernel output block) and K blocking.  kNr is a
+// multiple of the 4-wide SSE vector so the constant-trip j-loops vectorize;
+// kMr * kNr accumulators plus a broadcast and B loads stay within the 16
+// xmm registers of baseline x86-64.
+inline constexpr size_t kMr = 4;
+inline constexpr size_t kNr = 8;
+inline constexpr size_t kKc = 256;
+
+// C (m x n, leading dimension ldc) (+)= op(A) * op(B) where op(A) is m x k
+// and op(B) is k x n.  `lda`/`ldb` are the leading dimensions of the
+// *stored* row-major matrices: op(X) == kYes means the stored matrix is the
+// transpose (so A is stored k x m / B is stored n x k).  When `accumulate`
+// is false C is overwritten, otherwise the product is added into it — the
+// form backward passes need to merge gradients from several consumers.
+void sgemm(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+           const float* a, size_t lda, const float* b, size_t ldb, float* c,
+           size_t ldc, bool accumulate);
+
+// Reference implementation (textbook triple loop, k innermost in increasing
+// order).  The property tests compare sgemm against this, and
+// bench_micro_gemm uses it as the speedup baseline.
+void sgemm_naive(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+                 const float* a, size_t lda, const float* b, size_t ldb,
+                 float* c, size_t ldc, bool accumulate);
+
+}  // namespace hitopk::gemm

@@ -6,12 +6,14 @@ void workspace_clear() {
   detail::workspace_pool<float>().clear();
   detail::workspace_pool<uint32_t>().clear();
   detail::workspace_pool<size_t>().clear();
+  detail::workspace_pool<int>().clear();
 }
 
 size_t workspace_cached_buffers() {
   return detail::workspace_pool<float>().size() +
          detail::workspace_pool<uint32_t>().size() +
-         detail::workspace_pool<size_t>().size();
+         detail::workspace_pool<size_t>().size() +
+         detail::workspace_pool<int>().size();
 }
 
 }  // namespace hitopk

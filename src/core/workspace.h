@@ -15,6 +15,7 @@
 //   }                                  // returned to this thread's pool
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -48,12 +49,16 @@ class Scratch {
     if (zeroed) {
       buffer_.assign(n, T{});
     } else {
+      // Pooled buffers keep their size (not just capacity), so this only
+      // value-initializes the tail beyond the previous high-water mark —
+      // clearing before pooling would make resize() zero-fill all n
+      // elements on every checkout, taxing every hot path with a redundant
+      // memset.
       buffer_.resize(n);
     }
   }
 
   ~Scratch() {
-    buffer_.clear();
     detail::workspace_pool<T>().push_back(std::move(buffer_));
   }
 
@@ -70,6 +75,73 @@ class Scratch {
 
  private:
   std::vector<T> buffer_;
+};
+
+// Bump allocator over one workspace-pooled float buffer.
+//
+// The autodiff tape allocates many small value/grad blocks per iteration
+// whose lifetimes all end together (when the tape is reset or destroyed), so
+// it uses an Arena instead of per-node Scratch checkouts: alloc() hands out
+// offsets into a single backing buffer that is checked out of the calling
+// thread's pool at construction and returned — capacity intact — at
+// destruction.  reset() rewinds the bump pointer without releasing storage,
+// which is what makes a tape reusable across iterations with zero
+// steady-state allocation.
+//
+// Offsets stay valid across alloc() calls (the backing buffer may move, so
+// re-derive spans via span() after allocating).  Being workspace-backed, an
+// Arena is as thread-safe as Scratch: each thread draws from its own pool.
+class Arena {
+ public:
+  Arena() {
+    // The pooled buffer keeps its previous size so alloc() below reuses it
+    // without any value re-initialization (contents are unspecified unless
+    // the caller asks for zeroing).
+    auto& pool = detail::workspace_pool<float>();
+    if (!pool.empty()) {
+      buffer_ = std::move(pool.back());
+      pool.pop_back();
+    }
+  }
+
+  ~Arena() {
+    detail::workspace_pool<float>().push_back(std::move(buffer_));
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Reserves n floats and returns their offset.  Contents are unspecified
+  // unless `zeroed` (reset() recycles dirty storage).
+  size_t alloc(size_t n, bool zeroed = false) {
+    const size_t offset = used_;
+    used_ += n;
+    if (used_ > buffer_.size()) {
+      buffer_.resize(std::max(used_, buffer_.size() * 2));
+    }
+    if (zeroed) {
+      std::fill(buffer_.begin() + static_cast<ptrdiff_t>(offset),
+                buffer_.begin() + static_cast<ptrdiff_t>(used_), 0.0f);
+    }
+    return offset;
+  }
+
+  std::span<float> span(size_t offset, size_t n) {
+    return std::span<float>(buffer_.data() + offset, n);
+  }
+  std::span<const float> span(size_t offset, size_t n) const {
+    return std::span<const float>(buffer_.data() + offset, n);
+  }
+
+  // Rewinds the bump pointer; capacity (and the backing allocation) stay.
+  void reset() { used_ = 0; }
+
+  size_t used() const { return used_; }
+  size_t capacity() const { return buffer_.size(); }
+
+ private:
+  std::vector<float> buffer_;
+  size_t used_ = 0;
 };
 
 // Drops every buffer cached by the calling thread (diagnostic / test hook).

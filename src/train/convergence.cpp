@@ -13,6 +13,7 @@
 #include "compress/other_compressors.h"
 #include "core/check.h"
 #include "core/half.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "pto/lars.h"
 
@@ -109,6 +110,7 @@ ConvergenceResult run_convergence(ConvergenceTask& task,
   ConvergenceResult result;
   std::vector<size_t> order(task.train_size());
   std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<double> worker_loss(static_cast<size_t>(world), 0.0);
 
   double comm_seconds = 0.0;
   int iter = 0;
@@ -117,20 +119,27 @@ ConvergenceResult run_convergence(ConvergenceTask& task,
     double epoch_loss = 0.0;
     for (int step = 0; step < iters_per_epoch; ++step, ++iter) {
       // Real per-worker gradients on disjoint shards of the global batch.
-      double loss = 0.0;
-      for (int w = 0; w < world; ++w) {
+      // Workers are independent — the shared parameters are read-only
+      // (LocalSGD workers evaluate at their own parameter copy via
+      // gradient_at) and every worker writes only its own grad buffer — so
+      // the fan-out runs on the thread pool.  Losses are reduced and the
+      // LocalSGD optimizer steps applied in rank order afterwards, keeping
+      // the result bitwise-identical to serial execution.
+      parallel_for(0, static_cast<size_t>(world), [&](size_t w) {
         const size_t offset =
             static_cast<size_t>(step) * global_batch +
-            static_cast<size_t>(w) * static_cast<size_t>(options.local_batch);
+            w * static_cast<size_t>(options.local_batch);
         std::span<const size_t> idx(&order[offset],
                                     static_cast<size_t>(options.local_batch));
-        if (local_sgd) {
-          // Evaluate the gradient at this worker's *local* parameters.
-          std::copy(worker_params[static_cast<size_t>(w)].span().begin(),
-                    worker_params[static_cast<size_t>(w)].span().end(),
-                    task.params().begin());
-        }
-        loss += task.gradient(idx, worker_grads[static_cast<size_t>(w)].span());
+        worker_loss[w] =
+            local_sgd
+                ? task.gradient_at(worker_params[w].span(), idx,
+                                   worker_grads[w].span())
+                : task.gradient(idx, worker_grads[w].span());
+      });
+      double loss = 0.0;
+      for (int w = 0; w < world; ++w) {
+        loss += worker_loss[static_cast<size_t>(w)];
         if (local_sgd) {
           sgd.step("local" + std::to_string(w),
                    worker_params[static_cast<size_t>(w)].span(),

@@ -5,10 +5,22 @@
 
 #include "autodiff/tape.h"
 #include "core/check.h"
+#include "core/parallel.h"
 #include "core/rng.h"
+#include "core/workspace.h"
 
 namespace hitopk::train {
 namespace {
+
+// One reusable tape per thread: reset() rewinds it with capacity intact, so
+// steady-state gradient/evaluate calls allocate nothing (the node vector,
+// id staging, and arena capacity all survive between calls).  Thread-local,
+// so parallel_for workers each drive their own tape.
+ad::Tape& scratch_tape() {
+  thread_local ad::Tape tape;
+  tape.reset();
+  return tape;
+}
 
 // ------------------------------------------------------------ vision task
 struct ClassificationData {
@@ -77,71 +89,81 @@ class MlpVisionTask : public ConvergenceTask {
     return segments_;
   }
 
-  double gradient(std::span<const size_t> sample_indices,
-                  std::span<float> grad_out) override {
+  double gradient_at(std::span<const float> params,
+                     std::span<const size_t> sample_indices,
+                     std::span<float> grad_out) override {
     HITOPK_CHECK_EQ(grad_out.size(), params_.size());
+    HITOPK_CHECK_EQ(params.size(), params_.size());
     tensor_ops::zero(grad_out);
     const size_t b = sample_indices.size();
     HITOPK_CHECK_GT(b, 0u);
-    // Gather the batch.
-    Tensor x(b, kDim);
-    std::vector<int> y(b);
+    // Gather the batch into thread-local scratch (reused across calls).
+    Scratch<float> x(b * kDim);
+    Scratch<int> y(b);
     for (size_t i = 0; i < b; ++i) {
       const size_t idx = sample_indices[i];
       HITOPK_CHECK_LT(idx, kTrainSamples);
       std::copy_n(&train_.x[idx * kDim], kDim, &x[i * kDim]);
       y[i] = train_.y[idx];
     }
-    ad::Tape tape;
-    const ad::VarId logits = forward(tape, x, grad_out);
-    const double loss = tape.softmax_cross_entropy(logits, y);
+    ad::Tape& tape = scratch_tape();
+    const ad::VarId logits = forward(tape, params, x.span(), b, grad_out);
+    const double loss = tape.softmax_cross_entropy(logits, y.span());
     tape.backward();
     return loss;
   }
 
   double evaluate() override {
     const size_t n = kTestSamples;
-    size_t correct = 0;
-    // Chunked forward pass (no gradients).
+    // Chunked forward pass (no gradients); chunks are independent, so they
+    // run on the thread pool, each with its own scratch gather buffers.
     const size_t chunk = 512;
-    for (size_t begin = 0; begin < n; begin += chunk) {
+    const size_t num_chunks = (n + chunk - 1) / chunk;
+    std::vector<size_t> correct(num_chunks, 0);
+    const std::span<const float> params = params_.span();
+    parallel_for(0, num_chunks, [&](size_t c) {
+      const size_t begin = c * chunk;
       const size_t count = std::min(chunk, n - begin);
-      Tensor x(count, kDim);
-      std::vector<int> y(count);
+      Scratch<float> x(count * kDim);
+      Scratch<int> y(count);
       for (size_t i = 0; i < count; ++i) {
         std::copy_n(&test_.x[(begin + i) * kDim], kDim, &x[i * kDim]);
         y[i] = test_.y[begin + i];
       }
-      ad::Tape tape;
-      const ad::VarId logits = forward(tape, x, {});
-      correct += ad::Tape::count_topk_correct(tape.value(logits), count,
-                                              kClasses, y, 5);
-    }
-    return static_cast<double>(correct) / static_cast<double>(n);
+      ad::Tape& tape = scratch_tape();
+      const ad::VarId logits = forward(tape, params, x.span(), count, {});
+      correct[c] = ad::Tape::count_topk_correct(tape.value(logits), count,
+                                               kClasses, y.span(), 5);
+    });
+    size_t total = 0;
+    for (size_t c : correct) total += c;
+    return static_cast<double>(total) / static_cast<double>(n);
   }
 
  private:
-  // Builds the forward graph; when grad is non-empty the parameter leaves
-  // accumulate into slices of it.
-  ad::VarId forward(ad::Tape& tape, const Tensor& x, std::span<float> grad) {
-    const ad::VarId input =
-        tape.leaf(x.span(), {}, x.rows(), x.cols());
+  // Builds the forward graph over the given flat parameters; when grad is
+  // non-empty the parameter leaves accumulate into slices of it.
+  ad::VarId forward(ad::Tape& tape, std::span<const float> params,
+                    std::span<const float> x, size_t batch,
+                    std::span<float> grad) {
+    const ad::VarId input = tape.leaf(x, {}, batch, kDim);
     ad::VarId h = input;
     size_t seg = 0;
     for (size_t l = 0; l + 1 < dims_.size(); ++l) {
       const LayerSegment& ws = segments_[seg];
       const LayerSegment& bs = segments_[seg + 1];
       seg += 2;
-      auto w_val = params_.slice(ws.begin, ws.count);
-      auto b_val = params_.slice(bs.begin, bs.count);
+      auto w_val = params.subspan(ws.begin, ws.count);
+      auto b_val = params.subspan(bs.begin, bs.count);
       std::span<float> w_grad =
           grad.empty() ? std::span<float>{} : grad.subspan(ws.begin, ws.count);
       std::span<float> b_grad =
           grad.empty() ? std::span<float>{} : grad.subspan(bs.begin, bs.count);
       const ad::VarId w = tape.leaf(w_val, w_grad, dims_[l], dims_[l + 1]);
       const ad::VarId bias = tape.leaf(b_val, b_grad, 1, dims_[l + 1]);
-      h = tape.add_bias(tape.matmul(h, w), bias);
-      if (l + 2 < dims_.size()) h = tape.relu(h);
+      // Hidden layers fuse the bias add with the ReLU clamp.
+      h = l + 2 < dims_.size() ? tape.add_bias_relu(tape.matmul(h, w), bias)
+                               : tape.add_bias(tape.matmul(h, w), bias);
     }
     return h;
   }
@@ -237,41 +259,50 @@ class SeqTask : public ConvergenceTask {
     return segments_;
   }
 
-  double gradient(std::span<const size_t> sample_indices,
-                  std::span<float> grad_out) override {
+  double gradient_at(std::span<const float> params,
+                     std::span<const size_t> sample_indices,
+                     std::span<float> grad_out) override {
     HITOPK_CHECK_EQ(grad_out.size(), params_.size());
+    HITOPK_CHECK_EQ(params.size(), params_.size());
     tensor_ops::zero(grad_out);
-    ad::Tape tape;
-    std::vector<int> y;
-    const ad::VarId logits = forward(tape, train_, sample_indices, grad_out, y);
-    const double loss = tape.softmax_cross_entropy(logits, y);
+    const size_t b = sample_indices.size();
+    ad::Tape& tape = scratch_tape();
+    Scratch<int> y(b);
+    const ad::VarId logits =
+        forward(tape, params, train_, sample_indices, grad_out, y.span());
+    const double loss = tape.softmax_cross_entropy(logits, y.span());
     tape.backward();
     return loss;
   }
 
   double evaluate() override {
-    size_t correct = 0;
     const size_t chunk = 512;
-    for (size_t begin = 0; begin < kTestSamples; begin += chunk) {
+    const size_t num_chunks = (kTestSamples + chunk - 1) / chunk;
+    std::vector<size_t> correct(num_chunks, 0);
+    const std::span<const float> params = params_.span();
+    parallel_for(0, num_chunks, [&](size_t c) {
+      const size_t begin = c * chunk;
       const size_t count = std::min(chunk, kTestSamples - begin);
-      std::vector<size_t> idx(count);
+      Scratch<size_t> idx(count);
+      Scratch<int> y(count);
       for (size_t i = 0; i < count; ++i) idx[i] = begin + i;
-      ad::Tape tape;
-      std::vector<int> y;
-      const ad::VarId logits = forward(tape, test_, idx, {}, y);
-      correct += ad::Tape::count_topk_correct(tape.value(logits), count,
-                                              kClasses, y, 1);
-    }
-    return static_cast<double>(correct) / static_cast<double>(kTestSamples);
+      ad::Tape& tape = scratch_tape();
+      const ad::VarId logits =
+          forward(tape, params, test_, idx.span(), {}, y.span());
+      correct[c] = ad::Tape::count_topk_correct(tape.value(logits), count,
+                                               kClasses, y.span(), 1);
+    });
+    size_t total = 0;
+    for (size_t c : correct) total += c;
+    return static_cast<double>(total) / static_cast<double>(kTestSamples);
   }
 
  private:
-  ad::VarId forward(ad::Tape& tape, const SequenceData& data,
-                    std::span<const size_t> indices, std::span<float> grad,
-                    std::vector<int>& labels_out) {
+  ad::VarId forward(ad::Tape& tape, std::span<const float> params,
+                    const SequenceData& data, std::span<const size_t> indices,
+                    std::span<float> grad, std::span<int> labels_out) {
     const size_t b = indices.size();
-    std::vector<int> ids(b * kSeqLen);
-    labels_out.resize(b);
+    Scratch<int> ids(b * kSeqLen);
     for (size_t i = 0; i < b; ++i) {
       std::copy_n(&data.tokens[indices[i] * kSeqLen], kSeqLen,
                   &ids[i * kSeqLen]);
@@ -279,18 +310,19 @@ class SeqTask : public ConvergenceTask {
     }
     auto leaf_of = [&](size_t seg_index, size_t rows, size_t cols) {
       const LayerSegment& seg = segments_[seg_index];
-      auto value = params_.slice(seg.begin, seg.count);
+      auto value = params.subspan(seg.begin, seg.count);
       std::span<float> g = grad.empty()
                                ? std::span<float>{}
                                : grad.subspan(seg.begin, seg.count);
       return tape.leaf(value, g, rows, cols);
     };
     const ad::VarId table = leaf_of(0, kVocab, kWidth);
-    const ad::VarId embedded = tape.embedding(table, std::move(ids));
+    const ad::VarId embedded =
+        tape.embedding(table, std::span<const int>(ids.span()));
     const ad::VarId pooled = tape.mean_pool(embedded, kSeqLen);
     const ad::VarId w1 = leaf_of(1, kWidth, kHidden);
     const ad::VarId b1 = leaf_of(2, 1, kHidden);
-    const ad::VarId h = tape.relu(tape.add_bias(tape.matmul(pooled, w1), b1));
+    const ad::VarId h = tape.add_bias_relu(tape.matmul(pooled, w1), b1);
     const ad::VarId w2 = leaf_of(3, kHidden, kClasses);
     const ad::VarId b2 = leaf_of(4, 1, kClasses);
     return tape.add_bias(tape.matmul(h, w2), b2);
@@ -381,55 +413,64 @@ class CnnTask : public ConvergenceTask {
     return segments_;
   }
 
-  double gradient(std::span<const size_t> sample_indices,
-                  std::span<float> grad_out) override {
+  double gradient_at(std::span<const float> params,
+                     std::span<const size_t> sample_indices,
+                     std::span<float> grad_out) override {
     HITOPK_CHECK_EQ(grad_out.size(), params_.size());
+    HITOPK_CHECK_EQ(params.size(), params_.size());
     tensor_ops::zero(grad_out);
     const size_t b = sample_indices.size();
-    Tensor x(b, kPixels);
-    std::vector<int> y(b);
+    Scratch<float> x(b * kPixels);
+    Scratch<int> y(b);
     for (size_t i = 0; i < b; ++i) {
       std::copy_n(&train_x_[sample_indices[i] * kPixels], kPixels,
                   &x[i * kPixels]);
       y[i] = train_y_[sample_indices[i]];
     }
-    ad::Tape tape;
-    const ad::VarId logits = forward(tape, x, grad_out);
-    const double loss = tape.softmax_cross_entropy(logits, y);
+    ad::Tape& tape = scratch_tape();
+    const ad::VarId logits = forward(tape, params, x.span(), b, grad_out);
+    const double loss = tape.softmax_cross_entropy(logits, y.span());
     tape.backward();
     return loss;
   }
 
   double evaluate() override {
-    size_t correct = 0;
     const size_t chunk = 256;
-    for (size_t begin = 0; begin < kTestSamples; begin += chunk) {
+    const size_t num_chunks = (kTestSamples + chunk - 1) / chunk;
+    std::vector<size_t> correct(num_chunks, 0);
+    const std::span<const float> params = params_.span();
+    parallel_for(0, num_chunks, [&](size_t c) {
+      const size_t begin = c * chunk;
       const size_t count = std::min(chunk, kTestSamples - begin);
-      Tensor x(count, kPixels);
-      std::vector<int> y(count);
+      Scratch<float> x(count * kPixels);
+      Scratch<int> y(count);
       for (size_t i = 0; i < count; ++i) {
         std::copy_n(&test_x_[(begin + i) * kPixels], kPixels, &x[i * kPixels]);
         y[i] = test_y_[begin + i];
       }
-      ad::Tape tape;
-      const ad::VarId logits = forward(tape, x, {});
-      correct += ad::Tape::count_topk_correct(tape.value(logits), count,
-                                              kClasses, y, 1);
-    }
-    return static_cast<double>(correct) / static_cast<double>(kTestSamples);
+      ad::Tape& tape = scratch_tape();
+      const ad::VarId logits = forward(tape, params, x.span(), count, {});
+      correct[c] = ad::Tape::count_topk_correct(tape.value(logits), count,
+                                               kClasses, y.span(), 1);
+    });
+    size_t total = 0;
+    for (size_t c : correct) total += c;
+    return static_cast<double>(total) / static_cast<double>(kTestSamples);
   }
 
  private:
-  ad::VarId forward(ad::Tape& tape, const Tensor& x, std::span<float> grad) {
+  ad::VarId forward(ad::Tape& tape, std::span<const float> params,
+                    std::span<const float> x, size_t batch,
+                    std::span<float> grad) {
     auto leaf_of = [&](size_t seg_index, size_t rows, size_t cols) {
       const LayerSegment& seg = segments_[seg_index];
-      auto value = params_.slice(seg.begin, seg.count);
+      auto value = params.subspan(seg.begin, seg.count);
       std::span<float> g = grad.empty()
                                ? std::span<float>{}
                                : grad.subspan(seg.begin, seg.count);
       return tape.leaf(value, g, rows, cols);
     };
-    const ad::VarId input = tape.leaf(x.span(), {}, x.rows(), kPixels);
+    const ad::VarId input = tape.leaf(x, {}, batch, kPixels);
     const ad::VarId w1 = leaf_of(0, kChannels, 9);
     const ad::VarId h1 = tape.relu(
         tape.conv2d(input, w1, 1, kSide, kSide, kChannels, 3));

@@ -48,8 +48,21 @@ class ConvergenceTask {
   // Computes the mean mini-batch gradient of the current parameters over
   // the given training samples into grad_out (zeroed first).  Returns the
   // batch loss.
-  virtual double gradient(std::span<const size_t> sample_indices,
-                          std::span<float> grad_out) = 0;
+  double gradient(std::span<const size_t> sample_indices,
+                  std::span<float> grad_out) {
+    return gradient_at(params(), sample_indices, grad_out);
+  }
+
+  // Same, but evaluated at an explicit parameter vector (layout identical
+  // to params()) without touching task state — what LocalSGD's per-worker
+  // parameter copies need.  Implementations must be safe to call
+  // concurrently from parallel_for workers: they may read shared training
+  // data but keep all mutable scratch per call (thread-local workspace
+  // buffers), so the per-worker gradient fan-out in run_convergence can run
+  // on the thread pool with bitwise-serial-identical results.
+  virtual double gradient_at(std::span<const float> params,
+                             std::span<const size_t> sample_indices,
+                             std::span<float> grad_out) = 0;
 
   // Quality on the held-out set (top-5 accuracy or token accuracy, in
   // [0, 1]).

@@ -1,0 +1,180 @@
+// Determinism tests for the rebuilt autodiff engine: tape reuse via
+// reset() must be bitwise-identical to a fresh tape, the fused
+// add_bias_relu op must be bitwise-identical to add_bias followed by relu,
+// and run_convergence's parallel per-worker gradient fan-out must be
+// bitwise-identical to serial execution for both dense SGD and LocalSGD.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "train/convergence.h"
+#include "train/synthetic.h"
+
+namespace hitopk {
+namespace {
+
+class ThreadGuard {
+ public:
+  ThreadGuard() : saved_(parallel_threads()) {}
+  ~ThreadGuard() { set_parallel_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Builds a two-layer MLP forward/backward on the given tape and returns the
+// loss; grads accumulate into `grad`.
+double mlp_pass(ad::Tape& tape, const std::vector<float>& params,
+                const Tensor& x, const std::vector<int>& labels,
+                std::vector<float>& grad, bool fused) {
+  const size_t dim = 6, hidden = 8, classes = 4;
+  size_t off = 0;
+  auto leaf = [&](size_t rows, size_t cols) {
+    std::span<const float> value(params.data() + off, rows * cols);
+    std::span<float> g(grad.data() + off, rows * cols);
+    off += rows * cols;
+    return tape.leaf(value, g, rows, cols);
+  };
+  const ad::VarId w1 = leaf(dim, hidden);
+  const ad::VarId b1 = leaf(1, hidden);
+  const ad::VarId w2 = leaf(hidden, classes);
+  const ad::VarId b2 = leaf(1, classes);
+  const ad::VarId input = tape.leaf(x.span(), {}, x.rows(), x.cols());
+  const ad::VarId pre = tape.matmul(input, w1);
+  const ad::VarId h = fused ? tape.add_bias_relu(pre, b1)
+                            : tape.relu(tape.add_bias(pre, b1));
+  const ad::VarId logits = tape.add_bias(tape.matmul(h, w2), b2);
+  const double loss = tape.softmax_cross_entropy(logits, labels);
+  tape.backward();
+  return loss;
+}
+
+struct MlpFixture {
+  std::vector<float> params;
+  Tensor x{5, 6};
+  std::vector<int> labels{0, 3, 1, 2, 0};
+
+  MlpFixture() {
+    Rng rng(17);
+    params.resize(6 * 8 + 8 + 8 * 4 + 4);
+    for (auto& p : params) p = static_cast<float>(rng.normal(0.0, 0.5));
+    x.fill_normal(rng, 0.0f, 1.0f);
+  }
+};
+
+TEST(TapeEngine, FusedBiasReluBitwiseMatchesSeparateOps) {
+  MlpFixture f;
+  std::vector<float> grad_fused(f.params.size(), 0.0f);
+  std::vector<float> grad_separate(f.params.size(), 0.0f);
+  ad::Tape tape_fused, tape_separate;
+  const double loss_fused =
+      mlp_pass(tape_fused, f.params, f.x, f.labels, grad_fused, true);
+  const double loss_separate =
+      mlp_pass(tape_separate, f.params, f.x, f.labels, grad_separate, false);
+  EXPECT_EQ(loss_fused, loss_separate);
+  ASSERT_EQ(0, std::memcmp(grad_fused.data(), grad_separate.data(),
+                           grad_fused.size() * sizeof(float)));
+}
+
+TEST(TapeEngine, ResetTapeBitwiseMatchesFreshTape) {
+  MlpFixture f;
+  std::vector<float> grad_fresh(f.params.size(), 0.0f);
+  double loss_fresh = 0.0;
+  {
+    ad::Tape tape;
+    loss_fresh = mlp_pass(tape, f.params, f.x, f.labels, grad_fresh, true);
+  }
+  // One tape reused across three passes: every pass must reproduce the
+  // fresh-tape loss and gradient exactly even though the arena storage is
+  // recycled (dirty) between passes.
+  ad::Tape reused;
+  for (int pass = 0; pass < 3; ++pass) {
+    std::vector<float> grad(f.params.size(), 0.0f);
+    reused.reset();
+    const double loss = mlp_pass(reused, f.params, f.x, f.labels, grad, true);
+    EXPECT_EQ(loss, loss_fresh) << "pass " << pass;
+    ASSERT_EQ(0, std::memcmp(grad.data(), grad_fresh.data(),
+                             grad.size() * sizeof(float)))
+        << "pass " << pass;
+  }
+}
+
+TEST(TapeEngine, ResetKeepsArenaCapacity) {
+  MlpFixture f;
+  ad::Tape tape;
+  std::vector<float> grad(f.params.size(), 0.0f);
+  // First pass may grow the arena; identical later passes must reuse the
+  // same backing storage (reset() keeps capacity, steady state allocates
+  // nothing), which shows up as a stable node-value address.
+  mlp_pass(tape, f.params, f.x, f.labels, grad, true);
+  tape.reset();
+  mlp_pass(tape, f.params, f.x, f.labels, grad, true);
+  const float* second = tape.value(5).data();  // first matmul node
+  tape.reset();
+  mlp_pass(tape, f.params, f.x, f.labels, grad, true);
+  const float* third = tape.value(5).data();
+  EXPECT_EQ(second, third);
+}
+
+// ------------------------------------------------ parallel run_convergence
+train::ConvergenceOptions quick(train::ConvergenceAlgorithm algorithm) {
+  train::ConvergenceOptions options;
+  options.algorithm = algorithm;
+  options.epochs = 2;
+  options.nodes = 2;
+  options.gpus_per_node = 2;
+  options.local_batch = 16;
+  options.density = 0.05;
+  options.seed = 33;
+  return options;
+}
+
+// Trains a fresh vision task with the given pool width; returns the curve
+// and the final parameters.
+std::pair<train::ConvergenceResult, std::vector<float>> train_with_threads(
+    train::ConvergenceAlgorithm algorithm, int threads) {
+  set_parallel_threads(threads);
+  auto task = train::make_vision_task(47, "det", {32, 24});
+  const auto result = train::run_convergence(*task, quick(algorithm));
+  std::vector<float> params(task->params().begin(), task->params().end());
+  return {result, params};
+}
+
+void expect_identical_runs(train::ConvergenceAlgorithm algorithm) {
+  const auto [serial, serial_params] = train_with_threads(algorithm, 1);
+  const auto [parallel, parallel_params] = train_with_threads(algorithm, 4);
+  ASSERT_EQ(serial.curve.size(), parallel.curve.size());
+  for (size_t e = 0; e < serial.curve.size(); ++e) {
+    EXPECT_EQ(serial.curve[e].train_loss, parallel.curve[e].train_loss)
+        << "epoch " << e;
+    EXPECT_EQ(serial.curve[e].quality, parallel.curve[e].quality)
+        << "epoch " << e;
+  }
+  ASSERT_EQ(0, std::memcmp(serial_params.data(), parallel_params.data(),
+                           serial_params.size() * sizeof(float)))
+      << "final parameters diverged";
+}
+
+TEST(ParallelConvergence, DenseMatchesSerialBitwise) {
+  ThreadGuard guard;
+  expect_identical_runs(train::ConvergenceAlgorithm::kDense);
+}
+
+TEST(ParallelConvergence, MstopkMatchesSerialBitwise) {
+  ThreadGuard guard;
+  expect_identical_runs(train::ConvergenceAlgorithm::kMstopk);
+}
+
+TEST(ParallelConvergence, LocalSgdMatchesSerialBitwise) {
+  ThreadGuard guard;
+  expect_identical_runs(train::ConvergenceAlgorithm::kLocalSgd);
+}
+
+}  // namespace
+}  // namespace hitopk

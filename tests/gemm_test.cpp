@@ -1,0 +1,132 @@
+// Property tests for the tiled SGEMM core: every transpose variant over
+// ragged shapes straddling the register-tile boundaries must match the
+// naive reference — bitwise when a single K block covers the reduction
+// (both kernels then accumulate each output element in increasing k order),
+// within float tolerance when K spans blocks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/gemm.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace hitopk::gemm {
+namespace {
+
+void fill_random(Tensor& t, Rng& rng) { t.fill_normal(rng, 0.0f, 1.0f); }
+
+// Runs sgemm and sgemm_naive on identical inputs and compares.
+void check_shape(Trans trans_a, Trans trans_b, size_t m, size_t n, size_t k,
+                 bool accumulate, uint64_t seed) {
+  Rng rng(seed);
+  Tensor a(m * k), b(k * n), c_tiled(m * n), c_naive(m * n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  if (accumulate) {
+    Tensor base(m * n);
+    fill_random(base, rng);
+    std::copy(base.span().begin(), base.span().end(),
+              c_tiled.span().begin());
+    std::copy(base.span().begin(), base.span().end(),
+              c_naive.span().begin());
+  }
+  const size_t lda = trans_a == Trans::kNo ? k : m;
+  const size_t ldb = trans_b == Trans::kNo ? n : k;
+  sgemm(trans_a, trans_b, m, n, k, a.data(), lda, b.data(), ldb,
+        c_tiled.data(), n, accumulate);
+  sgemm_naive(trans_a, trans_b, m, n, k, a.data(), lda, b.data(), ldb,
+              c_naive.data(), n, accumulate);
+  const bool exact = k <= kKc && !accumulate;
+  for (size_t i = 0; i < m * n; ++i) {
+    if (exact) {
+      ASSERT_EQ(c_tiled[i], c_naive[i])
+          << "element " << i << " m=" << m << " n=" << n << " k=" << k;
+    } else {
+      ASSERT_NEAR(c_tiled[i], c_naive[i],
+                  1e-4f * (1.0f + std::fabs(c_naive[i])))
+          << "element " << i << " m=" << m << " n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Gemm, AllVariantsRaggedShapesMatchNaive) {
+  // Shapes straddle the kMr=4 / kNr=8 tile edges: one below, exact, one
+  // above, plus degenerate single-row/column cases.
+  const size_t sizes[] = {1, 3, 4, 5, 7, 8, 9, 16, 17, 33};
+  const Trans variants[] = {Trans::kNo, Trans::kYes};
+  uint64_t seed = 1;
+  for (Trans ta : variants) {
+    for (Trans tb : variants) {
+      for (size_t m : sizes) {
+        for (size_t n : sizes) {
+          for (size_t k : {size_t{1}, size_t{5}, size_t{32}}) {
+            check_shape(ta, tb, m, n, k, false, seed++);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Gemm, BitwiseIdenticalToKOrderedLoopWithinOneKBlock) {
+  // The accumulation-order contract the determinism tests lean on: for
+  // K <= kKc each output element is the increasing-k float sum.
+  check_shape(Trans::kNo, Trans::kNo, 32, 96, 64, false, 101);
+  check_shape(Trans::kNo, Trans::kYes, 32, 64, 96, false, 102);
+  check_shape(Trans::kYes, Trans::kNo, 64, 96, 32, false, 103);
+}
+
+TEST(Gemm, AccumulateAddsIntoExistingC) {
+  for (Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (Trans tb : {Trans::kNo, Trans::kYes}) {
+      check_shape(ta, tb, 13, 21, 17, true, 201);
+    }
+  }
+}
+
+TEST(Gemm, LargeKSpansMultipleBlocks) {
+  check_shape(Trans::kNo, Trans::kNo, 9, 11, kKc + 37, false, 301);
+  check_shape(Trans::kNo, Trans::kYes, 9, 11, 2 * kKc + 3, false, 302);
+  check_shape(Trans::kYes, Trans::kNo, 9, 11, kKc + 1, true, 303);
+}
+
+TEST(Gemm, KZeroOverwritesOrKeepsC) {
+  Tensor a(0), b(0), c(6);
+  c.fill(3.0f);
+  sgemm(Trans::kNo, Trans::kNo, 2, 3, 0, a.data(), 1, b.data(), 3, c.data(),
+        3, /*accumulate=*/true);
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(c[i], 3.0f);
+  sgemm(Trans::kNo, Trans::kNo, 2, 3, 0, a.data(), 1, b.data(), 3, c.data(),
+        3, /*accumulate=*/false);
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(c[i], 0.0f);
+}
+
+TEST(Gemm, StridedOutputRowsRespectLdc) {
+  // C rows embedded in a wider matrix: columns outside n are untouched.
+  const size_t m = 5, n = 6, k = 7, ldc = 9;
+  Rng rng(11);
+  Tensor a(m * k), b(k * n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  std::vector<float> c(m * ldc, -7.0f);
+  Tensor ref(m * n);
+  sgemm(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n, c.data(),
+        ldc, false);
+  sgemm_naive(Trans::kNo, Trans::kNo, m, n, k, a.data(), k, b.data(), n,
+              ref.data(), n, false);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < ldc; ++j) {
+      if (j < n) {
+        EXPECT_EQ(c[i * ldc + j], ref[i * n + j]);
+      } else {
+        EXPECT_EQ(c[i * ldc + j], -7.0f) << "padding clobbered";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hitopk::gemm

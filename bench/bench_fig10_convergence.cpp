@@ -7,24 +7,48 @@
 // through the functional collectives (ring AR / NaiveAG / HiTopKComm).
 // Expected shape: the three curves are nearly identical, with the sparse
 // variants a hair below dense (Table 2).
+//
+// Flags (docs/REPRODUCING.md):
+//   --epochs=N          epochs per run (default 30)
+//   --softmax=float|double   Tape softmax precision (default float; double
+//                            is the reference path, see SoftmaxMode)
+//   --select=histogram|nth   exact top-k backend for TopK-SGD (bit-identical
+//                            outputs; nth is the timing reference)
+//   --json=PATH         machine-readable results (default BENCH_fig10.json;
+//                       empty string disables)
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
+#include "autodiff/tape.h"
+#include "core/flags.h"
 #include "core/table.h"
 #include "train/convergence.h"
 #include "train/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using hitopk::TablePrinter;
   using namespace hitopk::train;
 
+  const hitopk::Flags flags(argc, argv);
+  const int epochs = flags.get_int("epochs", 30);
+  const std::string softmax = flags.get("softmax", "float");
+  hitopk::ad::set_softmax_mode(softmax == "double"
+                                   ? hitopk::ad::SoftmaxMode::kDouble
+                                   : hitopk::ad::SoftmaxMode::kFloat);
+  const bool topk_histogram = flags.get("select", "histogram") != "nth";
+  const std::string json_path = flags.get("json", "BENCH_fig10.json");
+
   std::cout << "=== Fig. 10: convergence of Dense/TopK/MSTopK-SGD "
                "(16 simulated workers, rho=0.01) ===\n";
-  std::cout << "(synthetic stand-in tasks; see DESIGN.md substitutions)\n\n";
+  std::cout << "(synthetic stand-in tasks; see DESIGN.md substitutions; "
+               "softmax=" << softmax
+            << " select=" << (topk_histogram ? "histogram" : "nth") << ")\n\n";
 
   const ConvergenceAlgorithm algorithms[] = {ConvergenceAlgorithm::kDense,
                                              ConvergenceAlgorithm::kTopk,
                                              ConvergenceAlgorithm::kMstopk};
+  const char* algorithm_labels[] = {"Dense-SGD", "TopK-SGD", "MSTopK-SGD"};
   struct TaskSpec {
     const char* label;
     const char* proxy_name;
@@ -35,8 +59,17 @@ int main() {
       {"(b) VGG-19 proxy", "vgg19-proxy", {128}},
   };
 
-  const int epochs = 30;
-  for (const auto& spec : tasks) {
+  std::ofstream json;
+  if (!json_path.empty()) json.open(json_path);
+  if (json) {
+    json << "{\n  \"bench\": \"fig10_convergence\",\n  \"softmax\": \""
+         << softmax << "\",\n  \"select\": \""
+         << (topk_histogram ? "histogram" : "nth")
+         << "\",\n  \"epochs\": " << epochs << ",\n  \"tasks\": [\n";
+  }
+
+  for (size_t t = 0; t < std::size(tasks); ++t) {
+    const TaskSpec& spec = tasks[t];
     std::cout << "\n--- " << spec.label << " (top-5 accuracy vs epoch) ---\n";
     std::vector<ConvergenceResult> results;
     std::vector<double> seconds;
@@ -47,6 +80,7 @@ int main() {
       options.epochs = epochs;
       options.density = 0.01;
       options.seed = 99;
+      options.topk_histogram = topk_histogram;
       const auto start = std::chrono::steady_clock::now();
       results.push_back(run_convergence(*task, options));
       seconds.push_back(std::chrono::duration<double>(
@@ -69,6 +103,35 @@ int main() {
     std::cout << "harness wall time: dense=" << TablePrinter::fmt(seconds[0], 2)
               << "s topk=" << TablePrinter::fmt(seconds[1], 2)
               << "s mstopk=" << TablePrinter::fmt(seconds[2], 2) << "s\n";
+    std::cout << "wall-time ratio vs dense: topk="
+              << TablePrinter::fmt(seconds[1] / seconds[0], 2)
+              << "x mstopk=" << TablePrinter::fmt(seconds[2] / seconds[0], 2)
+              << "x\n";
+
+    if (json) {
+      json << "    {\n      \"task\": \"" << spec.proxy_name
+           << "\",\n      \"algorithms\": [\n";
+      for (size_t a = 0; a < results.size(); ++a) {
+        json << "        {\"name\": \"" << algorithm_labels[a]
+             << "\", \"wall_seconds\": " << seconds[a]
+             << ", \"final_quality\": " << results[a].final_quality
+             << ", \"best_quality\": " << results[a].best_quality
+             << ", \"sim_comm_seconds\": "
+             << results[a].simulated_comm_seconds << ",\n         \"curve\": [";
+        for (size_t e = 0; e < results[a].curve.size(); ++e) {
+          json << (e ? ", " : "") << results[a].curve[e].quality;
+        }
+        json << "]}" << (a + 1 < results.size() ? "," : "") << "\n";
+      }
+      json << "      ],\n      \"topk_over_dense_wall\": "
+           << seconds[1] / seconds[0] << ",\n      \"mstopk_over_dense_wall\": "
+           << seconds[2] / seconds[0] << "\n    }"
+           << (t + 1 < std::size(tasks) ? "," : "") << "\n";
+    }
+  }
+  if (json) {
+    json << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
   }
   std::cout << "\nExpected: near-identical curves; sparse variants within a "
                "point or two of dense at the end (Table 2).\n";

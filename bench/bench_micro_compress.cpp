@@ -44,6 +44,20 @@ void BM_ExactTopK(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactTopK)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
 
+void BM_ExactTopKLegacy(benchmark::State& state) {
+  // The packed-key nth_element reference (TopKSelect::kNthElement) —
+  // bit-identical output, kept as the timing baseline for the histogram.
+  const size_t d = static_cast<size_t>(state.range(0));
+  const Tensor x = gaussian(d, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::exact_topk(
+        x.span(), d / 1000, compress::TopKSelect::kNthElement));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(d));
+}
+BENCHMARK(BM_ExactTopKLegacy)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 23);
+
 void BM_DgcTopK(benchmark::State& state) {
   const size_t d = static_cast<size_t>(state.range(0));
   const Tensor x = gaussian(d, 2);
@@ -130,12 +144,16 @@ void BM_HiTopKCommFunctional(benchmark::State& state) {
 BENCHMARK(BM_HiTopKCommFunctional);
 
 // Selection-quality + speedup validation at the acceptance point (d = 1M,
-// density 0.001): the histogram variant must select exactly k elements,
-// capture >= 99% of exact top-k magnitude mass, and beat the legacy
-// multi-pass search.  The deterministic criteria (count, mass) and a
-// conservative speedup floor are enforced — returns false so the binary
-// exits non-zero instead of "validating" silently.
-bool validate_histogram_mstopk() {
+// density 0.001), emitted to stdout and BENCH_compress.json (schema in
+// docs/REPRODUCING.md) so the perf trajectory is tracked across PRs:
+//   - MSTopK histogram vs legacy multi-pass: exactly k selected, >= 99% of
+//     exact top-k magnitude mass, and meaningfully faster.
+//   - exact top-k histogram vs nth_element reference: bit-identical indices
+//     AND values (the threshold_select contract), and meaningfully faster.
+// The deterministic criteria and a conservative speedup floor are enforced
+// — returns false so the binary exits non-zero instead of "validating"
+// silently.
+bool validate_and_report() {
   using clock = std::chrono::steady_clock;
   const size_t d = 1 << 20;
   const size_t k = static_cast<size_t>(0.001 * static_cast<double>(d));
@@ -150,14 +168,27 @@ bool validate_histogram_mstopk() {
   for (float v : selection.values) selected_mass += std::fabs(v);
   for (float v : exact.values) exact_mass += std::fabs(v);
 
-  auto seconds = [&](compress::MsTopK& op) {
+  auto mstopk_seconds = [&](compress::MsTopK& op) {
     op.compress(x.span(), k);  // warm-up
     const auto begin = clock::now();
     for (int r = 0; r < 5; ++r) op.compress(x.span(), k);
     return std::chrono::duration<double>(clock::now() - begin).count() / 5;
   };
-  const double hist_s = seconds(hist);
-  const double legacy_s = seconds(legacy);
+  const double hist_s = mstopk_seconds(hist);
+  const double legacy_s = mstopk_seconds(legacy);
+
+  auto topk_seconds = [&](compress::TopKSelect algo) {
+    compress::exact_topk(x.span(), k, algo);  // warm-up
+    const auto begin = clock::now();
+    for (int r = 0; r < 5; ++r) compress::exact_topk(x.span(), k, algo);
+    return std::chrono::duration<double>(clock::now() - begin).count() / 5;
+  };
+  const double topk_hist_s = topk_seconds(compress::TopKSelect::kHistogram);
+  const double topk_nth_s = topk_seconds(compress::TopKSelect::kNthElement);
+  const compress::SparseTensor topk_ref =
+      compress::exact_topk(x.span(), k, compress::TopKSelect::kNthElement);
+  const bool topk_identical =
+      exact.indices == topk_ref.indices && exact.values == topk_ref.values;
 
   std::printf(
       "MSTopK validation (d=%zu, k=%zu): selected %zu elements, "
@@ -165,8 +196,30 @@ bool validate_histogram_mstopk() {
       d, k, selection.nnz(), 100.0 * selected_mass / exact_mass);
   std::printf(
       "MSTopK compress: histogram %.4fs vs legacy multi-pass %.4fs "
-      "(%.1fx speedup)\n\n",
+      "(%.1fx speedup)\n",
       hist_s, legacy_s, legacy_s / hist_s);
+  std::printf(
+      "exact top-k: histogram %.4fs vs nth_element %.4fs (%.1fx speedup), "
+      "outputs %s\n\n",
+      topk_hist_s, topk_nth_s, topk_nth_s / topk_hist_s,
+      topk_identical ? "bit-identical" : "DIFFER");
+
+  std::FILE* json = std::fopen("BENCH_compress.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"micro_compress\",\n  \"d\": %zu,\n"
+                 "  \"k\": %zu,\n"
+                 "  \"mstopk\": {\"hist_seconds\": %.6f, \"legacy_seconds\": "
+                 "%.6f, \"speedup\": %.2f, \"mass_overlap\": %.6f},\n"
+                 "  \"exact_topk\": {\"hist_seconds\": %.6f, "
+                 "\"nth_seconds\": %.6f, \"speedup\": %.2f, "
+                 "\"bit_identical\": %s}\n}\n",
+                 d, k, hist_s, legacy_s, legacy_s / hist_s,
+                 selected_mass / exact_mass, topk_hist_s, topk_nth_s,
+                 topk_nth_s / topk_hist_s, topk_identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_compress.json\n\n");
+  }
 
   bool ok = true;
   if (selection.nnz() != k) {
@@ -178,14 +231,27 @@ bool validate_histogram_mstopk() {
     std::fprintf(stderr, "FAIL: magnitude-mass overlap below 99%%\n");
     ok = false;
   }
-  // Wall-clock floor kept below the 2x target so a loaded CI machine does
-  // not flake; a histogram slower than ~1.2x legacy means the fast path
-  // regressed outright.
+  if (!topk_identical) {
+    std::fprintf(stderr,
+                 "FAIL: histogram exact top-k not bit-identical to the "
+                 "nth_element reference\n");
+    ok = false;
+  }
+  // Wall-clock floors kept below the observed speedups so a loaded CI
+  // machine does not flake; a fast path slower than ~1.2x its reference
+  // means it regressed outright.
   if (hist_s * 1.2 >= legacy_s) {
     std::fprintf(stderr,
                  "FAIL: histogram not meaningfully faster than legacy "
                  "(%.4fs vs %.4fs)\n",
                  hist_s, legacy_s);
+    ok = false;
+  }
+  if (topk_hist_s * 1.2 >= topk_nth_s) {
+    std::fprintf(stderr,
+                 "FAIL: histogram exact top-k not meaningfully faster than "
+                 "nth_element (%.4fs vs %.4fs)\n",
+                 topk_hist_s, topk_nth_s);
     ok = false;
   }
   return ok;
@@ -194,7 +260,7 @@ bool validate_histogram_mstopk() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (!validate_histogram_mstopk()) return 1;
+  if (!validate_and_report()) return 1;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

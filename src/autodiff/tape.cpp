@@ -1,6 +1,7 @@
 #include "autodiff/tape.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 
@@ -9,6 +10,63 @@
 
 namespace hitopk::ad {
 namespace {
+
+SoftmaxMode g_softmax_mode = SoftmaxMode::kFloat;
+
+// Vectorizable float exp: range-reduce x = n*ln2 + r via the round-to-
+// nearest "magic number" trick (plain float adds and bit casts instead of a
+// libm lrintf call), evaluate a degree-6 Taylor polynomial on
+// r in [-ln2/2, ln2/2], and scale by 2^n through the exponent bits.  All
+// straight-line float/int arithmetic — exactly what GCC12's -O2 cost model
+// will vectorize inside a constant-trip-count block.  Max relative error
+// ~1.2e-7 (about 1 float ulp) over the clamp range; exp(0) == 1 exactly.
+// Inputs are clamped to [-80, 80]: softmax arguments are <= 0 after the
+// row-max subtraction, and anything below -80 contributes < 2e-35 to a
+// denominator that is >= 1.
+inline float fast_expf(float x) {
+  constexpr float kLog2e = 1.4426950408889634f;
+  constexpr float kLn2Hi = 0.693359375f;        // Cody-Waite split of ln 2
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  constexpr float kMagic = 12582912.0f;         // 1.5 * 2^23
+  x = std::min(std::max(x, -80.0f), 80.0f);
+  const float zf = x * kLog2e + kMagic;
+  const int32_t n = std::bit_cast<int32_t>(zf) - 0x4B400000;
+  const float nf = zf - kMagic;
+  float r = x - nf * kLn2Hi;
+  r -= nf * kLn2Lo;
+  float p = 1.3888889e-3f;                      // 1/720
+  p = p * r + 8.3333333e-3f;                    // 1/120
+  p = p * r + 4.1666667e-2f;                    // 1/24
+  p = p * r + 1.6666667e-1f;                    // 1/6
+  p = p * r + 0.5f;
+  p = p * r + 1.0f;
+  p = p * r + 1.0f;
+  return std::bit_cast<float>(std::bit_cast<int32_t>(p) + (n << 23));
+}
+
+// One softmax row in float: prow[j] = exp(row[j] - max_logit), returning the
+// float-accumulated denominator.  Blocked with a compile-time trip count so
+// the polynomial exp vectorizes; the remainder reuses the same block helper
+// with a runtime count (same scalar operation sequence, so results do not
+// depend on where the block boundary falls).
+inline float softmax_row_float(const float* __restrict row,
+                               float* __restrict prow, size_t cols,
+                               float max_logit) {
+  constexpr size_t kBlock = 16;
+  auto exp_block = [&](size_t base, size_t count) {
+    for (size_t j = 0; j < count; ++j) {
+      prow[base + j] = fast_expf(row[base + j] - max_logit);
+    }
+  };
+  const size_t full_end = cols - cols % kBlock;
+  for (size_t base = 0; base < full_end; base += kBlock) {
+    exp_block(base, kBlock);
+  }
+  exp_block(full_end, cols - full_end);
+  float denom = 0.0f;
+  for (size_t j = 0; j < cols; ++j) denom += prow[j];
+  return denom;
+}
 
 // Writes the im2col lowering of one CHW image into `col` (c_in*k*k rows by
 // h*w columns): col[(ci*k+ky)*k+kx][y*w+x] = img[ci][y+ky-pad][x+kx-pad],
@@ -79,6 +137,9 @@ void col2im_add(const float* col, size_t c_in, size_t h, size_t w, size_t k,
 }
 
 }  // namespace
+
+void set_softmax_mode(SoftmaxMode mode) { g_softmax_mode = mode; }
+SoftmaxMode softmax_mode() { return g_softmax_mode; }
 
 void Tape::reset() {
   nodes_.clear();
@@ -399,6 +460,7 @@ double Tape::softmax_cross_entropy(VarId logits, std::span<const int> labels) {
   const auto v = node_value(check_id(logits));
   const auto self_ids = node_ids(self);
   auto probs = arena_.span(self.value_offset, self.rows * self.cols);
+  const bool use_float = softmax_mode() == SoftmaxMode::kFloat;
   double loss = 0.0;
   for (size_t i = 0; i < self.rows; ++i) {
     const float* row = &v[i * self.cols];
@@ -407,13 +469,20 @@ double Tape::softmax_cross_entropy(VarId logits, std::span<const int> labels) {
     for (size_t j = 1; j < self.cols; ++j) {
       max_logit = std::max(max_logit, row[j]);
     }
-    double denom = 0.0;
-    for (size_t j = 0; j < self.cols; ++j) {
-      const double e = std::exp(static_cast<double>(row[j] - max_logit));
-      prow[j] = static_cast<float>(e);
-      denom += e;
+    float inv;
+    if (use_float) {
+      inv = 1.0f / softmax_row_float(row, prow, self.cols, max_logit);
+    } else {
+      // Reference path (SoftmaxMode::kDouble): libm exp and denominator
+      // accumulation in double, as the original engine did.
+      double denom = 0.0;
+      for (size_t j = 0; j < self.cols; ++j) {
+        const double e = std::exp(static_cast<double>(row[j] - max_logit));
+        prow[j] = static_cast<float>(e);
+        denom += e;
+      }
+      inv = static_cast<float>(1.0 / denom);
     }
-    const float inv = static_cast<float>(1.0 / denom);
     for (size_t j = 0; j < self.cols; ++j) prow[j] *= inv;
     const size_t label = static_cast<size_t>(self_ids[i]);
     loss -= std::log(std::max(1e-12, static_cast<double>(prow[label])));

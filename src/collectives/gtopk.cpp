@@ -13,12 +13,13 @@ bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
 
 // Sum two sparse tensors and keep the top-k of the result.
 compress::SparseTensor merge_topk(const compress::SparseTensor& a,
-                                  const compress::SparseTensor& b, size_t k) {
+                                  const compress::SparseTensor& b, size_t k,
+                                  compress::TopKSelect algo) {
   HITOPK_CHECK_EQ(a.dense_size, b.dense_size);
   Tensor dense(a.dense_size);
   a.scatter_add_into(dense.span());
   b.scatter_add_into(dense.span());
-  return compress::exact_topk(dense.span(), k);
+  return compress::exact_topk(dense.span(), k, algo);
 }
 
 }  // namespace
@@ -46,13 +47,16 @@ GtopkResult gtopk_comm(simnet::Cluster& cluster, const RankData& data,
       auto grad = data[static_cast<size_t>(r)];
       const std::string key =
           options.ef_key_prefix + ":" + std::to_string(r);
+      // Fused EF exchange (grad untouched between compensation and
+      // absorption; see ErrorFeedback::apply_priming).
       if (options.error_feedback != nullptr) {
-        options.error_feedback->apply(key, grad);
+        options.error_feedback->apply_priming(key, grad);
       }
-      state[static_cast<size_t>(r)] = compress::exact_topk(grad, k);
+      state[static_cast<size_t>(r)] =
+          compress::exact_topk(grad, k, options.topk_select);
       if (options.error_feedback != nullptr) {
-        options.error_feedback->absorb(key, grad,
-                                       state[static_cast<size_t>(r)]);
+        options.error_feedback->absorb_primed(key,
+                                              state[static_cast<size_t>(r)]);
       }
     }
   }
@@ -77,7 +81,8 @@ GtopkResult gtopk_comm(simnet::Cluster& cluster, const RankData& data,
       for (int r = 0; r < p; ++r) {
         merged[static_cast<size_t>(r)] =
             merge_topk(state[static_cast<size_t>(r)],
-                       state[static_cast<size_t>(r ^ gap)], k);
+                       state[static_cast<size_t>(r ^ gap)], k,
+                       options.topk_select);
       }
       state.swap(merged);
     }

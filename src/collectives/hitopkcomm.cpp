@@ -99,12 +99,15 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
       compress::MsTopK mstopk(options.mstopk_samplings,
                               options.seed + static_cast<uint64_t>(rank),
                               mode);
+      // Fused EF exchange: the shard is untouched between compensation and
+      // absorption, so priming the residual during apply saves absorb's
+      // full-shard copy.
       if (options.error_feedback != nullptr) {
-        options.error_feedback->apply(ef_keys[r], shard_span);
+        options.error_feedback->apply_priming(ef_keys[r], shard_span);
       }
       selected[r] = mstopk.compress(shard_span, k);
       if (options.error_feedback != nullptr) {
-        options.error_feedback->absorb(ef_keys[r], shard_span, selected[r]);
+        options.error_feedback->absorb_primed(ef_keys[r], selected[r]);
       }
     });
   }
@@ -116,16 +119,14 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
   // plus local accumulation with duplicate-index adds (lines 15-20).
   // Every rank of stream `local` computes the identical dense accumulation
   // of the stream's m sparse blocks, so it is computed once per stream (not
-  // once per rank) and shared; stream_sparse[local] is its sparse form with
-  // global indices, ready for step 4.
-  std::vector<compress::SparseTensor> stream_sparse;
-  if (functional) {
-    // Streams with empty shards (elems < n) are skipped below but still
-    // scatter-added during the rebuild, so every entry needs a valid (empty)
-    // sparse tensor over the full gradient.
-    stream_sparse.resize(static_cast<size_t>(n));
-    for (auto& sparse : stream_sparse) sparse.dense_size = elems;
-  }
+  // once per rank), directly into the stream's shard slice of one flat
+  // dense buffer.  The owned shards tile [0, elems), so the flat buffer IS
+  // the aggregated gradient — step 4's rebuild becomes a straight copy per
+  // rank instead of materialising per-shard SparseTensors and scatter-adding
+  // them n times per rank.  stream_nnz keeps the per-stream nonzero counts
+  // the step-4 wire payloads need.
+  Scratch<float> stream_dense(functional ? elems : 0, /*zeroed=*/true);
+  std::vector<size_t> stream_nnz(static_cast<size_t>(n), 0);
   std::vector<Group> stream_groups;
   std::vector<std::vector<size_t>> stream_payloads;
   std::vector<int> stream_locals;
@@ -149,19 +150,16 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
       const int local = stream_locals[s];
       const ChunkRange& shard = shards[static_cast<size_t>(local)];
       const Group& group = stream_groups[s];
-      Scratch<float> acc(shard.count, /*zeroed=*/true);
+      // Disjoint shard slices: every stream worker owns its own range of
+      // the flat buffer, so the parallel accumulation is race-free and
+      // bitwise-identical to the serial loop.
+      auto acc = stream_dense.span().subspan(shard.begin, shard.count);
       for (int peer : group) {
-        selected[static_cast<size_t>(peer)].scatter_add_into(acc.span());
+        selected[static_cast<size_t>(peer)].scatter_add_into(acc);
       }
-      compress::SparseTensor sparse;
-      sparse.dense_size = elems;
-      for (size_t i = 0; i < shard.count; ++i) {
-        if (acc[i] != 0.0f) {
-          sparse.indices.push_back(static_cast<uint32_t>(shard.begin + i));
-          sparse.values.push_back(acc[i]);
-        }
-      }
-      stream_sparse[static_cast<size_t>(local)] = std::move(sparse);
+      size_t nnz = 0;
+      for (const float v : acc) nnz += v != 0.0f ? 1 : 0;
+      stream_nnz[static_cast<size_t>(local)] = nnz;
     });
   }
   // The n streams run concurrently (Alg. 2 line 11: "for j in [n] in
@@ -189,7 +187,7 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
       size_t nnz;
       if (functional) {
         const int local = topo.local_rank(group[i]);
-        nnz = stream_sparse[static_cast<size_t>(local)].nnz();
+        nnz = stream_nnz[static_cast<size_t>(local)];
       } else {
         const ChunkRange shard = chunk_range(
             elems, static_cast<size_t>(n), static_cast<size_t>(i));
@@ -213,14 +211,13 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
   out.total = t4 - start;
 
   if (functional) {
-    // Rebuild the full aggregated gradient on every rank: the union of the
-    // n per-stream accumulations (identical across nodes by step 3).
+    // Rebuild the full aggregated gradient on every rank.  The owned shards
+    // tile [0, elems) and each stream already accumulated into its slice,
+    // so the flat buffer is the complete aggregate — one contiguous copy
+    // per rank replaces the old zero-fill plus n sparse scatter-adds.
     parallel_for(0, static_cast<size_t>(world), [&](size_t r) {
-      auto dst = data[r];
-      std::fill(dst.begin(), dst.end(), 0.0f);
-      for (int local = 0; local < n; ++local) {
-        stream_sparse[static_cast<size_t>(local)].scatter_add_into(dst);
-      }
+      std::copy(stream_dense.span().begin(), stream_dense.span().end(),
+                data[r].begin());
     });
   }
   return out;

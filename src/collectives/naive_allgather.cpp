@@ -5,6 +5,7 @@
 #include "collectives/ring.h"
 #include "core/parallel.h"
 #include "core/tensor.h"
+#include "core/workspace.h"
 
 namespace hitopk::coll {
 
@@ -39,9 +40,11 @@ NaiveAgResult naive_sparse_allgather(
   out.total = done - start;
 
   if (!data.empty()) {
-    // All ranks compute the identical sum; build it once, copy everywhere
-    // (one independent destination buffer per rank).
-    Tensor sum = compress::accumulate(sparse, elems);
+    // All ranks compute the identical sum; the fused accumulation builds it
+    // once into a workspace buffer (index space partitioned across the
+    // pool), then every rank's independent destination gets a copy.
+    Scratch<float> sum(elems);
+    compress::accumulate_into(sparse, sum.span());
     parallel_for(0, data.size(), [&](size_t r) {
       std::copy(sum.span().begin(), sum.span().end(), data[r].begin());
     });

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "compress/compressor.h"
+#include "compress/threshold_select.h"
 #include "core/rng.h"
 
 namespace hitopk::compress {
@@ -17,8 +18,12 @@ namespace hitopk::compress {
 class DgcTopK : public Compressor {
  public:
   // sample_ratio: fraction of the input sampled for threshold estimation
-  // (the DGC paper uses 0.1%-1%).
-  explicit DgcTopK(double sample_ratio = 0.01, uint64_t seed = 42);
+  // (the DGC paper uses 0.1%-1%).  algo picks the shared threshold-selection
+  // backend (threshold_select.h) for both the sample-threshold estimate and
+  // the hierarchical re-selection; the two backends are bit-identical, so
+  // this only trades speed.
+  explicit DgcTopK(double sample_ratio = 0.01, uint64_t seed = 42,
+                   TopKSelect algo = TopKSelect::kHistogram);
 
   std::string name() const override { return "dgc"; }
 
@@ -31,6 +36,7 @@ class DgcTopK : public Compressor {
  private:
   double sample_ratio_;
   Rng rng_;
+  TopKSelect algo_;
   int last_topk_calls_ = 0;
 };
 

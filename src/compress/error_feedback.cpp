@@ -43,6 +43,28 @@ void ErrorFeedback::absorb(const std::string& key, std::span<const float> grad,
   for (size_t i = 0; i < sent.nnz(); ++i) r[sent.indices[i]] = 0.0f;
 }
 
+void ErrorFeedback::apply_priming(const std::string& key,
+                                  std::span<float> grad) {
+  Tensor& residual = entry(key, grad.size());
+  // One fused pass: grad and residual both become grad + residual (what
+  // apply() then absorb()'s copy would produce, before the sent coordinates
+  // are cleared).
+  tensor_ops::add_into_both(grad, residual.span());
+}
+
+void ErrorFeedback::absorb_primed(const std::string& key,
+                                  const SparseTensor& sent) {
+  Tensor& residual = entry(key, sent.dense_size);
+  uint32_t max_index = 0;
+  for (size_t i = 0; i < sent.nnz(); ++i) {
+    max_index = std::max(max_index, sent.indices[i]);
+  }
+  HITOPK_CHECK(sent.nnz() == 0 || max_index < residual.size())
+      << "sent index out of range";
+  float* r = residual.data();
+  for (size_t i = 0; i < sent.nnz(); ++i) r[sent.indices[i]] = 0.0f;
+}
+
 double ErrorFeedback::residual_sq_norm() const {
   double acc = 0.0;
   for (const auto& [key, residual] : residuals_) {

@@ -37,6 +37,21 @@ class ErrorFeedback {
   void absorb(const std::string& key, std::span<const float> grad,
               const SparseTensor& sent);
 
+  // Fused apply that also primes the residual for absorb_primed():
+  // grad += residual[key] AND residual[key] = the compensated gradient, in
+  // one pass over the buffer.  Callers that follow the standard
+  // apply -> select -> absorb sequence WITHOUT touching grad in between
+  // (every EF user in this repository) can then finish with
+  // absorb_primed(), which only zeroes the sent coordinates — replacing
+  // absorb()'s full-gradient copy with k scattered writes.  Bitwise
+  // identical to apply() + absorb() under that contract.
+  void apply_priming(const std::string& key, std::span<float> grad);
+
+  // Completes a apply_priming() exchange: zeroes sent.indices in the primed
+  // residual.  The residual must not have been re-primed for another
+  // gradient in between.
+  void absorb_primed(const std::string& key, const SparseTensor& sent);
+
   // Sum of squared residual magnitudes across all keys (a diagnostic the
   // convergence bench tracks: bounded residual norm is the EF invariant).
   double residual_sq_norm() const;

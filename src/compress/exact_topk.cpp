@@ -1,59 +1,18 @@
 #include "compress/exact_topk.h"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
-
-#include "core/check.h"
-#include "core/workspace.h"
-
 namespace hitopk::compress {
 
-SparseTensor exact_topk(std::span<const float> x, size_t k) {
-  SparseTensor out;
-  out.dense_size = x.size();
-  k = std::min(k, x.size());
-  if (k == 0) return out;
-
-  // Selection runs on packed 64-bit keys — magnitude bits in the high word
-  // (IEEE-754 non-negative floats order like their bit patterns), inverted
-  // index in the low word — so nth_element compares flat integers instead
-  // of chasing a permutation through x with two fabs per comparison.  The
-  // ordering is identical to the old comparator: larger magnitude first,
-  // ties broken by lower index.
-  static_assert(sizeof(size_t) == 8, "packed top-k keys need 64 bits");
-  Scratch<size_t> keys_buf(x.size());
-  size_t* keys = keys_buf.data();
-  for (size_t i = 0; i < x.size(); ++i) {
-    const uint32_t mag = std::bit_cast<uint32_t>(x[i]) & 0x7FFFFFFFu;
-    keys[i] = (static_cast<size_t>(mag) << 32) |
-              (~static_cast<uint32_t>(i));
-  }
-  std::nth_element(keys, keys + (k - 1), keys + x.size(),
-                   std::greater<size_t>());
-  out.indices.resize(k);
-  for (size_t i = 0; i < k; ++i) {
-    out.indices[i] = ~static_cast<uint32_t>(keys[i]);
-  }
-  std::sort(out.indices.begin(), out.indices.end());
-  out.values.resize(k);
-  for (size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
-  return out;
+SparseTensor exact_topk(std::span<const float> x, size_t k, TopKSelect algo) {
+  return select_topk(x, k, algo);
 }
 
-float exact_topk_threshold(std::span<const float> x, size_t k) {
-  if (k == 0 || x.empty()) return 0.0f;
-  k = std::min(k, x.size());
-  Scratch<float> mags(x.size());
-  for (size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
-  std::nth_element(mags.vec().begin(),
-                   mags.vec().begin() + static_cast<long>(k - 1),
-                   mags.vec().end(), std::greater<float>());
-  return mags[k - 1];
+float exact_topk_threshold(std::span<const float> x, size_t k,
+                           TopKSelect algo) {
+  return topk_threshold(x, k, algo);
 }
 
 SparseTensor ExactTopK::compress(std::span<const float> x, size_t k) {
-  return exact_topk(x, k);
+  return select_topk(x, k, algo_);
 }
 
 }  // namespace hitopk::compress

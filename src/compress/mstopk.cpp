@@ -4,19 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "compress/threshold_select.h"
 #include "core/check.h"
 #include "core/workspace.h"
 
 namespace hitopk::compress {
-namespace {
-
-// Histogram resolution of the single-pass bracket search.  512 buckets over
-// [mean, max] bracket the k-th magnitude at least as tightly as 9 binary-
-// search samplings (2^9 = 512) while reading the data once instead of nine
-// times.
-constexpr int kHistogramBuckets = 512;
-
-}  // namespace
 
 MsTopK::MsTopK(int n_samplings, uint64_t seed, MsTopKMode mode)
     : n_samplings_(n_samplings), rng_(seed), mode_(mode) {
@@ -67,7 +59,7 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
 
 void MsTopK::histogram_brackets(std::span<const float> x, size_t k,
                                 float abs_mean, float abs_max) {
-  const int nb = kHistogramBuckets;
+  const int nb = kThresholdBuckets;
   const float width =
       (abs_max - abs_mean) / static_cast<float>(nb);
   if (!(width >= std::numeric_limits<float>::min())) {
@@ -92,51 +84,13 @@ void MsTopK::histogram_brackets(std::span<const float> x, size_t k,
     return abs_mean + width * static_cast<float>(b);
   };
 
-  // The one counting pass, in cache-blocked two-phase form: a vectorizable
-  // arithmetic loop turns a block of magnitudes into bucket indices (fabs,
-  // scale, clamp — no per-element boundary comparisons or branches), then a
-  // scalar loop scatters the indices into four interleaved sub-histograms so
-  // consecutive same-bucket hits don't serialize on one counter.
-  // Multiplication rounding can misplace an element whose magnitude sits
-  // within a few ulps of a boundary by one bucket, which is repaired by the
-  // exact verification pass below.
-  constexpr size_t kBlock = 1024;
-  Scratch<size_t> hist_buf(4 * static_cast<size_t>(nb + 1), /*zeroed=*/true);
-  size_t* h0 = hist_buf.data();
-  size_t* h1 = h0 + (nb + 1);
-  size_t* h2 = h1 + (nb + 1);
-  size_t* h3 = h2 + (nb + 1);
-  const float top = static_cast<float>(nb - 1);
-  int32_t idx[kBlock];
-  auto index_block = [&](const float* p, size_t count) {
-    for (size_t j = 0; j < count; ++j) {
-      float t = (std::fabs(p[j]) - abs_mean) * inv_width;
-      t = std::min(t, top);
-      t = std::max(t, -1.0f);
-      idx[j] = static_cast<int32_t>(t);
-    }
-  };
-  auto scatter_block = [&](size_t count) {
-    size_t j = 0;
-    for (; j + 4 <= count; j += 4) {
-      ++h0[static_cast<size_t>(idx[j] + 1)];
-      ++h1[static_cast<size_t>(idx[j + 1] + 1)];
-      ++h2[static_cast<size_t>(idx[j + 2] + 1)];
-      ++h3[static_cast<size_t>(idx[j + 3] + 1)];
-    }
-    for (; j < count; ++j) ++h0[static_cast<size_t>(idx[j] + 1)];
-  };
-  const size_t d = x.size();
-  // Full blocks get a compile-time trip count so the index arithmetic
-  // vectorizes even under -O2's conservative cost model; the remainder goes
-  // through the same lambdas with a runtime count.
-  const size_t full_end = d - d % kBlock;
-  for (size_t base = 0; base < full_end; base += kBlock) {
-    index_block(x.data() + base, kBlock);
-    scatter_block(kBlock);
-  }
-  index_block(x.data() + full_end, d - full_end);
-  scatter_block(d - full_end);
+  // The one counting pass runs on the shared histogram builder
+  // (threshold_select.h): blocked, vectorizable, and partitioned across the
+  // thread pool for large shards.  Multiplication rounding can misplace an
+  // element whose magnitude sits within a few ulps of a boundary by one
+  // bucket, which is repaired by the exact verification pass below.
+  Scratch<size_t> counts(static_cast<size_t>(nb) + 1, /*zeroed=*/true);
+  magnitude_histogram(x, abs_mean, inv_width, counts.span());
   stats_.samplings = 1;
   stats_.buckets = nb;
 
@@ -147,8 +101,7 @@ void MsTopK::histogram_brackets(std::span<const float> x, size_t k,
   size_t suffix = 0;
   int b2 = -1;  // loosest boundary with count > k
   for (int b = nb - 1; b >= 0; --b) {
-    const size_t slot = static_cast<size_t>(b + 1);
-    const size_t next = suffix + h0[slot] + h1[slot] + h2[slot] + h3[slot];
+    const size_t next = suffix + counts[static_cast<size_t>(b + 1)];
     if (next > k) {
       b2 = b;
       break;

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "core/workspace.h"
 
 namespace hitopk::compress {
@@ -65,12 +66,76 @@ bool SparseTensor::is_valid() const {
   return true;
 }
 
+void accumulate_into(std::span<const SparseTensor> parts,
+                     std::span<float> dense) {
+  const size_t d = dense.size();
+  // Validate everything once: size agreement, value/index pairing, and the
+  // index-bounds guard (branch-free max-fold per part, like
+  // scatter_add_into), plus sortedness — sorted parts (every top-k compressor
+  // emits ascending indices) let the partitioned path binary-search its
+  // in-range run instead of scanning.
+  size_t total_nnz = 0;
+  Scratch<uint32_t> sorted_flags(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const SparseTensor& part = parts[p];
+    HITOPK_CHECK_EQ(part.dense_size, d);
+    HITOPK_CHECK_EQ(part.values.size(), part.indices.size());
+    uint32_t max_index = 0;
+    uint32_t sorted = 1;
+    const uint32_t* idx = part.indices.data();
+    const size_t n = part.indices.size();
+    for (size_t i = 0; i < n; ++i) {
+      max_index = std::max(max_index, idx[i]);
+      sorted &= static_cast<uint32_t>(i == 0 || idx[i - 1] <= idx[i]);
+    }
+    HITOPK_CHECK(n == 0 || max_index < d) << "sparse index out of range";
+    sorted_flags[p] = sorted;
+    total_nnz += n;
+  }
+  tensor_ops::zero(dense);
+
+  // Partition the index space only when the pool and the work are both big
+  // enough for the split to pay for its per-part range searches.
+  const size_t max_workers =
+      std::min<size_t>(static_cast<size_t>(std::max(1, parallel_threads())),
+                       d / 4096);
+  if (max_workers <= 1 || total_nnz < 4096) {
+    for (const SparseTensor& part : parts) {
+      const uint32_t* idx = part.indices.data();
+      const float* val = part.values.data();
+      float* out = dense.data();
+      for (size_t i = 0; i < part.values.size(); ++i) out[idx[i]] += val[i];
+    }
+    return;
+  }
+  parallel_for(0, max_workers, [&](size_t w) {
+    const uint32_t lo = static_cast<uint32_t>(d * w / max_workers);
+    const uint32_t hi = static_cast<uint32_t>(d * (w + 1) / max_workers);
+    float* out = dense.data();
+    for (size_t p = 0; p < parts.size(); ++p) {
+      const SparseTensor& part = parts[p];
+      const uint32_t* idx = part.indices.data();
+      const float* val = part.values.data();
+      if (sorted_flags[p]) {
+        const uint32_t* begin =
+            std::lower_bound(idx, idx + part.indices.size(), lo);
+        const uint32_t* end =
+            std::lower_bound(begin, idx + part.indices.size(), hi);
+        for (const uint32_t* it = begin; it != end; ++it) {
+          out[*it] += val[it - idx];
+        }
+      } else {
+        for (size_t i = 0; i < part.indices.size(); ++i) {
+          if (idx[i] >= lo && idx[i] < hi) out[idx[i]] += val[i];
+        }
+      }
+    }
+  });
+}
+
 Tensor accumulate(std::span<const SparseTensor> parts, size_t dense_size) {
   Tensor out(dense_size);
-  for (const auto& part : parts) {
-    HITOPK_CHECK_EQ(part.dense_size, dense_size);
-    part.scatter_add_into(out.span());
-  }
+  accumulate_into(parts, out.span());
   return out;
 }
 

@@ -43,7 +43,18 @@ struct SparseTensor {
 };
 
 // Merges many sparse tensors (e.g. the per-node contributions gathered by
-// All-Gather) into one dense accumulation buffer.
+// All-Gather) into `dense`: zeroes the buffer, then adds every part with
+// duplicate indices accumulating — the fused aggregation hot path of
+// NaiveAG.  Validates every part once up front (size match, index bounds),
+// then runs unchecked.  Large accumulations are partitioned by *index space*
+// across the parallel_for pool: each worker owns a contiguous dense range
+// and walks each part's in-range run in storage order, so every dense
+// element receives its contributions in exactly the serial per-part order —
+// bitwise-identical to the serial loop regardless of thread count.
+void accumulate_into(std::span<const SparseTensor> parts,
+                     std::span<float> dense);
+
+// Allocating wrapper around accumulate_into.
 Tensor accumulate(std::span<const SparseTensor> parts, size_t dense_size);
 
 }  // namespace hitopk::compress

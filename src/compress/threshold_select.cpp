@@ -1,0 +1,311 @@
+#include "compress/threshold_select.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/parallel.h"
+#include "core/workspace.h"
+
+namespace hitopk::compress {
+namespace {
+
+constexpr size_t kSlots = static_cast<size_t>(kThresholdBuckets) + 1;
+
+// Packed selection key: magnitude bits in the high word (IEEE-754
+// non-negative floats order like their bit patterns), inverted index in the
+// low word, so plain integer std::greater orders "larger magnitude first,
+// ties broken by lower index".  Shared by the reference path and the
+// histogram repair pass — using the identical comparator is what makes the
+// two algorithms bit-identical.
+static_assert(sizeof(size_t) == 8, "packed top-k keys need 64 bits");
+
+inline uint32_t magnitude_bits(float v) {
+  return std::bit_cast<uint32_t>(v) & 0x7FFFFFFFu;
+}
+
+inline size_t pack_key(float v, size_t i) {
+  return (static_cast<size_t>(magnitude_bits(v)) << 32) |
+         (~static_cast<uint32_t>(i));
+}
+
+// Log-spaced bucket of |v|: exponent byte plus top mantissa bit, in
+// [0, kThresholdBuckets - 1].  Monotone nondecreasing in |v| because
+// non-negative IEEE-754 floats order like their bit patterns and shifting
+// preserves order.  Handles denormals, zeros, and infinities uniformly —
+// no statistics pass or width arithmetic required.
+inline uint32_t magnitude_bits_bucket(float v) {
+  return magnitude_bits(v) >> 22;
+}
+
+// Linear bucket of |v| over [lo, lo + kThresholdBuckets * width), clamped
+// to [-1, kThresholdBuckets - 1]: -1 for |v| < lo ("below the histogram"),
+// the top bucket for ties at the max.  Monotone nondecreasing in |v|
+// (subtraction, multiplication by a positive constant, truncation, and
+// clamping are each monotone).
+inline int32_t magnitude_linear_bucket(float v, float lo, float inv_width,
+                                       float top) {
+  float t = (std::fabs(v) - lo) * inv_width;
+  t = std::min(t, top);
+  t = std::max(t, -1.0f);
+  return static_cast<int32_t>(t);
+}
+
+// One worker's counting pass over [p, p + n): a vectorizable arithmetic
+// block turns magnitudes into histogram slots (no per-element boundary
+// comparisons or branches), then a scalar block scatters them into four
+// interleaved sub-histograms so consecutive same-bucket hits don't
+// serialize on one counter.  hist must have 4 * kSlots zeroed entries.
+// slot_of must return values in [0, kSlots - 1].
+template <typename SlotFn>
+void count_into(const float* p, size_t n, size_t* hist, SlotFn slot_of) {
+  constexpr size_t kBlock = 1024;
+  size_t* h0 = hist;
+  size_t* h1 = h0 + kSlots;
+  size_t* h2 = h1 + kSlots;
+  size_t* h3 = h2 + kSlots;
+  uint32_t idx[kBlock];
+  auto index_block = [&](const float* q, size_t count) {
+    for (size_t j = 0; j < count; ++j) idx[j] = slot_of(q[j]);
+  };
+  auto scatter_block = [&](size_t count) {
+    size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+      ++h0[idx[j]];
+      ++h1[idx[j + 1]];
+      ++h2[idx[j + 2]];
+      ++h3[idx[j + 3]];
+    }
+    for (; j < count; ++j) ++h0[idx[j]];
+  };
+  // Full blocks get a compile-time trip count so the slot arithmetic
+  // vectorizes even under -O2's conservative cost model; the remainder goes
+  // through the same lambdas with a runtime count.
+  const size_t full_end = n - n % kBlock;
+  for (size_t base = 0; base < full_end; base += kBlock) {
+    index_block(p + base, kBlock);
+    scatter_block(kBlock);
+  }
+  index_block(p + full_end, n - full_end);
+  scatter_block(n - full_end);
+}
+
+// Shared counting core: partitions x into per-worker chunks when the pool
+// and the input are both large enough to amortize the extra sub-histogram
+// merges, counts with `slot_of`, and merges into counts[kSlots].  Bucket
+// counts are integers, so any partitioning merges to the identical
+// histogram.
+template <typename SlotFn>
+void histogram_count(std::span<const float> x, std::span<size_t> counts,
+                     SlotFn slot_of) {
+  HITOPK_CHECK_EQ(counts.size(), kSlots);
+  const size_t d = x.size();
+  constexpr size_t kMinChunk = 1 << 16;
+  const size_t max_chunks = std::max<size_t>(1, d / kMinChunk);
+  const size_t chunks = std::min<size_t>(
+      static_cast<size_t>(std::max(1, parallel_threads())), max_chunks);
+
+  Scratch<size_t> hist_buf(chunks * 4 * kSlots, /*zeroed=*/true);
+  size_t* slabs = hist_buf.data();
+  if (chunks == 1) {
+    count_into(x.data(), d, slabs, slot_of);
+  } else {
+    parallel_for(0, chunks, [&](size_t c) {
+      const size_t begin = d * c / chunks;
+      const size_t end = d * (c + 1) / chunks;
+      count_into(x.data() + begin, end - begin, slabs + c * 4 * kSlots,
+                 slot_of);
+    });
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t* slab = slabs + c * 4 * kSlots;
+    for (size_t s = 0; s < kSlots; ++s) {
+      counts[s] += slab[s] + slab[kSlots + s] + slab[2 * kSlots + s] +
+                   slab[3 * kSlots + s];
+    }
+  }
+}
+
+// The reference selection: nth_element over all packed keys.
+SparseTensor select_topk_nth(std::span<const float> x, size_t k) {
+  SparseTensor out;
+  out.dense_size = x.size();
+  Scratch<size_t> keys_buf(x.size());
+  size_t* keys = keys_buf.data();
+  for (size_t i = 0; i < x.size(); ++i) keys[i] = pack_key(x[i], i);
+  std::nth_element(keys, keys + (k - 1), keys + x.size(),
+                   std::greater<size_t>());
+  out.indices.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.indices[i] = ~static_cast<uint32_t>(keys[i]);
+  }
+  std::sort(out.indices.begin(), out.indices.end());
+  out.values.resize(k);
+  for (size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
+  return out;
+}
+
+float topk_threshold_nth(std::span<const float> x, size_t k) {
+  // Rank magnitude bits instead of fabs floats: same order (non-negative
+  // IEEE floats order like their bit patterns), total even on adversarial
+  // bit patterns, and the integer nth_element is what the histogram repair
+  // uses — keeping the two paths' comparators identical.
+  Scratch<uint32_t> mags(x.size());
+  for (size_t i = 0; i < x.size(); ++i) mags[i] = magnitude_bits(x[i]);
+  std::nth_element(mags.vec().begin(),
+                   mags.vec().begin() + static_cast<long>(k - 1),
+                   mags.vec().end(), std::greater<uint32_t>());
+  return std::bit_cast<float>(mags[k - 1]);
+}
+
+// Suffix scan shared by selection and threshold: the bucket holding the
+// k-th magnitude and the exact count of elements in buckets above it
+// (< k of them, each with strictly larger magnitude than every boundary-
+// bucket element, by monotonicity of the bucket map).
+struct BoundaryScan {
+  uint32_t boundary = 0;
+  size_t above = 0;
+};
+
+BoundaryScan scan_boundary(std::span<const size_t> counts, size_t k) {
+  BoundaryScan scan;
+  size_t above = 0;
+  for (int b = kThresholdBuckets - 1; b >= 0; --b) {
+    const size_t c = counts[static_cast<size_t>(b)];
+    if (above + c >= k) {
+      scan.boundary = static_cast<uint32_t>(b);
+      scan.above = above;
+      return scan;
+    }
+    above += c;
+  }
+  HITOPK_CHECK(false) << "histogram lost elements";  // d >= k are all counted
+  return scan;
+}
+
+}  // namespace
+
+void magnitude_histogram(std::span<const float> x, float lo, float inv_width,
+                         std::span<size_t> counts) {
+  const float top = static_cast<float>(kThresholdBuckets - 1);
+  histogram_count(x, counts, [=](float v) {
+    return static_cast<uint32_t>(
+        magnitude_linear_bucket(v, lo, inv_width, top) + 1);
+  });
+}
+
+SparseTensor select_topk(std::span<const float> x, size_t k, TopKSelect algo) {
+  SparseTensor out;
+  out.dense_size = x.size();
+  k = std::min(k, x.size());
+  if (k == 0) return out;
+  if (algo == TopKSelect::kNthElement || x.size() < kHistogramMinSize) {
+    return select_topk_nth(x, k);
+  }
+
+  // Counting pass on the log-spaced bit buckets (slot == bucket; slot
+  // kThresholdBuckets stays empty) and suffix scan to the boundary.
+  Scratch<size_t> counts(kSlots, /*zeroed=*/true);
+  histogram_count(x, counts.span(),
+                  [](float v) { return magnitude_bits_bucket(v); });
+  const BoundaryScan scan = scan_boundary(counts.span(), k);
+
+  // Gather pass.  Sizes are known exactly from the histogram: scan.above
+  // certain winners go straight into the output index array, and the
+  // boundary bucket's elements become repair candidates carrying their
+  // exact keys — no reallocation, no second counting.  Two-phase like the
+  // counting pass: a constant-trip block extracts magnitude bits
+  // (vectorizable), then a scalar block compares them against the bucket's
+  // bit bounds — almost always "below, skip" for sparse selections.
+  out.indices.resize(k);
+  uint32_t* chosen = out.indices.data();
+  size_t n_chosen = 0;
+  Scratch<size_t> cand_buf(counts[scan.boundary]);
+  size_t* cand = cand_buf.data();
+  size_t n_cand = 0;
+  // First magnitude-bit pattern inside / above the boundary bucket.  For
+  // boundary 511 `above_bits` wraps to 0x80000000, which no magnitude
+  // reaches — exactly "nothing is above the top bucket".
+  const uint32_t lower_bits = scan.boundary << 22;
+  const uint32_t above_bits = (scan.boundary + 1) << 22;
+  {
+    constexpr size_t kBlock = 1024;
+    uint32_t mag[kBlock];
+    const float* p = x.data();
+    auto bits_block = [&](size_t base, size_t count) {
+      for (size_t j = 0; j < count; ++j) mag[j] = magnitude_bits(p[base + j]);
+    };
+    auto gather_block = [&](size_t base, size_t count) {
+      for (size_t j = 0; j < count; ++j) {
+        const uint32_t m = mag[j];
+        if (m < lower_bits) continue;  // common case first
+        const size_t i = base + j;
+        if (m >= above_bits) {
+          chosen[n_chosen++] = static_cast<uint32_t>(i);
+        } else {
+          cand[n_cand++] = (static_cast<size_t>(m) << 32) |
+                           (~static_cast<uint32_t>(i));
+        }
+      }
+    };
+    const size_t full_end = x.size() - x.size() % kBlock;
+    for (size_t base = 0; base < full_end; base += kBlock) {
+      bits_block(base, kBlock);
+      gather_block(base, kBlock);
+    }
+    bits_block(full_end, x.size() - full_end);
+    gather_block(full_end, x.size() - full_end);
+  }
+  HITOPK_CHECK_EQ(n_chosen, scan.above);
+  HITOPK_CHECK_EQ(n_cand, counts[scan.boundary]);
+
+  // Exact boundary repair: the remaining (k - above) slots go to the best
+  // candidates under the reference comparator.  nth_element over just the
+  // boundary bucket (a half-octave of magnitudes; all of d only when every
+  // element shares one bucket) replaces the reference's nth_element over d.
+  const size_t need = k - scan.above;
+  if (need < n_cand) {
+    std::nth_element(cand, cand + (need - 1), cand + n_cand,
+                     std::greater<size_t>());
+  }
+  for (size_t i = 0; i < need; ++i) {
+    chosen[n_chosen++] = ~static_cast<uint32_t>(cand[i]);
+  }
+
+  std::sort(out.indices.begin(), out.indices.end());
+  out.values.resize(k);
+  for (size_t i = 0; i < k; ++i) out.values[i] = x[out.indices[i]];
+  return out;
+}
+
+float topk_threshold(std::span<const float> x, size_t k, TopKSelect algo) {
+  if (k == 0 || x.empty()) return 0.0f;
+  k = std::min(k, x.size());
+  if (algo == TopKSelect::kNthElement || x.size() < kHistogramMinSize) {
+    return topk_threshold_nth(x, k);
+  }
+
+  Scratch<size_t> counts(kSlots, /*zeroed=*/true);
+  histogram_count(x, counts.span(),
+                  [](float v) { return magnitude_bits_bucket(v); });
+  const BoundaryScan scan = scan_boundary(counts.span(), k);
+
+  // The k-th magnitude overall is the (k - above)-th largest within the
+  // boundary bucket (same set argument as select_topk), so the exact repair
+  // only has to rank the boundary bucket's magnitude bits.
+  Scratch<uint32_t> cand_buf(counts[scan.boundary]);
+  uint32_t* cand = cand_buf.data();
+  size_t n_cand = 0;
+  for (const float v : x) {
+    const uint32_t mag = magnitude_bits(v);
+    if ((mag >> 22) == scan.boundary) cand[n_cand++] = mag;
+  }
+  HITOPK_CHECK_EQ(n_cand, counts[scan.boundary]);
+  const size_t need = k - scan.above;
+  std::nth_element(cand, cand + (need - 1), cand + n_cand,
+                   std::greater<uint32_t>());
+  return std::bit_cast<float>(cand[need - 1]);
+}
+
+}  // namespace hitopk::compress

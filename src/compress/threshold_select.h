@@ -1,0 +1,78 @@
+// Shared magnitude-histogram threshold selection.
+//
+// Every top-k flavour in this library ultimately needs the same primitive:
+// "where does the k-th largest |x(i)| sit?".  The generic answer
+// (std::nth_element over d elements) is a cache-hostile partial sort that
+// dominated the TopK-SGD iteration; this module generalises the 512-bucket
+// magnitude histogram that already carried MSTopK's bracket search into a
+// shared facility with two bucket geometries over one blocked, parallel
+// counting core:
+//
+//   - magnitude_histogram(): linear buckets over [lo, lo + 512*width) — the
+//     geometry MSTopK's bracket search needs (thresholds are arithmetic
+//     combinations of mean/max, so the buckets must be evenly spaced).
+//   - select_topk() / topk_threshold(): exact top-k selection and k-th
+//     magnitude via *log-spaced* buckets read straight off the magnitude
+//     bits ((bits & 0x7FFFFFFF) >> 22: exponent plus top mantissa bit).
+//     IEEE-754 magnitude bits order like magnitudes, so the map is monotone
+//     and needs no statistics pass, no width arithmetic, and no degenerate-
+//     range fallbacks: one counting pass, a suffix scan to the bucket
+//     holding the k-th magnitude, then an exact repair pass (nth_element
+//     over just that bucket's candidates, on the same packed magnitude/index
+//     keys the reference uses) resolves the boundary.  Elements in higher
+//     buckets have strictly larger magnitudes than every boundary-bucket
+//     element, so the selected set — indices AND values — is bit-identical
+//     to the nth_element reference for every input bit pattern.
+//
+// TopKSelect::kNthElement keeps the reference path callable directly (the
+// validation twin, like MsTopKMode::kMultiPass for MSTopK);
+// tests/threshold_select_test.cpp pins the two paths bit-identical across
+// adversarial distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "compress/sparse_tensor.h"
+
+namespace hitopk::compress {
+
+// Selection algorithm for exact top-k (exact_topk / exact_topk_threshold).
+enum class TopKSelect {
+  kHistogram,   // histogram boundary search + exact repair (fast path)
+  kNthElement,  // packed-key std::nth_element (validation reference)
+};
+
+// Bucket count shared by every histogram user (MSTopK brackets + exact
+// selection): 512 buckets bracket a threshold as tightly as 9 binary-search
+// counting passes (2^9 = 512) while reading the data once.
+inline constexpr int kThresholdBuckets = 512;
+
+// Below this size the histogram's fixed two-pass cost loses to a direct
+// nth_element; both paths return bit-identical results, so the cutoff is
+// purely a performance heuristic.
+inline constexpr size_t kHistogramMinSize = 2048;
+
+// One linear-bucket counting pass over x: counts[b + 1] accumulates the
+// elements whose clamped bucket index trunc((|x(i)| - lo) * inv_width) is b,
+// for b in [-1, kThresholdBuckets - 1] (slot 0 holds the below-lo count,
+// ties at the top land in the last bucket via the clamp).  counts must have
+// kThresholdBuckets + 1 slots; existing contents are accumulated into, so
+// zero it first.  Blocked with compile-time trip counts so the index
+// arithmetic vectorizes under GCC12 -O2, and partitioned across the
+// parallel_for pool for large x — bucket counts are integers, so the merged
+// histogram is identical regardless of partitioning.
+void magnitude_histogram(std::span<const float> x, float lo, float inv_width,
+                         std::span<size_t> counts);
+
+// Exactly min(k, x.size()) elements with the largest |x(i)|, ties broken by
+// lower index; indices sorted ascending, values gathered from x.  Both
+// algorithms return bit-identical results for every input bit pattern.
+SparseTensor select_topk(std::span<const float> x, size_t k, TopKSelect algo);
+
+// The k-th largest |x(i)| (0 when k == 0 or x is empty).  Both algorithms
+// return the identical float.
+float topk_threshold(std::span<const float> x, size_t k, TopKSelect algo);
+
+}  // namespace hitopk::compress

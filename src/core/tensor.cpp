@@ -167,6 +167,35 @@ void add_into(std::span<float> dst, std::span<const float> src) {
   add_into_impl(dst.data(), src.data(), dst.size());
 }
 
+namespace {
+
+void add_into_both_impl(float* __restrict__ d, float* __restrict__ s,
+                        size_t n) {
+  constexpr size_t kBlock = 16;
+  const size_t full_end = n - n % kBlock;
+  for (size_t base = 0; base < full_end; base += kBlock) {
+    float* dd = d + base;
+    float* ss = s + base;
+    for (size_t j = 0; j < kBlock; ++j) {
+      const float sum = dd[j] + ss[j];
+      dd[j] = sum;
+      ss[j] = sum;
+    }
+  }
+  for (size_t i = full_end; i < n; ++i) {
+    const float sum = d[i] + s[i];
+    d[i] = sum;
+    s[i] = sum;
+  }
+}
+
+}  // namespace
+
+void add_into_both(std::span<float> dst, std::span<float> src) {
+  HITOPK_CHECK_EQ(dst.size(), src.size());
+  add_into_both_impl(dst.data(), src.data(), dst.size());
+}
+
 void zero(std::span<float> dst) {
   for (auto& x : dst) x = 0.0f;
 }

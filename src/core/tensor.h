@@ -108,6 +108,11 @@ size_t count_abs_ge(std::span<const float> x, float threshold);
 // dst += src
 void add_into(std::span<float> dst, std::span<const float> src);
 
+// dst += src, then src = dst: the fused "compensate and re-prime" pass of
+// ErrorFeedback::apply_priming (both buffers end up holding the sum, in one
+// traversal instead of an add followed by a copy).
+void add_into_both(std::span<float> dst, std::span<float> src);
+
 // dst = 0
 void zero(std::span<float> dst);
 

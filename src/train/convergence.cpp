@@ -89,6 +89,9 @@ ConvergenceResult run_convergence(ConvergenceTask& task,
   };
   Rng shuffle_rng(options.seed);
   Rng compressor_rng(options.seed + 17);
+  // Per-worker error-feedback keys for the kTopk/kRandomk path, built once
+  // (string construction and map insertion stay off the iteration loop).
+  std::vector<std::string> worker_keys;
 
   // Learning-rate schedule: linear warmup then cosine decay.
   const int iters_per_epoch =
@@ -175,20 +178,43 @@ ConvergenceResult run_convergence(ConvergenceTask& task,
               1, static_cast<size_t>(options.density * static_cast<double>(d)));
           std::vector<compress::SparseTensor> sparse(
               static_cast<size_t>(world));
-          for (int w = 0; w < world; ++w) {
-            auto grad = worker_grads[static_cast<size_t>(w)].span();
-            const std::string key = "w" + std::to_string(w);
-            if (options.use_error_feedback) error_feedback.apply(key, grad);
-            if (options.algorithm == ConvergenceAlgorithm::kTopk) {
-              sparse[static_cast<size_t>(w)] = compress::exact_topk(grad, k);
-            } else {
-              compress::RandomK random_k(compressor_rng.next_u64());
-              sparse[static_cast<size_t>(w)] = random_k.compress(grad, k);
-            }
-            if (options.use_error_feedback) {
-              error_feedback.absorb(key, grad, sparse[static_cast<size_t>(w)]);
+          // Per-worker EF + selection commute (disjoint grad buffers,
+          // per-worker residual entries pre-created so the workers only
+          // look keys up, per-worker seeds drawn in rank order up front),
+          // so the loop runs on the pool bitwise-identical to serial —
+          // the same pattern as HiTopKComm's per-shard selection.  The
+          // fused EF exchange (apply_priming/absorb_primed) holds because
+          // grads are untouched between compensation and absorption.
+          std::vector<uint64_t> worker_seeds;
+          if (options.algorithm == ConvergenceAlgorithm::kRandomk) {
+            for (int w = 0; w < world; ++w) {
+              worker_seeds.push_back(compressor_rng.next_u64());
             }
           }
+          if (options.use_error_feedback && worker_keys.empty()) {
+            for (int w = 0; w < world; ++w) {
+              worker_keys.push_back("w" + std::to_string(w));
+              error_feedback.ensure(worker_keys.back(), d);
+            }
+          }
+          parallel_for(0, static_cast<size_t>(world), [&](size_t w) {
+            auto grad = worker_grads[w].span();
+            if (options.use_error_feedback) {
+              error_feedback.apply_priming(worker_keys[w], grad);
+            }
+            if (options.algorithm == ConvergenceAlgorithm::kTopk) {
+              sparse[w] = compress::exact_topk(
+                  grad, k,
+                  options.topk_histogram ? compress::TopKSelect::kHistogram
+                                         : compress::TopKSelect::kNthElement);
+            } else {
+              compress::RandomK random_k(worker_seeds[w]);
+              sparse[w] = random_k.compress(grad, k);
+            }
+            if (options.use_error_feedback) {
+              error_feedback.absorb_primed(worker_keys[w], sparse[w]);
+            }
+          });
           coll::naive_sparse_allgather(cluster, sparse, grad_spans, d, 4, 0.0,
                                        0.0);
           break;
@@ -196,6 +222,9 @@ ConvergenceResult run_convergence(ConvergenceTask& task,
         case ConvergenceAlgorithm::kGtopk: {
           coll::GtopkOptions gtopk;
           gtopk.density = options.density;
+          gtopk.topk_select = options.topk_histogram
+                                  ? compress::TopKSelect::kHistogram
+                                  : compress::TopKSelect::kNthElement;
           gtopk.error_feedback =
               options.use_error_feedback ? &error_feedback : nullptr;
           gtopk.ef_key_prefix = "g";
@@ -206,6 +235,7 @@ ConvergenceResult run_convergence(ConvergenceTask& task,
           coll::HiTopKOptions hi;
           hi.density = options.density;
           hi.mstopk_samplings = options.mstopk_samplings;
+          hi.mstopk_histogram = options.mstopk_histogram;
           hi.seed = options.seed + static_cast<uint64_t>(iter) * 977;
           hi.error_feedback =
               options.use_error_feedback ? &error_feedback : nullptr;

@@ -11,6 +11,7 @@
 #include "compress/exact_topk.h"
 #include "compress/mstopk.h"
 #include "compress/other_compressors.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "core/tensor.h"
 
@@ -87,6 +88,101 @@ TEST(SparseTensor, AccumulateManyParts) {
   EXPECT_EQ(sum[0], 1.0f);
   EXPECT_EQ(sum[2], 12.0f);
   EXPECT_EQ(sum[4], 20.0f);
+}
+
+TEST(SparseTensor, AccumulateNoPartsIsZero) {
+  std::vector<SparseTensor> parts;
+  Tensor sum = accumulate(parts, 4);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(sum[i], 0.0f);
+}
+
+TEST(SparseTensor, AccumulateEmptyPartsAndZeroesDestination) {
+  SparseTensor empty;
+  empty.dense_size = 3;
+  SparseTensor one;
+  one.dense_size = 3;
+  one.indices = {1};
+  one.values = {2.5f};
+  std::vector<SparseTensor> parts{empty, one, empty};
+  Tensor dense(3);
+  dense.fill(9.0f);  // accumulate_into must zero stale contents first
+  accumulate_into(parts, dense.span());
+  EXPECT_EQ(dense[0], 0.0f);
+  EXPECT_EQ(dense[1], 2.5f);
+  EXPECT_EQ(dense[2], 0.0f);
+}
+
+TEST(SparseTensor, AccumulateDuplicateIndicesWithinAndAcrossParts) {
+  SparseTensor a, b;
+  a.dense_size = b.dense_size = 4;
+  a.indices = {1, 1, 1};  // duplicates inside one part accumulate in order
+  a.values = {1.0f, 2.0f, 4.0f};
+  b.indices = {1, 3};
+  b.values = {8.0f, -1.0f};
+  std::vector<SparseTensor> parts{a, b};
+  Tensor sum = accumulate(parts, 4);
+  EXPECT_EQ(sum[1], 15.0f);
+  EXPECT_EQ(sum[3], -1.0f);
+}
+
+TEST(SparseTensor, AccumulateGuardsBadParts) {
+  SparseTensor out_of_range;
+  out_of_range.dense_size = 4;
+  out_of_range.indices = {4};  // == dense_size: out of bounds
+  out_of_range.values = {1.0f};
+  std::vector<SparseTensor> parts{out_of_range};
+  EXPECT_THROW(accumulate(parts, 4), CheckError);
+
+  SparseTensor mismatched_len;
+  mismatched_len.dense_size = 4;
+  mismatched_len.indices = {0, 1};
+  mismatched_len.values = {1.0f};
+  parts = {mismatched_len};
+  EXPECT_THROW(accumulate(parts, 4), CheckError);
+
+  SparseTensor wrong_dense_size;
+  wrong_dense_size.dense_size = 8;
+  wrong_dense_size.indices = {0};
+  wrong_dense_size.values = {1.0f};
+  parts = {wrong_dense_size};
+  EXPECT_THROW(accumulate(parts, 4), CheckError);
+}
+
+TEST(SparseTensor, AccumulatePartitionedMatchesSerialBitwise) {
+  // Large accumulation with sorted, unsorted, duplicate-bearing, and empty
+  // parts: the index-space-partitioned parallel path must reproduce the
+  // serial per-part scatter-add bit for bit at any thread count.
+  const size_t d = 1 << 16;
+  Rng rng(91);
+  std::vector<SparseTensor> parts;
+  for (int p = 0; p < 6; ++p) {
+    SparseTensor part;
+    part.dense_size = d;
+    const size_t nnz = 1500 + static_cast<size_t>(p) * 700;
+    for (size_t i = 0; i < nnz; ++i) {
+      part.indices.push_back(static_cast<uint32_t>(rng.uniform_index(d)));
+      part.values.push_back(static_cast<float>(rng.normal(0.0, 1.0)));
+    }
+    if (p % 2 == 0) part.sort_by_index();  // mix sorted and unsorted parts
+    parts.push_back(std::move(part));
+  }
+  parts.push_back(SparseTensor{});  // empty part
+  parts.back().dense_size = d;
+
+  Tensor reference(d);
+  for (const auto& part : parts) part.scatter_add_into(reference.span());
+
+  const int previous = parallel_threads();
+  for (int threads : {1, 3, 8}) {
+    set_parallel_threads(threads);
+    Tensor sum = accumulate(parts, d);
+    size_t mismatches = 0;
+    for (size_t i = 0; i < d; ++i) {
+      mismatches += sum[i] == reference[i] ? 0 : 1;
+    }
+    EXPECT_EQ(mismatches, 0u) << "threads=" << threads;
+  }
+  set_parallel_threads(previous);
 }
 
 // ------------------------------------------------------------ ExactTopK
@@ -420,6 +516,50 @@ TEST(ErrorFeedback, IndependentKeys) {
   ef.apply("b", rb.span());
   EXPECT_EQ(ra[0], 1.0f);
   EXPECT_EQ(rb[0], 2.0f);
+}
+
+TEST(ErrorFeedback, FusedExchangeMatchesApplyAbsorb) {
+  // apply_priming + absorb_primed must be bitwise identical to
+  // apply + absorb under the shared-caller contract (grad untouched between
+  // compensation and absorption).
+  ErrorFeedback split, fused;
+  Rng rng(71);
+  Tensor split_grad(128), fused_grad(128);
+  for (int step = 0; step < 10; ++step) {
+    Tensor g(128);
+    g.fill_normal(rng, 0.0f, 1.0f);
+    std::copy(g.span().begin(), g.span().end(), split_grad.span().begin());
+    std::copy(g.span().begin(), g.span().end(), fused_grad.span().begin());
+
+    split.apply("w", split_grad.span());
+    SparseTensor sent = exact_topk(split_grad.span(), 16);
+    split.absorb("w", split_grad.span(), sent);
+
+    fused.apply_priming("w", fused_grad.span());
+    SparseTensor fused_sent = exact_topk(fused_grad.span(), 16);
+    fused.absorb_primed("w", fused_sent);
+
+    ASSERT_EQ(sent.indices, fused_sent.indices);
+    for (size_t i = 0; i < 128; ++i) {
+      ASSERT_EQ(split_grad[i], fused_grad[i]) << "step " << step;
+    }
+  }
+  // Residual state agrees too: applying onto zeros surfaces it.
+  Tensor split_res(128), fused_res(128);
+  split.apply("w", split_res.span());
+  fused.apply("w", fused_res.span());
+  for (size_t i = 0; i < 128; ++i) EXPECT_EQ(split_res[i], fused_res[i]);
+}
+
+TEST(ErrorFeedback, AbsorbPrimedGuardsIndexRange) {
+  ErrorFeedback ef;
+  Tensor g(4);
+  ef.apply_priming("w", g.span());
+  SparseTensor bad;
+  bad.dense_size = 4;
+  bad.indices = {4};
+  bad.values = {1.0f};
+  EXPECT_THROW(ef.absorb_primed("w", bad), CheckError);
 }
 
 TEST(ErrorFeedback, ShapeChangeThrows) {

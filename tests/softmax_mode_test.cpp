@@ -1,0 +1,128 @@
+// Float-vs-double softmax cross-entropy: the fast float path
+// (SoftmaxMode::kFloat, polynomial expf + float denominator) must agree with
+// the double reference per step to tight tolerances — probabilities,
+// losses, and gradients.  Trajectory-level agreement (convergence curves
+// within run-to-run noise) is validated by the Fig. 10 harness; these tests
+// pin the per-step numerics that make that possible.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "autodiff/tape.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace hitopk::ad {
+namespace {
+
+// Restores the process-wide softmax mode when a test exits.
+class ScopedSoftmaxMode {
+ public:
+  explicit ScopedSoftmaxMode(SoftmaxMode mode) : previous_(softmax_mode()) {
+    set_softmax_mode(mode);
+  }
+  ~ScopedSoftmaxMode() { set_softmax_mode(previous_); }
+
+ private:
+  SoftmaxMode previous_;
+};
+
+struct XentRun {
+  double loss = 0.0;
+  std::vector<float> probs;
+  std::vector<float> grad;
+};
+
+XentRun run_xent(SoftmaxMode mode, const Tensor& logits,
+                 const std::vector<int>& labels) {
+  ScopedSoftmaxMode scoped(mode);
+  XentRun out;
+  out.grad.assign(logits.size(), 0.0f);
+  Tape tape;
+  const VarId l = tape.leaf(logits.span(), out.grad, logits.rows(),
+                            logits.cols());
+  out.loss = tape.softmax_cross_entropy(l, labels);
+  const VarId loss_node = l + 1;
+  const auto probs = tape.value(loss_node);
+  out.probs.assign(probs.begin(), probs.end());
+  tape.backward();
+  return out;
+}
+
+TEST(SoftmaxMode, DefaultIsFloat) {
+  EXPECT_EQ(softmax_mode(), SoftmaxMode::kFloat);
+}
+
+TEST(SoftmaxMode, FloatMatchesDoubleReference) {
+  Rng rng(11);
+  const size_t batch = 32, classes = 20;
+  // Logit scales from tame to extreme (post-max differences down to -60):
+  // the polynomial exp and float accumulation must track the double
+  // reference everywhere the training loop can visit.
+  for (const float scale : {1.0f, 5.0f, 30.0f}) {
+    Tensor logits(batch, classes);
+    logits.fill_normal(rng, 0.0f, scale);
+    std::vector<int> labels;
+    for (size_t i = 0; i < batch; ++i) {
+      labels.push_back(static_cast<int>(rng.uniform_index(classes)));
+    }
+    const XentRun f = run_xent(SoftmaxMode::kFloat, logits, labels);
+    const XentRun d = run_xent(SoftmaxMode::kDouble, logits, labels);
+    EXPECT_NEAR(f.loss, d.loss, 1e-5 * (1.0 + std::fabs(d.loss)))
+        << "scale=" << scale;
+    for (size_t i = 0; i < f.probs.size(); ++i) {
+      EXPECT_NEAR(f.probs[i], d.probs[i], 2e-6f + 2e-6f * d.probs[i])
+          << "scale=" << scale << " prob " << i;
+    }
+    for (size_t i = 0; i < f.grad.size(); ++i) {
+      EXPECT_NEAR(f.grad[i], d.grad[i], 2e-6f) << "scale=" << scale
+                                               << " grad " << i;
+    }
+  }
+}
+
+TEST(SoftmaxMode, UniformLogitsExactInBothModes) {
+  // exp(0) is exactly 1 in the polynomial path, so uniform logits give the
+  // textbook loss log(C) in either mode.
+  for (const SoftmaxMode mode : {SoftmaxMode::kFloat, SoftmaxMode::kDouble}) {
+    ScopedSoftmaxMode scoped(mode);
+    Tape tape;
+    Tensor logits(4, 5);
+    const double loss = tape.softmax_cross_entropy(
+        tape.leaf(logits.span(), {}, 4, 5), std::vector<int>{0, 1, 2, 3});
+    EXPECT_NEAR(loss, std::log(5.0), 1e-6);
+  }
+}
+
+TEST(SoftmaxMode, ProbabilitiesSumToOne) {
+  ScopedSoftmaxMode scoped(SoftmaxMode::kFloat);
+  Rng rng(13);
+  Tensor logits(16, 10);
+  logits.fill_normal(rng, 0.0f, 3.0f);
+  std::vector<int> labels(16, 0);
+  const XentRun f = run_xent(SoftmaxMode::kFloat, logits, labels);
+  for (size_t i = 0; i < 16; ++i) {
+    float sum = 0.0f;
+    for (size_t j = 0; j < 10; ++j) sum += f.probs[i * 10 + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f) << "row " << i;
+  }
+}
+
+TEST(SoftmaxMode, ExtremeLogitGapsStayFinite) {
+  // A logit 200 below the row max must produce a vanishing probability
+  // (the exp argument clamps at -80), never a NaN or an overflow, in the
+  // float path.
+  ScopedSoftmaxMode scoped(SoftmaxMode::kFloat);
+  Tape tape;
+  Tensor logits = Tensor::from(1, 3, {100.0f, -100.0f, 99.0f});
+  const double loss = tape.softmax_cross_entropy(
+      tape.leaf(logits.span(), {}, 1, 3), std::vector<int>{0});
+  EXPECT_TRUE(std::isfinite(loss));
+  const auto probs = tape.value(1);
+  EXPECT_LT(probs[1], 1e-30f);
+  EXPECT_GT(probs[0], 0.7f);
+}
+
+}  // namespace
+}  // namespace hitopk::ad

@@ -1,0 +1,234 @@
+// Property tests pinning the histogram threshold-selection fast path
+// (compress/threshold_select.h) bit-identical — indices AND values — to the
+// packed-key nth_element reference across adversarial distributions: ties,
+// denormals, all-equal, infinities, signed zeros, and skewed magnitude
+// spreads.  Bit-identity (not closeness) is the contract every consumer
+// (exact_topk, DGC's re-selection, the TopK-SGD convergence path) relies on
+// when flipping between the two backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "compress/dgc_topk.h"
+#include "compress/exact_topk.h"
+#include "compress/threshold_select.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace hitopk::compress {
+namespace {
+
+struct NamedInput {
+  std::string name;
+  Tensor x;
+};
+
+// Sizes straddle kHistogramMinSize so both the histogram path and the
+// small-input nth_element cutoff are exercised.
+std::vector<NamedInput> adversarial_inputs() {
+  std::vector<NamedInput> inputs;
+  {
+    Rng rng(301);
+    Tensor x(20000);
+    x.fill_normal(rng, 0.0f, 1.0f);
+    inputs.push_back({"gaussian", std::move(x)});
+  }
+  {
+    // Heavy ties: every element is one of three magnitudes, so the boundary
+    // bucket holds thousands of equal keys and selection is decided purely
+    // by the index tie-break.
+    Rng rng(303);
+    Tensor x(8192);
+    for (size_t i = 0; i < x.size(); ++i) {
+      const uint64_t r = rng.uniform_index(3);
+      x[i] = (r == 0 ? 0.5f : r == 1 ? -2.0f : 8.0f);
+    }
+    inputs.push_back({"tied", std::move(x)});
+  }
+  {
+    Tensor x(4096);
+    x.fill(-3.25f);
+    inputs.push_back({"all_equal", std::move(x)});
+  }
+  {
+    Tensor x(4096);
+    inputs.push_back({"all_zero", std::move(x)});
+  }
+  {
+    // Denormals (several sub-normal magnitudes plus zeros): the log-spaced
+    // bit buckets must rank them without any width arithmetic blowing up.
+    Rng rng(307);
+    Tensor x(4096);
+    for (size_t i = 0; i < x.size(); ++i) {
+      const uint64_t r = rng.uniform_index(4);
+      x[i] = r == 0   ? 0.0f
+             : r == 1 ? 1.0e-40f
+             : r == 2 ? -1.2e-40f
+                      : 1.3e-44f;
+    }
+    inputs.push_back({"denormal", std::move(x)});
+  }
+  {
+    // Infinities and huge finite spikes on a near-zero noise floor.
+    Rng rng(311);
+    Tensor x(16384);
+    x.fill_normal(rng, 0.0f, 1e-6f);
+    for (size_t i = 0; i < 16; ++i) {
+      x[i * 911] = (i % 2 ? 1.0f : -1.0f) *
+                   std::numeric_limits<float>::infinity();
+      x[i * 911 + 7] = (i % 2 ? 3.4e38f : -3.4e38f);
+    }
+    inputs.push_back({"infinities", std::move(x)});
+  }
+  {
+    // Signed zeros mixed with tiny values: -0.0 and +0.0 share a magnitude
+    // and must tie-break by index identically in both paths.
+    Tensor x(4096);
+    for (size_t i = 0; i < x.size(); ++i) {
+      x[i] = (i % 3 == 0) ? -0.0f : (i % 3 == 1) ? 0.0f : 1e-30f;
+    }
+    inputs.push_back({"signed_zero", std::move(x)});
+  }
+  {
+    // Log-spaced magnitudes across 8 decades: every bit bucket in a wide
+    // range is populated.
+    Rng rng(313);
+    Tensor x(10000);
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double exponent = rng.uniform(-4.0, 4.0);
+      x[i] = static_cast<float>(std::pow(10.0, exponent)) *
+             (rng.uniform() < 0.5 ? -1.0f : 1.0f);
+    }
+    inputs.push_back({"log_spaced", std::move(x)});
+  }
+  {
+    // Small input: exercises the kHistogramMinSize cutoff path.
+    Rng rng(317);
+    Tensor x(257);
+    x.fill_normal(rng, 0.0f, 2.0f);
+    inputs.push_back({"small", std::move(x)});
+  }
+  return inputs;
+}
+
+void expect_bit_identical(const SparseTensor& a, const SparseTensor& b,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(a.indices, b.indices);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint32_t>(a.values[i]),
+              std::bit_cast<uint32_t>(b.values[i]))
+        << "value bits differ at " << i;
+  }
+}
+
+TEST(ThresholdSelect, SelectionBitIdenticalToNthElementReference) {
+  for (auto& input : adversarial_inputs()) {
+    const size_t d = input.x.size();
+    for (size_t k : {size_t{1}, size_t{2}, d / 1000 + 1, d / 100 + 1, d / 10,
+                     d - 1, d, d + 5}) {
+      if (k == 0) continue;
+      const SparseTensor fast =
+          select_topk(input.x.span(), k, TopKSelect::kHistogram);
+      const SparseTensor ref =
+          select_topk(input.x.span(), k, TopKSelect::kNthElement);
+      expect_bit_identical(fast, ref,
+                           input.name + " k=" + std::to_string(k));
+      EXPECT_EQ(fast.nnz(), std::min(k, d));
+    }
+  }
+}
+
+TEST(ThresholdSelect, ThresholdBitIdenticalToNthElementReference) {
+  for (auto& input : adversarial_inputs()) {
+    const size_t d = input.x.size();
+    for (size_t k : {size_t{1}, d / 100 + 1, d / 10, d}) {
+      const float fast =
+          topk_threshold(input.x.span(), k, TopKSelect::kHistogram);
+      const float ref =
+          topk_threshold(input.x.span(), k, TopKSelect::kNthElement);
+      EXPECT_EQ(std::bit_cast<uint32_t>(fast), std::bit_cast<uint32_t>(ref))
+          << input.name << " k=" << k;
+    }
+  }
+}
+
+TEST(ThresholdSelect, ThresholdMatchesKthSelectedMagnitude) {
+  for (auto& input : adversarial_inputs()) {
+    const size_t k = input.x.size() / 50 + 1;
+    const SparseTensor sel =
+        select_topk(input.x.span(), k, TopKSelect::kHistogram);
+    const float thres = topk_threshold(input.x.span(), k,
+                                       TopKSelect::kHistogram);
+    // The threshold is the smallest selected magnitude.
+    float smallest = std::numeric_limits<float>::infinity();
+    for (float v : sel.values) smallest = std::min(smallest, std::fabs(v));
+    EXPECT_EQ(std::bit_cast<uint32_t>(thres),
+              std::bit_cast<uint32_t>(smallest))
+        << input.name;
+  }
+}
+
+TEST(ThresholdSelect, IdenticalAcrossThreadCounts) {
+  // The counting pass partitions across the pool; integer bucket counts
+  // make the merged histogram — and therefore the selection — independent
+  // of the partitioning.
+  Rng rng(401);
+  Tensor x(1 << 18);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  const size_t k = x.size() / 500;
+  const int previous = parallel_threads();
+  set_parallel_threads(1);
+  const SparseTensor serial = select_topk(x.span(), k, TopKSelect::kHistogram);
+  set_parallel_threads(4);
+  const SparseTensor parallel =
+      select_topk(x.span(), k, TopKSelect::kHistogram);
+  set_parallel_threads(previous);
+  expect_bit_identical(serial, parallel, "thread sweep");
+}
+
+TEST(ThresholdSelect, EmptyAndZeroK) {
+  Tensor empty;
+  EXPECT_EQ(select_topk(empty.span(), 5, TopKSelect::kHistogram).nnz(), 0u);
+  EXPECT_EQ(topk_threshold(empty.span(), 5, TopKSelect::kHistogram), 0.0f);
+  Rng rng(403);
+  Tensor x(4096);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_EQ(select_topk(x.span(), 0, TopKSelect::kHistogram).nnz(), 0u);
+  EXPECT_EQ(topk_threshold(x.span(), 0, TopKSelect::kHistogram), 0.0f);
+}
+
+TEST(ThresholdSelect, RegistryExposesLegacyTwin) {
+  auto fast = make_compressor("exact_topk", 1);
+  auto legacy = make_compressor("exact_topk_legacy", 1);
+  EXPECT_EQ(fast->name(), "exact_topk");
+  EXPECT_EQ(legacy->name(), "exact_topk_legacy");
+  Rng rng(405);
+  Tensor x(10000);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  expect_bit_identical(fast->compress(x.span(), 100),
+                       legacy->compress(x.span(), 100), "registry twins");
+}
+
+TEST(ThresholdSelect, DgcBackendsAgree) {
+  // DGC is randomized but seeds its sampling; with equal seeds the two
+  // selection backends must walk the identical path.
+  Rng rng(407);
+  Tensor x(50000);
+  x.fill_normal(rng, 0.0f, 1.0f);
+  DgcTopK fast(0.01, 77, TopKSelect::kHistogram);
+  DgcTopK legacy(0.01, 77, TopKSelect::kNthElement);
+  expect_bit_identical(fast.compress(x.span(), 500),
+                       legacy.compress(x.span(), 500), "dgc twins");
+}
+
+}  // namespace
+}  // namespace hitopk::compress

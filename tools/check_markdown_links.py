@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links resolve to real files.
+
+Usage: check_markdown_links.py <file-or-directory>...
+
+Scans every given markdown file (directories are searched recursively for
+*.md) for inline links/images `[text](target)`. External targets (http/https/
+mailto) and pure in-page anchors (#...) are skipped; everything else is
+resolved relative to the containing file and must exist. Exits non-zero
+listing every broken link, so documented paths can never rot.
+"""
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. Deliberately simple: no reference-style links are
+# used in this repository, and code spans are stripped first.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_RE = re.compile(r"`[^`]*`")
+
+
+def md_files(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        else:
+            yield path
+
+
+def check(path: Path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(CODE_RE.sub("", line)):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    checked = 0
+    for path in md_files(argv[1:]):
+        checked += 1
+        for line_number, target in check(path):
+            print(f"{path}:{line_number}: broken link -> {target}")
+            failures += 1
+    print(f"checked {checked} markdown file(s), {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,64 +5,255 @@
 // Expected shape: NaiveAG worst (flat world-scale sparse All-Gather),
 // TreeAR next (flat tree over the slow NICs), 2DTAR better (hierarchical
 // dense), HiTopKComm best.
+//
+// A third panel measures the *functional* data path (real buffers moved on
+// this host, not simulated clocks): each converted collective runs under
+// the schedule engine and under the legacy inline loops, and the wall-time
+// ratio is the engine's win.  Everything is emitted to BENCH_fig07.json
+// (schema in docs/REPRODUCING.md) for the CI perf gate.
+//
+// Flags: --functional_elems=N (default 1M)  --reps=N (default 3)
+//        --json=PATH (default BENCH_fig07.json; empty disables)
+#include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
+#include "collectives/hier_allreduce.h"
 #include "collectives/hitopkcomm.h"
 #include "collectives/naive_allgather.h"
+#include "collectives/schedule.h"
 #include "collectives/torus2d.h"
 #include "collectives/tree_allreduce.h"
+#include "core/flags.h"
+#include "core/rng.h"
 #include "core/table.h"
+#include "core/tensor.h"
 
-int main() {
-  using hitopk::TablePrinter;
-  using namespace hitopk::coll;
-  using hitopk::simnet::Cluster;
-  using hitopk::simnet::Topology;
+namespace {
+
+using namespace hitopk;
+using namespace hitopk::coll;
+using hitopk::simnet::Cluster;
+using hitopk::simnet::LinkParams;
+using hitopk::simnet::Topology;
+
+struct SimRow {
+  size_t elems;
+  double naive, tree, torus, hitopk;
+};
+
+std::vector<SimRow> run_sim_panel(const Topology& topo,
+                                  std::span<const size_t> sizes) {
+  const size_t fp16 = 2;
+  const double density = 0.01;
+  std::vector<SimRow> rows;
+  for (size_t elems : sizes) {
+    SimRow row;
+    row.elems = elems;
+    Cluster c_naive(topo);
+    row.naive =
+        naive_sparse_allgather_time(
+            c_naive,
+            static_cast<size_t>(density * static_cast<double>(elems)), fp16,
+            0.0, 0.0)
+            .total;
+    Cluster c_tree(topo);
+    TreeOptions tree_options;
+    tree_options.wire_bytes = fp16;
+    row.tree = tree_allreduce(c_tree, world_group(topo), {}, elems,
+                              tree_options, 0.0);
+    Cluster c_torus(topo);
+    row.torus = torus2d_allreduce(c_torus, {}, elems, fp16, 0.0).total;
+    Cluster c_hitopk(topo);
+    HiTopKOptions options;
+    options.density = density;
+    options.value_wire_bytes = fp16;
+    row.hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---- functional wall-time panel -----------------------------------------
+
+struct FunctionalRow {
+  std::string name;
+  double schedule_s = 0.0;
+  double legacy_s = 0.0;
+  double speedup() const { return legacy_s > 0 ? legacy_s / schedule_s : 0; }
+};
+
+// Measures `fn(data)` wall time under both collective paths: buffers are
+// re-seeded before every repetition (outside the timed region) so each run
+// aggregates the same gradients from the same starting state.  The two
+// paths alternate rep by rep and the minimum is reported — on a shared
+// 1-vCPU host, sequential blocks drift with neighbor load, and min-of-reps
+// is the standard noise-robust wall estimator.
+template <typename Fn>
+FunctionalRow measure_functional(const std::string& name, const Topology& topo,
+                                 size_t elems, int reps, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  std::vector<Tensor> originals;
+  Rng rng(2024);
+  for (int r = 0; r < topo.world_size(); ++r) {
+    Tensor t(elems);
+    t.fill_normal(rng, 0.0f, 1.0f);
+    originals.push_back(std::move(t));
+  }
+  std::vector<Tensor> scratch = originals;
+  FunctionalRow row;
+  row.name = name;
+  double best_schedule = 0.0, best_legacy = 0.0;
+  for (int rep = 0; rep < 2 * (reps + 1); ++rep) {
+    const CollectivePath path =
+        rep % 2 == 0 ? CollectivePath::kSchedule : CollectivePath::kLegacy;
+    set_collective_path(path);
+    for (size_t r = 0; r < originals.size(); ++r) {
+      std::copy(originals[r].span().begin(), originals[r].span().end(),
+                scratch[r].span().begin());
+    }
+    RankData spans;
+    for (auto& t : scratch) spans.push_back(t.span());
+    Cluster cluster(topo);
+    const auto begin = clock::now();
+    fn(cluster, spans);
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - begin).count();
+    if (rep < 2) continue;  // one warm-up per path
+    double& best = path == CollectivePath::kSchedule ? best_schedule
+                                                     : best_legacy;
+    best = best == 0.0 ? seconds : std::min(best, seconds);
+  }
+  row.schedule_s = best_schedule;
+  row.legacy_s = best_legacy;
+  set_collective_path(CollectivePath::kSchedule);
+  return row;
+}
+
+std::vector<FunctionalRow> run_functional_panel(size_t elems, int reps) {
+  // Same fast-intra / slow-inter imbalance as the cloud topology, scaled to
+  // a 4x4 cluster so 16 full-size rank buffers fit comfortably in memory.
+  const Topology topo(4, 4, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8});
+  std::vector<FunctionalRow> rows;
+  rows.push_back(measure_functional(
+      "TreeAR", topo, elems, reps, [&](Cluster& c, const RankData& data) {
+        tree_allreduce(c, world_group(c.topology()), data, elems,
+                       TreeOptions{}, 0.0);
+      }));
+  rows.push_back(measure_functional(
+      "2DTAR", topo, elems, reps, [&](Cluster& c, const RankData& data) {
+        torus2d_allreduce(c, data, elems, 4, 0.0);
+      }));
+  rows.push_back(measure_functional(
+      "HierAR", topo, elems, reps, [&](Cluster& c, const RankData& data) {
+        hier_allreduce(c, data, elems, 4, 0.0);
+      }));
+  rows.push_back(measure_functional(
+      "HiTopKComm", topo, elems, reps, [&](Cluster& c, const RankData& data) {
+        HiTopKOptions options;
+        options.density = 0.01;
+        hitopk_comm(c, data, elems, options, 0.0);
+      }));
+  return rows;
+}
+
+void write_json(const std::string& path, const std::vector<SimRow>& small,
+                const std::vector<SimRow>& large,
+                const std::vector<FunctionalRow>& functional, size_t elems,
+                int reps) {
+  std::FILE* json = std::fopen(path.c_str(), "w");
+  if (json == nullptr) return;
+  auto panel = [&](const char* name, const std::vector<SimRow>& rows,
+                   const char* tail) {
+    std::fprintf(json, "    \"%s\": [\n", name);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const SimRow& r = rows[i];
+      std::fprintf(json,
+                   "      {\"elems_m\": %zu, \"naive\": %.9g, \"tree\": "
+                   "%.9g, \"torus\": %.9g, \"hitopk\": %.9g}%s\n",
+                   r.elems >> 20, r.naive, r.tree, r.torus, r.hitopk,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "    ]%s\n", tail);
+  };
+  std::fprintf(json, "{\n  \"bench\": \"fig07_aggregation\",\n  \"sim\": {\n");
+  panel("small", small, ",");
+  panel("large", large, "");
+  std::fprintf(json,
+               "  },\n  \"functional\": {\n    \"topology\": \"4x4\",\n"
+               "    \"elems\": %zu,\n    \"reps\": %d,\n"
+               "    \"collectives\": {\n",
+               elems, reps);
+  for (size_t i = 0; i < functional.size(); ++i) {
+    const FunctionalRow& r = functional[i];
+    std::fprintf(json,
+                 "      \"%s\": {\"schedule_s\": %.6f, \"legacy_s\": %.6f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.schedule_s, r.legacy_s, r.speedup(),
+                 i + 1 < functional.size() ? "," : "");
+  }
+  std::fprintf(json, "    }\n  }\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const size_t functional_elems = static_cast<size_t>(
+      flags.get_int("functional_elems", 1 << 20));
+  const int reps = flags.get_int("reps", 3);
+  const std::string json_path = flags.get("json", "BENCH_fig07.json");
 
   std::cout << "=== Fig. 7: aggregation time (16 nodes x 8 GPUs, FP16, "
                "rho=0.01) ===\n\n";
   const Topology topo = Topology::tencent_cloud(16, 8);
-  const size_t fp16 = 2;
-  const double density = 0.01;
 
-  TablePrinter table({"Panel", "Elements", "NaiveAG", "TreeAR", "2DTAR",
-                      "HiTopKComm", "best/worst"});
   const size_t small[] = {1u << 20, 2u << 20, 5u << 20, 10u << 20, 15u << 20};
   const size_t large[] = {50u << 20, 100u << 20, 150u << 20, 200u << 20,
                           250u << 20};
+  const auto small_rows = run_sim_panel(topo, small);
+  const auto large_rows = run_sim_panel(topo, large);
 
-  auto run_panel = [&](const char* panel, std::span<const size_t> sizes) {
-    for (size_t elems : sizes) {
-      Cluster c_naive(topo);
-      const double naive =
-          naive_sparse_allgather_time(
-              c_naive,
-              static_cast<size_t>(density * static_cast<double>(elems)), fp16,
-              0.0, 0.0)
-              .total;
-      Cluster c_tree(topo);
-      TreeOptions tree_options;
-      tree_options.wire_bytes = fp16;
-      const double tree = tree_allreduce(c_tree, world_group(topo), {}, elems,
-                                         tree_options, 0.0);
-      Cluster c_torus(topo);
-      const double torus = torus2d_allreduce(c_torus, {}, elems, fp16, 0.0).total;
-      Cluster c_hitopk(topo);
-      HiTopKOptions options;
-      options.density = density;
-      options.value_wire_bytes = fp16;
-      const double hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
-      table.add_row({panel, std::to_string(elems >> 20) + "M",
-                     TablePrinter::fmt(naive, 4), TablePrinter::fmt(tree, 4),
-                     TablePrinter::fmt(torus, 4), TablePrinter::fmt(hitopk, 4),
-                     TablePrinter::fmt(naive / hitopk, 1) + "x"});
+  TablePrinter table({"Panel", "Elements", "NaiveAG", "TreeAR", "2DTAR",
+                      "HiTopKComm", "best/worst"});
+  auto add_rows = [&](const char* panel, const std::vector<SimRow>& rows) {
+    for (const SimRow& r : rows) {
+      table.add_row({panel, std::to_string(r.elems >> 20) + "M",
+                     TablePrinter::fmt(r.naive, 4), TablePrinter::fmt(r.tree, 4),
+                     TablePrinter::fmt(r.torus, 4),
+                     TablePrinter::fmt(r.hitopk, 4),
+                     TablePrinter::fmt(r.naive / r.hitopk, 1) + "x"});
     }
   };
-  run_panel("(a) small", small);
-  run_panel("(b) large", large);
+  add_rows("(a) small", small_rows);
+  add_rows("(b) large", large_rows);
   table.print(std::cout);
   std::cout << "\nExpected ordering: HiTopKComm < 2DTAR < TreeAR < NaiveAG "
                "(TreeAR converges\ntoward NaiveAG at the largest sizes, "
-               "where both are NIC-bandwidth-bound).\n";
+               "where both are NIC-bandwidth-bound).\n\n";
+
+  std::cout << "=== Functional data path (4x4 cluster, "
+            << (functional_elems >> 20) << "M elements, wall time) ===\n\n";
+  const auto functional = run_functional_panel(functional_elems, reps);
+  TablePrinter ftable(
+      {"Collective", "schedule (s)", "legacy (s)", "speedup"});
+  for (const FunctionalRow& r : functional) {
+    ftable.add_row({r.name, TablePrinter::fmt(r.schedule_s, 4),
+                    TablePrinter::fmt(r.legacy_s, 4),
+                    TablePrinter::fmt(r.speedup(), 2) + "x"});
+  }
+  ftable.print(std::cout);
+  std::cout << "\nschedule = unified collective-schedule engine (resolved "
+               "all-gathers, batched\nper-step reduces); legacy = the "
+               "pre-engine inline loops (validation reference).\n";
+
+  if (!json_path.empty()) {
+    write_json(json_path, small_rows, large_rows, functional,
+               functional_elems, reps);
+  }
   return 0;
 }

@@ -41,14 +41,39 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
 
   // ---- Step 1: intra-node reduce-scatter (dense, Alg. 2 lines 2-4).
   double t1 = start;
-  for (int node = 0; node < m; ++node) {
-    const Group group = node_group(topo, node);
-    RankData node_data;
-    if (functional) {
-      for (int rank : group) node_data.push_back(data[static_cast<size_t>(rank)]);
+  if (collective_path() == CollectivePath::kLegacy) {
+    for (int node = 0; node < m; ++node) {
+      const Group group = node_group(topo, node);
+      RankData node_data;
+      if (functional) {
+        for (int rank : group) node_data.push_back(data[static_cast<size_t>(rank)]);
+      }
+      t1 = std::max(t1, ring_reduce_scatter(cluster, group, node_data, elems,
+                                            options.value_wire_bytes, start));
     }
-    t1 = std::max(t1, ring_reduce_scatter(cluster, group, node_data, elems,
-                                          options.value_wire_bytes, start));
+  } else {
+    // Engine path: the m per-node rings are one multi-group schedule — same
+    // clocks (intra-node ports are disjoint across nodes), but each step's
+    // reduces across all nodes batch into a single parallel_for.
+    std::vector<Group> node_groups;
+    std::vector<RankData> node_data;
+    for (int node = 0; node < m; ++node) {
+      node_groups.push_back(node_group(topo, node));
+      if (functional) {
+        RankData nd;
+        for (int rank : node_groups.back()) {
+          nd.push_back(data[static_cast<size_t>(rank)]);
+        }
+        node_data.push_back(std::move(nd));
+      }
+    }
+    Schedule sched;
+    const RingGrid grid = ring_grid(sched, node_groups, node_data);
+    build_ring_reduce_scatter(sched, node_groups, grid, elems,
+                              options.value_wire_bytes,
+                              /*fused_chains=*/true);
+    t1 = sched.run_timing(cluster, start).finish;
+    sched.run_data();
   }
   out.reduce_scatter = t1 - start;
 

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 
+#include "collectives/schedule.h"
 #include "core/tensor.h"
 
 namespace hitopk::coll {
+namespace {
 
-ParamServerResult param_server_allreduce(simnet::Cluster& cluster,
-                                         const RankData& data, size_t elems,
-                                         size_t wire_bytes, double start) {
+// ===================== legacy path (validation reference) =====================
+ParamServerResult legacy_param_server(simnet::Cluster& cluster,
+                                      const RankData& data, size_t elems,
+                                      size_t wire_bytes, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const bool functional = !data.empty();
-  check_data(world_group(topo), data, elems);
 
   ParamServerResult out;
   // Server s = GPU 0 of node s owns shard s.
@@ -74,6 +76,93 @@ ParamServerResult param_server_allreduce(simnet::Cluster& cluster,
   out.pull = pull_done - push_done;
   out.total = pull_done - start;
   return out;
+}
+
+// ============================= engine path =============================
+// Two steps: push (fan-in, reduce moves per server bucket in worker order)
+// and pull (fan-out, resolved copies).  Shard readiness gets its own slot
+// per server — pulls of shard s start at shard s's push completion, not at
+// a global barrier, so the sync between the steps is a non-collapsing mark
+// that only records push_done for the breakdown.
+ParamServerResult schedule_param_server(simnet::Cluster& cluster,
+                                        const RankData& data, size_t elems,
+                                        size_t wire_bytes, double start) {
+  const simnet::Topology& topo = cluster.topology();
+  const int m = topo.nodes();
+  const int world = topo.world_size();
+  const bool functional = !data.empty();
+  auto server_rank = [&](int s) { return topo.rank_of(s, 0); };
+
+  Schedule sched;
+  const uint32_t worker_slot0 = sched.add_slots(static_cast<uint32_t>(world));
+  const uint32_t shard_slot0 = sched.add_slots(static_cast<uint32_t>(m));
+  std::vector<uint32_t> bufs;
+  if (functional) {
+    for (const auto& span : data) bufs.push_back(sched.add_buffer(span));
+  }
+
+  // ---- Push.
+  for (int s = 0; s < m; ++s) {
+    const ChunkRange shard =
+        chunk_range(elems, static_cast<size_t>(m), static_cast<size_t>(s));
+    if (shard.count == 0) continue;
+    for (int worker = 0; worker < world; ++worker) {
+      if (worker == server_rank(s)) continue;  // server's own shard is local
+      sched.send(worker, server_rank(s), shard.count * wire_bytes,
+                 worker_slot0 + static_cast<uint32_t>(worker),
+                 shard_slot0 + static_cast<uint32_t>(s));
+      if (functional) {
+        sched.reduce(bufs[static_cast<size_t>(worker)],
+                     bufs[static_cast<size_t>(server_rank(s))], shard.begin,
+                     shard.count);
+      }
+    }
+  }
+  sched.end_step();
+  sched.sync(/*collapse=*/false);  // record push_done only
+
+  // ---- Pull.
+  for (int s = 0; s < m; ++s) {
+    const ChunkRange shard =
+        chunk_range(elems, static_cast<size_t>(m), static_cast<size_t>(s));
+    if (shard.count == 0) continue;
+    for (int worker = 0; worker < world; ++worker) {
+      if (worker == server_rank(s)) continue;
+      sched.send(server_rank(s), worker, shard.count * wire_bytes,
+                 shard_slot0 + static_cast<uint32_t>(s),
+                 worker_slot0 + static_cast<uint32_t>(worker));
+      if (functional) {
+        // Source-major bucket: shard s streams hot from its server to all
+        // workers; the m shards fan out concurrently.
+        sched.copy(bufs[static_cast<size_t>(server_rank(s))],
+                   bufs[static_cast<size_t>(worker)], shard.begin,
+                   shard.count,
+                   /*bucket=*/bufs[static_cast<size_t>(server_rank(s))]);
+      }
+    }
+  }
+
+  const Schedule::TimingResult timing = sched.run_timing(cluster, start);
+  sched.run_data();
+
+  ParamServerResult out;
+  const double push_done = timing.sync_times[0];
+  out.push = push_done - start;
+  out.pull = timing.finish - push_done;
+  out.total = timing.finish - start;
+  return out;
+}
+
+}  // namespace
+
+ParamServerResult param_server_allreduce(simnet::Cluster& cluster,
+                                         const RankData& data, size_t elems,
+                                         size_t wire_bytes, double start) {
+  check_data(world_group(cluster.topology()), data, elems);
+  if (collective_path() == CollectivePath::kLegacy) {
+    return legacy_param_server(cluster, data, elems, wire_bytes, start);
+  }
+  return schedule_param_server(cluster, data, elems, wire_bytes, start);
 }
 
 }  // namespace hitopk::coll

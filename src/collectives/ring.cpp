@@ -15,6 +15,11 @@ namespace {
 size_t rs_send_chunk(size_t i, size_t s, size_t g) { return (i + 2 * g - s - 1) % g; }
 size_t ag_send_chunk(size_t i, size_t s, size_t g) { return (i + 2 * g - s) % g; }
 
+// ===================== legacy path (validation reference) =====================
+// The pre-engine inline loops, kept verbatim behind CollectivePath::kLegacy:
+// schedule_equivalence_test pins the engine to them bitwise (data) and
+// exactly (clocks).
+
 // Per-group in-flight state: the data-readiness clock of each group rank.
 using Ready = std::vector<double>;
 
@@ -122,90 +127,11 @@ double max_ready(const std::vector<Ready>& ready, double floor) {
   return best;
 }
 
-void check_groups(const std::vector<Group>& groups,
-                  const std::vector<RankData>& data, size_t elems) {
-  HITOPK_CHECK(!groups.empty());
-  for (const auto& group : groups) {
-    HITOPK_CHECK_EQ(group.size(), groups[0].size());
-  }
-  if (!data.empty()) {
-    HITOPK_CHECK_EQ(data.size(), groups.size());
-    for (size_t q = 0; q < groups.size(); ++q) {
-      check_data(groups[q], data[q], elems);
-    }
-  }
-}
-
-}  // namespace
-
-double ring_reduce_scatter(simnet::Cluster& cluster, const Group& group,
-                           const RankData& data, size_t elems,
-                           size_t wire_bytes, double start) {
-  check_data(group, data, elems);
-  if (group.size() <= 1) return start;
-  std::vector<Group> groups{group};
-  std::vector<RankData> group_data;
-  if (!data.empty()) group_data.push_back(data);
-  auto ready = init_ready(groups, start);
-  rs_steps(cluster, groups, group_data, elems, wire_bytes, ready);
-  return max_ready(ready, start);
-}
-
-double ring_allgather(simnet::Cluster& cluster, const Group& group,
-                      const RankData& data, size_t elems, size_t wire_bytes,
-                      double start) {
-  check_data(group, data, elems);
-  if (group.size() <= 1) return start;
-  std::vector<Group> groups{group};
-  std::vector<RankData> group_data;
-  if (!data.empty()) group_data.push_back(data);
-  auto ready = init_ready(groups, start);
-  ag_steps(cluster, groups, group_data, elems, wire_bytes, ready);
-  return max_ready(ready, start);
-}
-
-double ring_allreduce(simnet::Cluster& cluster, const Group& group,
-                      const RankData& data, size_t elems, size_t wire_bytes,
-                      double start) {
-  const double mid =
-      ring_reduce_scatter(cluster, group, data, elems, wire_bytes, start);
-  return ring_allgather(cluster, group, data, elems, wire_bytes, mid);
-}
-
-double ring_allreduce_multi(simnet::Cluster& cluster,
-                            const std::vector<Group>& groups,
-                            const std::vector<RankData>& data, size_t elems,
-                            size_t wire_bytes, double start) {
-  check_groups(groups, data, elems);
-  if (groups[0].size() <= 1) return start;
-  auto ready = init_ready(groups, start);
-  // No barrier between the phases: each group's all-gather steps chain off
-  // its own reduce-scatter readiness.
-  rs_steps(cluster, groups, data, elems, wire_bytes, ready);
-  ag_steps(cluster, groups, data, elems, wire_bytes, ready);
-  return max_ready(ready, start);
-}
-
-double ring_allgather_bytes(simnet::Cluster& cluster, const Group& group,
-                            const std::vector<size_t>& payload_bytes,
-                            double start, double step_overhead) {
-  return ring_allgather_bytes_multi(cluster, {group}, {payload_bytes}, start,
-                                    step_overhead);
-}
-
-double ring_allgather_bytes_multi(
+double legacy_allgather_bytes_multi(
     simnet::Cluster& cluster, const std::vector<Group>& groups,
     const std::vector<std::vector<size_t>>& payload_bytes, double start,
     double step_overhead) {
-  HITOPK_CHECK(!groups.empty());
-  HITOPK_CHECK_EQ(payload_bytes.size(), groups.size());
   const size_t g = groups[0].size();
-  for (size_t q = 0; q < groups.size(); ++q) {
-    HITOPK_CHECK_EQ(groups[q].size(), g);
-    HITOPK_CHECK_EQ(payload_bytes[q].size(), g);
-  }
-  if (g <= 1) return start;
-
   auto ready = init_ready(groups, start);
   std::vector<Ready> next(groups.size());
   for (size_t s = 0; s + 1 < g; ++s) {
@@ -225,6 +151,280 @@ double ring_allgather_bytes_multi(
     ready.swap(next);
   }
   return max_ready(ready, start);
+}
+
+// ========================== engine path helpers ==========================
+
+void check_groups(const std::vector<Group>& groups,
+                  const std::vector<RankData>& data, size_t elems) {
+  HITOPK_CHECK(!groups.empty());
+  for (const auto& group : groups) {
+    HITOPK_CHECK_EQ(group.size(), groups[0].size());
+  }
+  if (!data.empty()) {
+    HITOPK_CHECK_EQ(data.size(), groups.size());
+    for (size_t q = 0; q < groups.size(); ++q) {
+      check_data(groups[q], data[q], elems);
+    }
+  }
+}
+
+// Wraps a single group (+ optional data) for the multi builders.
+std::vector<RankData> single_data(const RankData& data) {
+  std::vector<RankData> out;
+  if (!data.empty()) out.push_back(data);
+  return out;
+}
+
+}  // namespace
+
+RingGrid ring_grid(Schedule& sched, const std::vector<Group>& groups,
+                   const std::vector<RankData>& data) {
+  RingGrid grid;
+  grid.nq = groups.size();
+  grid.g = groups.empty() ? 0 : groups[0].size();
+  grid.slot0 = sched.add_slots(static_cast<uint32_t>(grid.nq * grid.g));
+  if (!data.empty()) {
+    grid.bufs.assign(grid.nq * grid.g, RingGrid::kNoBuf);
+    for (size_t q = 0; q < grid.nq; ++q) {
+      if (data[q].empty()) continue;  // timing-only group
+      for (size_t i = 0; i < grid.g; ++i) {
+        grid.bufs[q * grid.g + i] = sched.add_buffer(data[q][i]);
+      }
+    }
+  }
+  return grid;
+}
+
+void build_ring_reduce_scatter(Schedule& sched,
+                               const std::vector<Group>& groups,
+                               const RingGrid& grid, size_t elems,
+                               size_t wire_bytes, bool fused_chains) {
+  const size_t g = grid.g;
+  if (g <= 1) return;
+  // Fused chains: all data movement sits in the first step (each chunk's
+  // chain is independent — chain c writes only owner c's chunk c and reads
+  // chunk c of the others, ranges disjoint across chains).  Per chunk the
+  // legacy reduction order is b[c+1], then b[c+2] ... b[c+g-1], with the
+  // owner's own contribution last.
+  if (fused_chains && !grid.bufs.empty()) {
+    for (size_t q = 0; q < grid.nq; ++q) {
+      if (grid.buf(q, 0) == RingGrid::kNoBuf) continue;
+      for (size_t c = 0; c < g; ++c) {
+        const ChunkRange range = chunk_range(elems, g, c);
+        const uint32_t owner = grid.buf(q, c);
+        sched.move(TransferOp::kChainFirst, grid.buf(q, (c + 1) % g), owner,
+                   range.begin, range.count);
+        for (size_t j = 2; j < g; ++j) {
+          sched.move(TransferOp::kChainMid, grid.buf(q, (c + j) % g), owner,
+                     range.begin, range.count);
+        }
+        sched.move(TransferOp::kChainLast, owner, owner, range.begin,
+                   range.count);
+      }
+    }
+  }
+  for (size_t s = 0; s + 1 < g; ++s) {
+    for (size_t i = 0; i < g; ++i) {
+      for (size_t q = 0; q < grid.nq; ++q) {
+        const size_t peer = (i + 1) % g;
+        const size_t chunk = rs_send_chunk(i, s, g);
+        const ChunkRange range = chunk_range(elems, g, chunk);
+        sched.send(groups[q][i], groups[q][peer], range.count * wire_bytes,
+                   grid.slot(q, i), grid.slot(q, peer));
+        if (!fused_chains && !grid.bufs.empty() &&
+            grid.buf(q, i) != RingGrid::kNoBuf) {
+          sched.reduce(grid.buf(q, i), grid.buf(q, peer), range.begin,
+                       range.count);
+        }
+      }
+    }
+    sched.end_step();
+  }
+}
+
+void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
+                          const RingGrid& grid, size_t elems,
+                          size_t wire_bytes) {
+  const size_t g = grid.g;
+  if (g <= 1) return;
+  // Resolved data movement: the wire forwards chunk c hop by hop, but every
+  // forwarded value *is* group rank c's chunk c, so each destination gets
+  // one direct copy from the origin (recorded in the first gather step —
+  // origins are never overwritten during the gather, so intra-step reads
+  // and writes are disjoint).  Source-major buckets: owner c's chunk is
+  // read once and streams cache-hot to its g-1 destinations.
+  if (!grid.bufs.empty()) {
+    for (size_t q = 0; q < grid.nq; ++q) {
+      if (grid.buf(q, 0) == RingGrid::kNoBuf) continue;
+      for (size_t c = 0; c < g; ++c) {
+        const ChunkRange owned = chunk_range(elems, g, c);
+        for (size_t i = 0; i < g; ++i) {
+          if (i == c) continue;
+          sched.copy(grid.buf(q, c), grid.buf(q, i), owned.begin, owned.count,
+                     /*bucket=*/grid.buf(q, c));
+        }
+      }
+    }
+  }
+  for (size_t s = 0; s + 1 < g; ++s) {
+    for (size_t i = 0; i < g; ++i) {
+      for (size_t q = 0; q < grid.nq; ++q) {
+        const size_t peer = (i + 1) % g;
+        const size_t chunk = ag_send_chunk(i, s, g);
+        const ChunkRange range = chunk_range(elems, g, chunk);
+        sched.send(groups[q][i], groups[q][peer], range.count * wire_bytes,
+                   grid.slot(q, i), grid.slot(q, peer));
+      }
+    }
+    sched.end_step();
+  }
+}
+
+void build_ring_allgather_bytes(
+    Schedule& sched, const std::vector<Group>& groups, const RingGrid& grid,
+    const std::vector<std::vector<size_t>>& payload_bytes,
+    double step_overhead) {
+  const size_t g = grid.g;
+  if (g <= 1) return;
+  for (size_t s = 0; s + 1 < g; ++s) {
+    for (size_t i = 0; i < g; ++i) {
+      for (size_t q = 0; q < grid.nq; ++q) {
+        const size_t peer = (i + 1) % g;
+        const size_t origin = (i + 2 * g - s) % g;
+        sched.send(groups[q][i], groups[q][peer], payload_bytes[q][origin],
+                   grid.slot(q, i), grid.slot(q, peer), step_overhead);
+      }
+    }
+    sched.end_step();
+  }
+}
+
+// ========================== public entry points ==========================
+
+double ring_reduce_scatter(simnet::Cluster& cluster, const Group& group,
+                           const RankData& data, size_t elems,
+                           size_t wire_bytes, double start) {
+  check_data(group, data, elems);
+  if (group.size() <= 1) return start;
+  std::vector<Group> groups{group};
+  std::vector<RankData> group_data = single_data(data);
+  if (collective_path() == CollectivePath::kLegacy) {
+    auto ready = init_ready(groups, start);
+    rs_steps(cluster, groups, group_data, elems, wire_bytes, ready);
+    return max_ready(ready, start);
+  }
+  Schedule sched;
+  const RingGrid grid = ring_grid(sched, groups, group_data);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes);
+  const double done = sched.run_timing(cluster, start).finish;
+  sched.run_data();
+  return done;
+}
+
+double ring_allgather(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems, size_t wire_bytes,
+                      double start) {
+  check_data(group, data, elems);
+  if (group.size() <= 1) return start;
+  std::vector<Group> groups{group};
+  std::vector<RankData> group_data = single_data(data);
+  if (collective_path() == CollectivePath::kLegacy) {
+    auto ready = init_ready(groups, start);
+    ag_steps(cluster, groups, group_data, elems, wire_bytes, ready);
+    return max_ready(ready, start);
+  }
+  Schedule sched;
+  const RingGrid grid = ring_grid(sched, groups, group_data);
+  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+  const double done = sched.run_timing(cluster, start).finish;
+  sched.run_data();
+  return done;
+}
+
+double ring_allreduce(simnet::Cluster& cluster, const Group& group,
+                      const RankData& data, size_t elems, size_t wire_bytes,
+                      double start) {
+  if (collective_path() == CollectivePath::kLegacy) {
+    const double mid =
+        ring_reduce_scatter(cluster, group, data, elems, wire_bytes, start);
+    return ring_allgather(cluster, group, data, elems, wire_bytes, mid);
+  }
+  check_data(group, data, elems);
+  if (group.size() <= 1) return start;
+  std::vector<Group> groups{group};
+  std::vector<RankData> group_data = single_data(data);
+  Schedule sched;
+  const RingGrid grid = ring_grid(sched, groups, group_data);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes,
+                            /*fused_chains=*/true);
+  // The legacy path runs RS and AG as separate calls: the gather starts for
+  // everyone at the RS completion maximum.  The gather then reuses the
+  // reduce-scatter result in place (owner chunks feed the resolved copies).
+  sched.sync(/*collapse=*/true);
+  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+  const double done = sched.run_timing(cluster, start).finish;
+  sched.run_data();
+  return done;
+}
+
+double ring_allreduce_multi(simnet::Cluster& cluster,
+                            const std::vector<Group>& groups,
+                            const std::vector<RankData>& data, size_t elems,
+                            size_t wire_bytes, double start) {
+  check_groups(groups, data, elems);
+  if (groups[0].size() <= 1) return start;
+  if (collective_path() == CollectivePath::kLegacy) {
+    auto ready = init_ready(groups, start);
+    // No barrier between the phases: each group's all-gather steps chain off
+    // its own reduce-scatter readiness.
+    rs_steps(cluster, groups, data, elems, wire_bytes, ready);
+    ag_steps(cluster, groups, data, elems, wire_bytes, ready);
+    return max_ready(ready, start);
+  }
+  Schedule sched;
+  const RingGrid grid = ring_grid(sched, groups, data);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes);
+  // No sync: each group's gather chains off its own reduce-scatter slots.
+  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+  const double done = sched.run_timing(cluster, start).finish;
+  sched.run_data();
+  return done;
+}
+
+double ring_allgather_bytes(simnet::Cluster& cluster, const Group& group,
+                            const std::vector<size_t>& payload_bytes,
+                            double start, double step_overhead) {
+  return ring_allgather_bytes_multi(cluster, {group}, {payload_bytes}, start,
+                                    step_overhead);
+}
+
+double ring_allgather_bytes_multi(
+    simnet::Cluster& cluster, const std::vector<Group>& groups,
+    const std::vector<std::vector<size_t>>& payload_bytes, double start,
+    double step_overhead) {
+  HITOPK_CHECK(!groups.empty());
+  HITOPK_CHECK_EQ(payload_bytes.size(), groups.size());
+  const size_t g = groups[0].size();
+  // Zero-size groups carry no blocks and no steps: return before the
+  // per-group validation below would index payload_bytes[q][origin] with
+  // origin computed modulo g == 0.
+  if (g == 0) return start;
+  for (size_t q = 0; q < groups.size(); ++q) {
+    HITOPK_CHECK_EQ(groups[q].size(), g);
+    HITOPK_CHECK_EQ(payload_bytes[q].size(), g);
+  }
+  if (g == 1) return start;
+
+  if (collective_path() == CollectivePath::kLegacy) {
+    return legacy_allgather_bytes_multi(cluster, groups, payload_bytes, start,
+                                        step_overhead);
+  }
+  Schedule sched;
+  const RingGrid grid = ring_grid(sched, groups, {});
+  build_ring_allgather_bytes(sched, groups, grid, payload_bytes,
+                             step_overhead);
+  return sched.run_timing(cluster, start).finish;
 }
 
 }  // namespace hitopk::coll

@@ -8,7 +8,7 @@
 // the completion time of the slowest rank.
 #pragma once
 
-#include "collectives/common.h"
+#include "collectives/schedule.h"
 
 namespace hitopk::coll {
 
@@ -56,5 +56,56 @@ double ring_allgather_bytes_multi(
     simnet::Cluster& cluster, const std::vector<Group>& groups,
     const std::vector<std::vector<size_t>>& payload_bytes, double start,
     double step_overhead = 0.0);
+
+// ---- schedule-engine builders --------------------------------------------
+// The hierarchical collectives (2DTAR, HierAR, HiTopKComm) compose their
+// phases from ring legs; these builders append one leg to a caller-owned
+// Schedule so a whole collective becomes a single schedule with sync()
+// phase boundaries.  RingGrid carries the per-(group, rank) readiness slots
+// and data-pass buffer ids; allocate it with ring_grid() once per leg (or
+// reuse it across an RS+AG pair operating on the same groups/buffers).
+struct RingGrid {
+  size_t g = 0;                // group size (equal across groups)
+  size_t nq = 0;               // number of concurrent groups
+  uint32_t slot0 = 0;          // slot(q, i) = slot0 + q * g + i
+  std::vector<uint32_t> bufs;  // buf(q, i), kNoBuf for timing-only groups
+  static constexpr uint32_t kNoBuf = UINT32_MAX;
+  uint32_t buf(size_t q, size_t i) const { return bufs[q * g + i]; }
+  uint32_t slot(size_t q, size_t i) const {
+    return slot0 + static_cast<uint32_t>(q * g + i);
+  }
+};
+
+// data may be empty (all groups timing-only) or hold one RankData per group
+// (individually empty for timing-only groups, like the legacy multi loops).
+RingGrid ring_grid(Schedule& sched, const std::vector<Group>& groups,
+                   const std::vector<RankData>& data);
+
+// Reduce-Scatter leg: G-1 snapshot steps.  With fused_chains=false the data
+// pass mirrors the wire per-step (kReduce moves, partial sums land in the
+// intermediate buffers exactly like the legacy loop).  With
+// fused_chains=true each owner chunk reduces through a scratch-accumulator
+// chain (see TransferOp::kChain*): same float-add order, owner chunks
+// bitwise identical, but nothing is written to non-owned chunks — only
+// valid when the caller overwrites or ignores them (an All-Reduce's
+// resolved gather, 2DTAR phase 3, HiTopKComm's rebuild).
+void build_ring_reduce_scatter(Schedule& sched,
+                               const std::vector<Group>& groups,
+                               const RingGrid& grid, size_t elems,
+                               size_t wire_bytes, bool fused_chains = false);
+
+// All-Gather leg: G-1 timed forwarding steps, but the data pass is
+// *resolved* — each destination chunk is copied once from its final origin
+// (group rank c's chunk c) instead of forwarded G-1 times.
+void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
+                          const RingGrid& grid, size_t elems,
+                          size_t wire_bytes);
+
+// Variable-payload All-Gather leg (timing only; sparse payload data
+// movement is tracked by the caller).
+void build_ring_allgather_bytes(
+    Schedule& sched, const std::vector<Group>& groups, const RingGrid& grid,
+    const std::vector<std::vector<size_t>>& payload_bytes,
+    double step_overhead);
 
 }  // namespace hitopk::coll

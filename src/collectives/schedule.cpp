@@ -1,0 +1,171 @@
+#include "collectives/schedule.h"
+
+#include <algorithm>
+
+#include "core/parallel.h"
+#include "core/tensor.h"
+#include "core/workspace.h"
+
+namespace hitopk::coll {
+
+namespace {
+
+CollectivePath g_path = CollectivePath::kSchedule;
+
+// Worker-local chain-reduction accumulator (see TransferOp::kChain*).
+std::vector<float>& chain_acc() {
+  thread_local std::vector<float> acc;
+  return acc;
+}
+
+}  // namespace
+
+CollectivePath collective_path() { return g_path; }
+void set_collective_path(CollectivePath path) { g_path = path; }
+
+uint32_t Schedule::add_slots(uint32_t n) {
+  const uint32_t first = num_slots_;
+  num_slots_ += n;
+  return first;
+}
+
+uint32_t Schedule::add_buffer(RankSpan span) {
+  buffers_.push_back(span);
+  return static_cast<uint32_t>(buffers_.size() - 1);
+}
+
+void Schedule::send(int src, int dst, size_t bytes, uint32_t src_slot,
+                    uint32_t dst_slot, double extra_seconds) {
+  HITOPK_CHECK_LT(src_slot, num_slots_);
+  HITOPK_CHECK_LT(dst_slot, num_slots_);
+  sends_.push_back({step_, src, dst, src_slot, dst_slot, bytes, extra_seconds});
+}
+
+void Schedule::move(TransferOp op, uint32_t src_buf, uint32_t dst_buf,
+                    size_t begin, size_t count, uint32_t bucket) {
+  HITOPK_CHECK_LT(src_buf, buffers_.size());
+  HITOPK_CHECK_LT(dst_buf, buffers_.size());
+  if (bucket == kBucketDst) bucket = dst_buf;
+  HITOPK_CHECK_LT(bucket, buffers_.size());
+  if (count == 0) return;
+  moves_.push_back({step_, op, src_buf, dst_buf, bucket, begin, count});
+}
+
+void Schedule::end_step() { ++step_; }
+
+void Schedule::sync(bool collapse) { syncs_.push_back({step_, collapse}); }
+
+Schedule::TimingResult Schedule::run_timing(simnet::Cluster& cluster,
+                                            double start) const {
+  TimingResult result;
+  result.sync_times.reserve(syncs_.size());
+  // clock = slot readiness at the last step boundary; next = in-progress
+  // updates, committed at the next boundary (the legacy ready/next swap).
+  Scratch<double> clock_buf(num_slots_);
+  Scratch<double> next_buf(num_slots_);
+  auto clock = clock_buf.span();
+  auto next = next_buf.span();
+  std::fill(clock.begin(), clock.end(), start);
+
+  auto running_max = [&] {
+    double best = start;
+    for (double t : clock) best = std::max(best, t);
+    return best;
+  };
+
+  size_t sync_cursor = 0;
+  size_t i = 0;
+  while (i < sends_.size() || sync_cursor < syncs_.size()) {
+    // Next step boundary: the smaller of the next send's and next sync's
+    // step (syncs at a step apply before its sends).
+    uint32_t step;
+    if (i < sends_.size() && sync_cursor < syncs_.size()) {
+      step = std::min(sends_[i].step, syncs_[sync_cursor].step);
+    } else if (i < sends_.size()) {
+      step = sends_[i].step;
+    } else {
+      step = syncs_[sync_cursor].step;
+    }
+    while (sync_cursor < syncs_.size() && syncs_[sync_cursor].step <= step) {
+      const double t = running_max();
+      result.sync_times.push_back(t);
+      if (syncs_[sync_cursor].collapse) {
+        std::fill(clock.begin(), clock.end(), t);
+      }
+      ++sync_cursor;
+    }
+    if (i >= sends_.size()) break;
+    std::copy(clock.begin(), clock.end(), next.begin());
+    for (; i < sends_.size() && sends_[i].step == step; ++i) {
+      const Send& t = sends_[i];
+      const double done = cluster.send(t.src, t.dst, t.bytes,
+                                       clock[t.src_slot], t.extra_seconds);
+      next[t.dst_slot] = std::max(next[t.dst_slot], done);
+    }
+    std::swap(clock, next);
+  }
+  result.finish = running_max();
+  return result;
+}
+
+void Schedule::run_data() const {
+  if (buffers_.empty() || moves_.empty()) return;
+  // Per step: group moves by bucket key (destination buffer by default).
+  // Buckets write disjoint (buffer, range) sets, so they run concurrently;
+  // a bucket's moves apply in recorded order, so reductions into one
+  // buffer keep the legacy float-add order.
+  Scratch<uint32_t> bucket_of_buf(buffers_.size());
+  auto bucket_of = bucket_of_buf.span();
+  const uint32_t kNone = UINT32_MAX;
+  std::vector<std::vector<uint32_t>> buckets;  // move indices, issue order
+  size_t i = 0;
+  while (i < moves_.size()) {
+    const uint32_t step = moves_[i].step;
+    size_t end = i;
+    while (end < moves_.size() && moves_[end].step == step) ++end;
+    std::fill(bucket_of.begin(), bucket_of.end(), kNone);
+    size_t n_buckets = 0;
+    for (size_t m = i; m < end; ++m) {
+      const uint32_t key = moves_[m].bucket;
+      if (bucket_of[key] == kNone) {
+        bucket_of[key] = static_cast<uint32_t>(n_buckets++);
+        if (buckets.size() < n_buckets) buckets.emplace_back();
+        buckets[n_buckets - 1].clear();
+      }
+      buckets[bucket_of[key]].push_back(static_cast<uint32_t>(m));
+    }
+    parallel_for(0, n_buckets, [&](size_t b) {
+      for (const uint32_t m : buckets[b]) {
+        const Move& mv = moves_[m];
+        auto src = buffers_[mv.src_buf].subspan(mv.begin, mv.count);
+        auto dst = buffers_[mv.dst_buf].subspan(mv.begin, mv.count);
+        switch (mv.op) {
+          case TransferOp::kCopy:
+            std::copy(src.begin(), src.end(), dst.begin());
+            break;
+          case TransferOp::kReduce:
+            tensor_ops::add_into(dst, src);
+            break;
+          case TransferOp::kChainFirst:
+            // The chain's remaining links run on this same worker (a chain
+            // is recorded contiguously within its destination bucket), so
+            // the accumulator is thread-local and keeps its capacity
+            // across chains and calls.
+            chain_acc().assign(src.begin(), src.end());
+            break;
+          case TransferOp::kChainMid:
+            tensor_ops::add_into(
+                std::span<float>(chain_acc().data(), mv.count), src);
+            break;
+          case TransferOp::kChainLast:
+            tensor_ops::add_into(
+                dst, std::span<const float>(chain_acc().data(), mv.count));
+            break;
+        }
+      }
+    });
+    i = end;
+  }
+}
+
+}  // namespace hitopk::coll

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "collectives/schedule.h"
+
 namespace hitopk::coll {
 namespace {
 
@@ -28,10 +30,12 @@ TreeShape tree_shape(const simnet::Topology& topo, int tree) {
   return shape;
 }
 
+// ===================== legacy path (validation reference) =====================
+
 // One tree handling [half_begin, half_begin + half_elems).
-double run_tree(simnet::Cluster& cluster, const RankData& data,
-                size_t half_begin, size_t half_elems,
-                const TreeOptions& options, double start, int tree) {
+double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
+                       size_t half_begin, size_t half_elems,
+                       const TreeOptions& options, double start, int tree) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const int n = topo.gpus_per_node();
@@ -147,6 +151,148 @@ double run_tree(simnet::Cluster& cluster, const RankData& data,
     for (size_t c = 0; c < n_chunks; ++c) finish = std::max(finish, ready[c]);
   }
   return finish;
+}
+
+// ============================= engine path =============================
+
+// One tree as a schedule.  Readiness slots are the legacy per-(node, chunk)
+// pipeline clocks; each dependent hop sits in a later step, and independent
+// nodes share steps (their transfers touch disjoint ports, so the replay is
+// port-clock identical to the node-major legacy issue order).  The reduce
+// moves keep the legacy per-destination order; the phase C+D broadcast is
+// resolved to one copy per rank from the root leader's fully-reduced half.
+double run_tree_schedule(simnet::Cluster& cluster, const RankData& data,
+                         size_t half_begin, size_t half_elems,
+                         const TreeOptions& options, double start, int tree) {
+  const simnet::Topology& topo = cluster.topology();
+  const int m = topo.nodes();
+  const int n = topo.gpus_per_node();
+  if (half_elems == 0 || topo.world_size() <= 1) return start;
+
+  const TreeShape shape = tree_shape(topo, tree);
+  const size_t chunk_elems =
+      std::max<size_t>(1, options.chunk_bytes / options.wire_bytes);
+  const size_t n_chunks = (half_elems + chunk_elems - 1) / chunk_elems;
+  auto chunk_bytes = [&](size_t c) {
+    return chunk_range(half_elems, n_chunks, c).count * options.wire_bytes;
+  };
+  auto chain_rank = [&](int node, int pos) {
+    const int local = tree == 0 ? n - 1 - pos : pos;
+    return topo.rank_of(node, local);
+  };
+  auto leader_rank = [&](size_t p) {
+    return topo.rank_of(shape.node_perm[p], shape.leader_local);
+  };
+
+  Schedule sched;
+  // slot(node, c): the pipeline clock of chunk c in node `node` — the chain
+  // wavefront in phases A/D, the leader's subtree readiness in B/C.
+  const uint32_t slot0 = sched.add_slots(
+      static_cast<uint32_t>(static_cast<size_t>(m) * n_chunks));
+  auto slot = [&](int node, size_t c) {
+    return slot0 +
+           static_cast<uint32_t>(static_cast<size_t>(node) * n_chunks + c);
+  };
+  auto heap_slot = [&](size_t p, size_t c) {
+    return slot(shape.node_perm[p], c);
+  };
+  std::vector<uint32_t> bufs;
+  if (!data.empty()) {
+    bufs.reserve(data.size());
+    for (const auto& span : data) bufs.push_back(sched.add_buffer(span));
+  }
+  auto rank_buf = [&](int rank) { return bufs[static_cast<size_t>(rank)]; };
+
+  // ---- Phase A: intra-node chain reduce, one step per chain position.
+  for (int pos = 0; pos + 1 < n; ++pos) {
+    for (int node = 0; node < m; ++node) {
+      const int src = chain_rank(node, pos);
+      const int dst = chain_rank(node, pos + 1);
+      for (size_t c = 0; c < n_chunks; ++c) {
+        sched.send(src, dst, chunk_bytes(c), slot(node, c), slot(node, c));
+      }
+      if (!data.empty()) {
+        sched.reduce(rank_buf(src), rank_buf(dst), half_begin, half_elems);
+      }
+    }
+    sched.end_step();
+  }
+
+  // ---- Phase B: tree reduce across leaders, one step per heap position
+  // (children sit at larger positions, so their slots are final before the
+  // parent's step reads them).
+  for (size_t p = static_cast<size_t>(m); p-- > 0;) {
+    bool any = false;
+    for (size_t c = 0; c < n_chunks; ++c) {
+      for (size_t child : {2 * p + 1, 2 * p + 2}) {
+        if (child >= static_cast<size_t>(m)) continue;
+        sched.send(leader_rank(child), leader_rank(p), chunk_bytes(c),
+                   heap_slot(child, c), heap_slot(p, c));
+        any = true;
+      }
+    }
+    if (!data.empty()) {
+      for (size_t child : {2 * p + 1, 2 * p + 2}) {
+        if (child >= static_cast<size_t>(m)) continue;
+        sched.reduce(rank_buf(leader_rank(child)), rank_buf(leader_rank(p)),
+                     half_begin, half_elems);
+      }
+    }
+    if (any) sched.end_step();
+  }
+
+  // ---- Phase C: broadcast down the leader tree, one step per heap
+  // position.  (A parent's phase-C arrival can only be later than every
+  // clock its children accumulated in phase B — each transfer into a rank
+  // serializes through its recv port — so the engine's max-combine equals
+  // the legacy overwrite.)  Functional movement for C and D is resolved
+  // below: every copy forwards the root leader's finished half verbatim.
+  if (!data.empty() && m * n > 1) {
+    const int root = leader_rank(0);
+    for (int rank = 0; rank < m * n; ++rank) {
+      if (rank == root) continue;
+      sched.copy(rank_buf(root), rank_buf(rank), half_begin, half_elems);
+    }
+  }
+  for (size_t p = 0; p < static_cast<size_t>(m); ++p) {
+    bool any = false;
+    for (size_t c = 0; c < n_chunks; ++c) {
+      for (size_t child : {2 * p + 1, 2 * p + 2}) {
+        if (child >= static_cast<size_t>(m)) continue;
+        sched.send(leader_rank(p), leader_rank(child), chunk_bytes(c),
+                   heap_slot(p, c), heap_slot(child, c));
+        any = true;
+      }
+    }
+    if (any) sched.end_step();
+  }
+
+  // ---- Phase D: intra-node chain broadcast, one step per chain hop.
+  for (int pos = n - 1; pos > 0; --pos) {
+    for (int node = 0; node < m; ++node) {
+      const int src = chain_rank(node, pos);
+      const int dst = chain_rank(node, pos - 1);
+      for (size_t c = 0; c < n_chunks; ++c) {
+        sched.send(src, dst, chunk_bytes(c), slot(node, c), slot(node, c));
+      }
+    }
+    sched.end_step();
+  }
+
+  const double finish = sched.run_timing(cluster, start).finish;
+  sched.run_data();
+  return finish;
+}
+
+double run_tree(simnet::Cluster& cluster, const RankData& data,
+                size_t half_begin, size_t half_elems,
+                const TreeOptions& options, double start, int tree) {
+  if (collective_path() == CollectivePath::kLegacy) {
+    return run_tree_legacy(cluster, data, half_begin, half_elems, options,
+                           start, tree);
+  }
+  return run_tree_schedule(cluster, data, half_begin, half_elems, options,
+                           start, tree);
 }
 
 }  // namespace

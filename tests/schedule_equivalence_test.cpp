@@ -1,0 +1,387 @@
+// Schedule-engine vs legacy-loop equivalence for every converted collective:
+// identical port clocks (EXPECT_DOUBLE_EQ, timing-only and functional) and
+// bitwise-identical buffers (byte compare, so -0.0 vs 0.0 or NaN payload
+// differences cannot hide).  Shapes include uneven chunk_range remainders,
+// single-rank groups, and multi-chunk tree pipelining.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "collectives/hier_allreduce.h"
+#include "collectives/hitopkcomm.h"
+#include "collectives/param_server.h"
+#include "collectives/ring.h"
+#include "collectives/schedule.h"
+#include "collectives/torus2d.h"
+#include "collectives/tree_allreduce.h"
+#include "compress/error_feedback.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace hitopk::coll {
+namespace {
+
+using simnet::Cluster;
+using simnet::LinkParams;
+using simnet::Topology;
+
+Topology fabric(int nodes, int gpus) {
+  return Topology(nodes, gpus, LinkParams{1e-6, 1e-9}, LinkParams{1e-5, 1e-8});
+}
+
+// Restores the default engine path when a test exits (also on failure).
+class PathGuard {
+ public:
+  explicit PathGuard(CollectivePath path) { set_collective_path(path); }
+  ~PathGuard() { set_collective_path(CollectivePath::kSchedule); }
+};
+
+std::vector<Tensor> random_buffers(int world, size_t elems, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> buffers;
+  for (int r = 0; r < world; ++r) {
+    Tensor t(elems);
+    t.fill_normal(rng, 0.0f, 1.0f);
+    buffers.push_back(std::move(t));
+  }
+  return buffers;
+}
+
+RankData spans_of(std::vector<Tensor>& buffers) {
+  RankData spans;
+  for (auto& b : buffers) spans.push_back(b.span());
+  return spans;
+}
+
+void expect_bitwise_equal(const std::vector<Tensor>& a,
+                          const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t r = 0; r < a.size(); ++r) {
+    ASSERT_EQ(a[r].size(), b[r].size());
+    ASSERT_EQ(std::memcmp(a[r].data(), b[r].data(),
+                          a[r].size() * sizeof(float)),
+              0)
+        << "buffers of rank " << r << " differ";
+  }
+}
+
+// Runs `fn(cluster, data)` under both paths on identical inputs and checks
+// clocks + buffers match.  fn returns the completion time.
+template <typename Fn>
+void check_equivalence(const Topology& topo, size_t elems, uint64_t seed,
+                       Fn&& fn) {
+  // Functional.
+  std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, seed);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  double t_sched, t_legacy;
+  {
+    PathGuard guard(CollectivePath::kSchedule);
+    Cluster cluster(topo);
+    t_sched = fn(cluster, spans_of(buf_sched));
+  }
+  {
+    PathGuard guard(CollectivePath::kLegacy);
+    Cluster cluster(topo);
+    t_legacy = fn(cluster, spans_of(buf_legacy));
+  }
+  EXPECT_DOUBLE_EQ(t_sched, t_legacy) << "functional clocks diverge";
+  expect_bitwise_equal(buf_sched, buf_legacy);
+
+  // Timing-only parity of the same call.
+  double t_sched_empty, t_legacy_empty;
+  {
+    PathGuard guard(CollectivePath::kSchedule);
+    Cluster cluster(topo);
+    t_sched_empty = fn(cluster, RankData{});
+  }
+  {
+    PathGuard guard(CollectivePath::kLegacy);
+    Cluster cluster(topo);
+    t_legacy_empty = fn(cluster, RankData{});
+  }
+  EXPECT_DOUBLE_EQ(t_sched_empty, t_legacy_empty)
+      << "timing-only clocks diverge";
+}
+
+// ------------------------------------------------------------ ring legs
+class RingEquivalenceTest
+    : public ::testing::TestWithParam<std::pair<int, size_t>> {};
+
+TEST_P(RingEquivalenceTest, ReduceScatter) {
+  const auto [g, elems] = GetParam();
+  const Topology topo = fabric(1, g);
+  check_equivalence(topo, elems, 42, [&](Cluster& c, const RankData& data) {
+    return ring_reduce_scatter(c, world_group(c.topology()), data, elems, 4,
+                               0.5);
+  });
+}
+
+TEST_P(RingEquivalenceTest, AllGather) {
+  const auto [g, elems] = GetParam();
+  const Topology topo = fabric(1, g);
+  check_equivalence(topo, elems, 43, [&](Cluster& c, const RankData& data) {
+    return ring_allgather(c, world_group(c.topology()), data, elems, 2, 0.0);
+  });
+}
+
+TEST_P(RingEquivalenceTest, AllReduce) {
+  const auto [g, elems] = GetParam();
+  const Topology topo = fabric(1, g);
+  check_equivalence(topo, elems, 44, [&](Cluster& c, const RankData& data) {
+    return ring_allreduce(c, world_group(c.topology()), data, elems, 4, 0.0);
+  });
+}
+
+// Group sizes x element counts with ragged remainders (67 % g != 0 for most
+// g) and the degenerate single-rank group.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RingEquivalenceTest,
+    ::testing::Values(std::pair{1, size_t{64}}, std::pair{2, size_t{67}},
+                      std::pair{3, size_t{67}}, std::pair{4, size_t{64}},
+                      std::pair{5, size_t{129}}, std::pair{8, size_t{1000}},
+                      std::pair{7, size_t{3}}));
+
+TEST(RingEquivalence, AllReduceMultiTwoCrossNodeStreams) {
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 101;
+  std::vector<Group> groups{cross_node_group(topo, 0),
+                            cross_node_group(topo, 1)};
+  auto run = [&](CollectivePath path, std::vector<Tensor>& buffers) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    std::vector<RankData> data(groups.size());
+    for (size_t q = 0; q < groups.size(); ++q) {
+      for (int rank : groups[q]) {
+        data[q].push_back(buffers[static_cast<size_t>(rank)].span());
+      }
+    }
+    return ring_allreduce_multi(cluster, groups, data, elems, 4, 0.25);
+  };
+  std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 7);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, buf_sched),
+                   run(CollectivePath::kLegacy, buf_legacy));
+  expect_bitwise_equal(buf_sched, buf_legacy);
+}
+
+TEST(RingEquivalence, AllGatherBytesVariablePayloads) {
+  const Topology topo = fabric(2, 3);
+  auto run = [&](CollectivePath path) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    return ring_allgather_bytes(cluster, world_group(topo),
+                                {100, 2000, 5, 40, 999, 1}, 0.0, 1e-5);
+  };
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule),
+                   run(CollectivePath::kLegacy));
+}
+
+// ------------------------------------------------ ring_allgather_bytes guards
+// Regression tests for the g == 0 / g == 1 guards: zero-size groups and
+// single-rank groups carry no steps and must return the start time instead
+// of indexing payload_bytes[q][origin] with origin computed modulo zero.
+TEST(RingAllGatherBytes, SingleRankGroupIsFree) {
+  const Topology topo = fabric(1, 1);
+  Cluster cluster(topo);
+  EXPECT_DOUBLE_EQ(
+      ring_allgather_bytes(cluster, {0}, {1000000}, 1.5, 1e-3), 1.5);
+  PathGuard guard(CollectivePath::kLegacy);
+  EXPECT_DOUBLE_EQ(
+      ring_allgather_bytes(cluster, {0}, {1000000}, 1.5, 1e-3), 1.5);
+}
+
+TEST(RingAllGatherBytes, EmptyGroupsAndPayloadsAreFree) {
+  const Topology topo = fabric(2, 2);
+  Cluster cluster(topo);
+  const std::vector<Group> groups{{}, {}};
+  const std::vector<std::vector<size_t>> payloads{{}, {}};
+  EXPECT_DOUBLE_EQ(
+      ring_allgather_bytes_multi(cluster, groups, payloads, 2.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(ring_allgather_bytes(cluster, {}, {}, 3.0, 0.0), 3.0);
+}
+
+// ------------------------------------------------------------ tree
+class TreeEquivalenceTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TreeEquivalenceTest, AllReduce) {
+  const auto [m, n] = GetParam();
+  const Topology topo = fabric(m, n);
+  const size_t elems = 203;  // odd: the two tree halves differ in size
+  TreeOptions options;
+  options.chunk_bytes = 128;  // force multi-chunk pipelining
+  check_equivalence(topo, elems, 50, [&](Cluster& c, const RankData& data) {
+    return tree_allreduce(c, world_group(c.topology()), data, elems, options,
+                          0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TreeEquivalenceTest,
+                         ::testing::Values(std::pair{1, 2}, std::pair{2, 1},
+                                           std::pair{2, 4}, std::pair{3, 3},
+                                           std::pair{5, 2}, std::pair{4, 4}));
+
+// ------------------------------------------------------------ hier
+TEST(HierEquivalence, BreakdownAndBuffers) {
+  const Topology topo = fabric(3, 4);
+  const size_t elems = 77;
+  auto run = [&](CollectivePath path, std::vector<Tensor>* buffers) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    RankData data;
+    if (buffers != nullptr) data = spans_of(*buffers);
+    return hier_allreduce(cluster, data, elems, 4, 0.125);
+  };
+  std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 60);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy);
+  EXPECT_DOUBLE_EQ(s.intra_reduce, l.intra_reduce);
+  EXPECT_DOUBLE_EQ(s.inter_allreduce, l.inter_allreduce);
+  EXPECT_DOUBLE_EQ(s.intra_broadcast, l.intra_broadcast);
+  EXPECT_DOUBLE_EQ(s.total, l.total);
+  expect_bitwise_equal(buf_sched, buf_legacy);
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, nullptr).total,
+                   run(CollectivePath::kLegacy, nullptr).total);
+}
+
+// ------------------------------------------------------------ torus2d
+class TorusEquivalenceTest
+    : public ::testing::TestWithParam<std::pair<std::pair<int, int>, size_t>> {
+};
+
+TEST_P(TorusEquivalenceTest, BreakdownAndBuffers) {
+  const auto [shape, elems] = GetParam();
+  const auto [m, n] = shape;
+  const Topology topo = fabric(m, n);
+  auto run = [&](CollectivePath path, std::vector<Tensor>* buffers) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    RankData data;
+    if (buffers != nullptr) data = spans_of(*buffers);
+    return torus2d_allreduce(cluster, data, elems, 4, 0.0);
+  };
+  std::vector<Tensor> buf_sched =
+      random_buffers(topo.world_size(), elems, 70 + elems);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy);
+  EXPECT_DOUBLE_EQ(s.reduce_scatter, l.reduce_scatter);
+  EXPECT_DOUBLE_EQ(s.inter_allreduce, l.inter_allreduce);
+  EXPECT_DOUBLE_EQ(s.intra_allgather, l.intra_allgather);
+  EXPECT_DOUBLE_EQ(s.total, l.total);
+  expect_bitwise_equal(buf_sched, buf_legacy);
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, nullptr).total,
+                   run(CollectivePath::kLegacy, nullptr).total);
+}
+
+// 96 divides evenly by every n here (the one-schedule path); 97 exercises
+// the ragged functional fallback (per-stream sequential phase 2).
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TorusEquivalenceTest,
+    ::testing::Values(std::pair{std::pair{2, 4}, size_t{96}},
+                      std::pair{std::pair{2, 4}, size_t{97}},
+                      std::pair{std::pair{3, 3}, size_t{97}},
+                      std::pair{std::pair{4, 2}, size_t{64}},
+                      std::pair{std::pair{1, 4}, size_t{97}}));
+
+// ------------------------------------------------------------ param server
+TEST(ParamServerEquivalence, BreakdownAndBuffers) {
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 101;
+  auto run = [&](CollectivePath path, std::vector<Tensor>* buffers) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    RankData data;
+    if (buffers != nullptr) data = spans_of(*buffers);
+    return param_server_allreduce(cluster, data, elems, 4, 0.0);
+  };
+  std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 80);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy);
+  EXPECT_DOUBLE_EQ(s.push, l.push);
+  EXPECT_DOUBLE_EQ(s.pull, l.pull);
+  EXPECT_DOUBLE_EQ(s.total, l.total);
+  expect_bitwise_equal(buf_sched, buf_legacy);
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, nullptr).total,
+                   run(CollectivePath::kLegacy, nullptr).total);
+}
+
+// ------------------------------------------------------------ HiTopKComm
+TEST(HiTopKEquivalence, FunctionalWithErrorFeedback) {
+  const Topology topo = fabric(2, 4);
+  const size_t elems = 250;  // ragged shards (250 % 4 != 0)
+  auto run = [&](CollectivePath path, std::vector<Tensor>* buffers,
+                 compress::ErrorFeedback* ef) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    RankData data;
+    if (buffers != nullptr) data = spans_of(*buffers);
+    HiTopKOptions options;
+    options.density = 0.05;
+    options.seed = 99;
+    options.error_feedback = ef;
+    return hitopk_comm(cluster, data, elems, options, 0.0);
+  };
+  std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 90);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  compress::ErrorFeedback ef_sched, ef_legacy;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched, &ef_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy, &ef_legacy);
+  EXPECT_DOUBLE_EQ(s.reduce_scatter, l.reduce_scatter);
+  EXPECT_DOUBLE_EQ(s.inter_allgather, l.inter_allgather);
+  EXPECT_DOUBLE_EQ(s.intra_allgather, l.intra_allgather);
+  EXPECT_DOUBLE_EQ(s.total, l.total);
+  expect_bitwise_equal(buf_sched, buf_legacy);
+  EXPECT_DOUBLE_EQ(ef_sched.residual_sq_norm(), ef_legacy.residual_sq_norm());
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, nullptr, nullptr).total,
+                   run(CollectivePath::kLegacy, nullptr, nullptr).total);
+}
+
+// ------------------------------------------------------- engine unit tests
+TEST(Schedule, SyncCollapseAndMarks) {
+  const Topology topo = fabric(1, 2);
+  Cluster cluster(topo);
+  Schedule sched;
+  const uint32_t slots = sched.add_slots(2);
+  sched.send(0, 1, 1000, slots, slots + 1);
+  sched.end_step();
+  sched.sync(/*collapse=*/false);  // mark only: slot 0 still at start
+  sched.send(1, 0, 1000, slots + 1, slots);
+  sched.end_step();
+  sched.sync(/*collapse=*/true);
+  sched.send(0, 1, 1000, slots, slots + 1);
+  const auto timing = sched.run_timing(cluster, 1.0);
+  ASSERT_EQ(timing.sync_times.size(), 2u);
+  // First hop: 1e-6 latency + 1000 * 1e-9 s/B.
+  const double hop = 1e-6 + 1000e-9;
+  EXPECT_DOUBLE_EQ(timing.sync_times[0], 1.0 + hop);
+  EXPECT_DOUBLE_EQ(timing.sync_times[1], 1.0 + 2 * hop);
+  EXPECT_DOUBLE_EQ(timing.finish, 1.0 + 3 * hop);
+}
+
+TEST(Schedule, DataPassKeepsPerDestinationOrder) {
+  // Three reduces into one destination must apply in recorded order;
+  // float addition is not associative, so order shows in the bits.
+  Tensor a(1), b(1), c(1), dst(1);
+  a[0] = 1e30f;
+  b[0] = -1e30f;
+  c[0] = 1.0f;
+  dst[0] = 0.0f;
+  Schedule sched;
+  const uint32_t ba = sched.add_buffer(a.span());
+  const uint32_t bb = sched.add_buffer(b.span());
+  const uint32_t bc = sched.add_buffer(c.span());
+  const uint32_t bd = sched.add_buffer(dst.span());
+  sched.reduce(ba, bd, 0, 1);
+  sched.reduce(bb, bd, 0, 1);
+  sched.reduce(bc, bd, 0, 1);
+  sched.run_data();
+  // ((0 + 1e30) - 1e30) + 1 == 1; any other order collapses to 0.
+  EXPECT_EQ(dst[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace hitopk::coll

@@ -80,8 +80,8 @@ int main() {
   table.print(std::cout);
   std::cout << "\nPaper anchors: nn.topk(128M) ~1.2 s; DGC clearly better "
                "but 'not fast enough'; MSTopK negligible (<0.03 s).\n"
-               "'hist' is the single-pass histogram bracket search (default "
-               "operator); 'legacy' the paper-literal N-pass binary search "
-               "(validation reference).\n";
+               "'hist' is the two-read magnitude-bit bracket search (default "
+               "operator, exact-top-k\npass structure); 'legacy' the "
+               "paper-literal N-pass binary search (validation reference).\n";
   return 0;
 }

@@ -9,8 +9,21 @@
 // A third panel measures the *functional* data path (real buffers moved on
 // this host, not simulated clocks): each converted collective runs under
 // the schedule engine and under the legacy inline loops, and the wall-time
-// ratio is the engine's win.  Everything is emitted to BENCH_fig07.json
-// (schema in docs/REPRODUCING.md) for the CI perf gate.
+// ratio is the engine's win.
+//
+// Two topology-axis panels exercise the generalized simnet::Topology:
+//   (c) a 4:1-oversubscribed fat tree (16 nodes x 8 GPUs in 4-node pods,
+//       Tencent-like links) comparing the flat world ring against
+//       BlueConnect's nested-ring decomposition — auto {8,16} and the
+//       rack-aware {8,4,4} — plus 2DTAR for context.  The recorded
+//       "speedup" (flat ring / BlueConnect) is what the perf gate pins:
+//       BlueConnect must keep beating the flat ring here.
+//   (d) an uneven cluster ({8,8,4,4} GPUs per node) running the
+//       world-shaped collectives that support heterogeneous nodes:
+//       HierAR, NaiveAG, and folded gTop-k.
+//
+// Everything is emitted to BENCH_fig07.json (schema in
+// docs/REPRODUCING.md) for the CI perf gate.
 //
 // Flags: --functional_elems=N (default 1M)  --reps=N (default 3)
 //        --json=PATH (default BENCH_fig07.json; empty disables)
@@ -20,9 +33,12 @@
 #include <string>
 #include <vector>
 
+#include "collectives/blueconnect.h"
+#include "collectives/gtopk.h"
 #include "collectives/hier_allreduce.h"
 #include "collectives/hitopkcomm.h"
 #include "collectives/naive_allgather.h"
+#include "collectives/ring.h"
 #include "collectives/schedule.h"
 #include "collectives/torus2d.h"
 #include "collectives/tree_allreduce.h"
@@ -71,6 +87,90 @@ std::vector<SimRow> run_sim_panel(const Topology& topo,
     options.density = density;
     options.value_wire_bytes = fp16;
     row.hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---- topology-axis panels -----------------------------------------------
+
+// Tencent-like link parameters, reused for the new scenario topologies.
+Topology cloud_fabric(int nodes, int gpus, double oversubscription,
+                      int nodes_per_pod) {
+  const double nic_beta = 1.0 / (25.0 / 8 * 1e9 * 0.55);  // 25 GbE @ 55%
+  return Topology(nodes, gpus, LinkParams{6e-6, 1.0 / 45e9},
+                  LinkParams{25e-6, 1.0 / 1.2e9}, nic_beta, oversubscription,
+                  nodes_per_pod);
+}
+
+struct FatTreeRow {
+  size_t elems;
+  double flat_ring, blueconnect, blueconnect_rack, torus;
+  double speedup() const { return flat_ring / blueconnect; }
+};
+
+// 16 nodes x 8 GPUs in 4-node pods, 4:1 oversubscribed uplinks.  The flat
+// world-scale ring is stuck at one per-flow TCP stream per node; the
+// BlueConnect decompositions open 8 concurrent flows per NIC and keep the
+// bulk of the bytes on NVLink.
+std::vector<FatTreeRow> run_fat_tree_panel(std::span<const size_t> sizes) {
+  const Topology topo = cloud_fabric(16, 8, /*oversubscription=*/4.0,
+                                     /*nodes_per_pod=*/4);
+  std::vector<FatTreeRow> rows;
+  for (size_t elems : sizes) {
+    FatTreeRow row;
+    row.elems = elems;
+    Cluster c_ring(topo);
+    row.flat_ring =
+        ring_allreduce(c_ring, world_group(topo), {}, elems, 2, 0.0);
+    Cluster c_bc(topo);
+    BlueConnectOptions bc;  // auto {gpus_per_node, nodes}
+    bc.wire_bytes = 2;
+    row.blueconnect = blueconnect_allreduce(c_bc, {}, elems, bc, 0.0).total;
+    Cluster c_rack(topo);
+    BlueConnectOptions rack;
+    rack.factors = {8, 4, 4};  // {gpus, nodes-per-pod, pods}
+    rack.wire_bytes = 2;
+    row.blueconnect_rack =
+        blueconnect_allreduce(c_rack, {}, elems, rack, 0.0).total;
+    Cluster c_torus(topo);
+    row.torus = torus2d_allreduce(c_torus, {}, elems, 2, 0.0).total;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+struct UnevenRow {
+  size_t elems;
+  double hier, naive, gtopk;
+};
+
+// Heterogeneous fleet: two 8-GPU and two 4-GPU nodes (the transient-server
+// scenario).  Only node-shape-agnostic collectives run here; gTop-k's
+// world size (24) exercises the non-power-of-two fold.
+std::vector<UnevenRow> run_uneven_panel(std::span<const size_t> sizes) {
+  const double nic_beta = 1.0 / (25.0 / 8 * 1e9 * 0.55);
+  const Topology topo(std::vector<int>{8, 8, 4, 4},
+                      LinkParams{6e-6, 1.0 / 45e9},
+                      LinkParams{25e-6, 1.0 / 1.2e9}, nic_beta);
+  const double density = 0.01;
+  std::vector<UnevenRow> rows;
+  for (size_t elems : sizes) {
+    UnevenRow row;
+    row.elems = elems;
+    Cluster c_hier(topo);
+    row.hier = hier_allreduce(c_hier, {}, elems, 2, 0.0).total;
+    Cluster c_naive(topo);
+    row.naive = naive_sparse_allgather_time(
+                    c_naive,
+                    static_cast<size_t>(density * static_cast<double>(elems)),
+                    2, 0.0, 0.0)
+                    .total;
+    Cluster c_gtopk(topo);
+    GtopkOptions gtopk;
+    gtopk.density = density;
+    gtopk.value_wire_bytes = 2;
+    row.gtopk = gtopk_comm(c_gtopk, {}, elems, gtopk, 0.0).total;
     rows.push_back(row);
   }
   return rows;
@@ -161,6 +261,8 @@ std::vector<FunctionalRow> run_functional_panel(size_t elems, int reps) {
 
 void write_json(const std::string& path, const std::vector<SimRow>& small,
                 const std::vector<SimRow>& large,
+                const std::vector<FatTreeRow>& fat_tree,
+                const std::vector<UnevenRow>& uneven,
                 const std::vector<FunctionalRow>& functional, size_t elems,
                 int reps) {
   std::FILE* json = std::fopen(path.c_str(), "w");
@@ -180,7 +282,28 @@ void write_json(const std::string& path, const std::vector<SimRow>& small,
   };
   std::fprintf(json, "{\n  \"bench\": \"fig07_aggregation\",\n  \"sim\": {\n");
   panel("small", small, ",");
-  panel("large", large, "");
+  panel("large", large, ",");
+  std::fprintf(json, "    \"fat_tree\": [\n");
+  for (size_t i = 0; i < fat_tree.size(); ++i) {
+    const FatTreeRow& r = fat_tree[i];
+    std::fprintf(json,
+                 "      {\"elems_m\": %zu, \"flat_ring\": %.9g, "
+                 "\"blueconnect\": %.9g, \"blueconnect_rack\": %.9g, "
+                 "\"torus\": %.9g, \"speedup\": %.3f}%s\n",
+                 r.elems >> 20, r.flat_ring, r.blueconnect,
+                 r.blueconnect_rack, r.torus, r.speedup(),
+                 i + 1 < fat_tree.size() ? "," : "");
+  }
+  std::fprintf(json, "    ],\n    \"uneven\": [\n");
+  for (size_t i = 0; i < uneven.size(); ++i) {
+    const UnevenRow& r = uneven[i];
+    std::fprintf(json,
+                 "      {\"elems_m\": %zu, \"hier\": %.9g, \"naive\": %.9g, "
+                 "\"gtopk\": %.9g}%s\n",
+                 r.elems >> 20, r.hier, r.naive, r.gtopk,
+                 i + 1 < uneven.size() ? "," : "");
+  }
+  std::fprintf(json, "    ]\n");
   std::fprintf(json,
                "  },\n  \"functional\": {\n    \"topology\": \"4x4\",\n"
                "    \"elems\": %zu,\n    \"reps\": %d,\n"
@@ -236,6 +359,40 @@ int main(int argc, char** argv) {
                "(TreeAR converges\ntoward NaiveAG at the largest sizes, "
                "where both are NIC-bandwidth-bound).\n\n";
 
+  std::cout << "=== Topology axis (c): 4:1-oversubscribed fat tree "
+               "(16x8, 4-node pods, FP16) ===\n\n";
+  const size_t topo_sizes[] = {1u << 20, 4u << 20, 16u << 20, 64u << 20};
+  const auto fat_rows = run_fat_tree_panel(topo_sizes);
+  TablePrinter fat_table({"Elements", "FlatRing", "BlueConnect{8,16}",
+                          "BlueConnect{8,4,4}", "2DTAR", "flat/BC"});
+  for (const FatTreeRow& r : fat_rows) {
+    fat_table.add_row({std::to_string(r.elems >> 20) + "M",
+                       TablePrinter::fmt(r.flat_ring, 4),
+                       TablePrinter::fmt(r.blueconnect, 4),
+                       TablePrinter::fmt(r.blueconnect_rack, 4),
+                       TablePrinter::fmt(r.torus, 4),
+                       TablePrinter::fmt(r.speedup(), 2) + "x"});
+  }
+  fat_table.print(std::cout);
+  std::cout << "\nThe flat ring is stuck at one TCP stream per node; "
+               "BlueConnect's nested rings\naggregate toward NIC line rate "
+               "and keep the bulk on NVLink.  The perf gate pins\nthe "
+               "flat/BC speedup.\n\n";
+
+  std::cout << "=== Topology axis (d): uneven cluster {8,8,4,4} GPUs/node "
+               "(FP16, rho=0.01) ===\n\n";
+  const auto uneven_rows = run_uneven_panel(topo_sizes);
+  TablePrinter uneven_table({"Elements", "HierAR", "NaiveAG", "gTop-k(P=24)"});
+  for (const UnevenRow& r : uneven_rows) {
+    uneven_table.add_row({std::to_string(r.elems >> 20) + "M",
+                          TablePrinter::fmt(r.hier, 4),
+                          TablePrinter::fmt(r.naive, 4),
+                          TablePrinter::fmt(r.gtopk, 4)});
+  }
+  uneven_table.print(std::cout);
+  std::cout << "\ngTop-k folds the 24-rank world into a 16-rank hypercube "
+               "(fold + 4 + unfold rounds).\n\n";
+
   std::cout << "=== Functional data path (4x4 cluster, "
             << (functional_elems >> 20) << "M elements, wall time) ===\n\n";
   const auto functional = run_functional_panel(functional_elems, reps);
@@ -252,8 +409,8 @@ int main(int argc, char** argv) {
                "pre-engine inline loops (validation reference).\n";
 
   if (!json_path.empty()) {
-    write_json(json_path, small_rows, large_rows, functional,
-               functional_elems, reps);
+    write_json(json_path, small_rows, large_rows, fat_rows, uneven_rows,
+               functional, functional_elems, reps);
   }
   return 0;
 }

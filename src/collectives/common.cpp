@@ -4,8 +4,9 @@ namespace hitopk::coll {
 
 Group node_group(const simnet::Topology& topology, int node) {
   Group group;
-  group.reserve(static_cast<size_t>(topology.gpus_per_node()));
-  for (int local = 0; local < topology.gpus_per_node(); ++local) {
+  const int gpus = topology.gpus_on_node(node);
+  group.reserve(static_cast<size_t>(gpus));
+  for (int local = 0; local < gpus; ++local) {
     group.push_back(topology.rank_of(node, local));
   }
   return group;

@@ -3,23 +3,200 @@
 #include <algorithm>
 #include <cmath>
 
+#include "collectives/schedule.h"
 #include "compress/exact_topk.h"
+#include "core/parallel.h"
 #include "core/tensor.h"
+#include "core/workspace.h"
 
 namespace hitopk::coll {
 namespace {
 
-bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
+int floor_pow2(int v) {
+  int q = 1;
+  while (q * 2 <= v) q *= 2;
+  return q;
+}
 
-// Sum two sparse tensors and keep the top-k of the result.
-compress::SparseTensor merge_topk(const compress::SparseTensor& a,
-                                  const compress::SparseTensor& b, size_t k,
-                                  compress::TopKSelect algo) {
+// Sum two sparse tensors and keep the top-k of the result — legacy form
+// (validation reference): a fresh dense Tensor per call, O(d) allocation on
+// every (rank, round).
+compress::SparseTensor merge_topk_legacy(const compress::SparseTensor& a,
+                                         const compress::SparseTensor& b,
+                                         size_t k, compress::TopKSelect algo) {
   HITOPK_CHECK_EQ(a.dense_size, b.dense_size);
   Tensor dense(a.dense_size);
   a.scatter_add_into(dense.span());
   b.scatter_add_into(dense.span());
   return compress::exact_topk(dense.span(), k, algo);
+}
+
+// Engine-path merge: the dense accumulator comes from the thread-local
+// workspace pool (no allocation at steady state) and the two scatter-adds
+// run as one fused accumulate_into — same per-element float-add order, so
+// the selection is bitwise identical to the legacy form.
+compress::SparseTensor merge_topk_fused(const compress::SparseTensor& a,
+                                        const compress::SparseTensor& b,
+                                        size_t k, compress::TopKSelect algo) {
+  HITOPK_CHECK_EQ(a.dense_size, b.dense_size);
+  Scratch<float> dense(a.dense_size);
+  const compress::SparseTensor* parts[2] = {&a, &b};
+  compress::accumulate_into(parts, dense.span());
+  return compress::exact_topk(dense.span(), k, algo);
+}
+
+struct GtopkShape {
+  int p = 0;    // world size
+  int q = 0;    // hypercube size: largest power of two <= p
+  int rem = 0;  // ranks folded in before / out after the hypercube
+};
+
+// ===================== legacy path (validation reference) =====================
+// The pre-engine inline loop: per-round ready/next snapshot clocks with the
+// dense-allocating merge, kept verbatim behind CollectivePath::kLegacy plus
+// the fold/unfold rounds (which the engine path mirrors send for send).
+double legacy_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
+                    size_t payload, size_t k, compress::TopKSelect algo,
+                    std::vector<compress::SparseTensor>& state, double start,
+                    size_t& rounds) {
+  const auto [p, q, rem] = shape;
+  const bool functional = !state.empty();
+  std::vector<double> ready(static_cast<size_t>(p), start);
+
+  // Pre-fold: extra ranks send their selection into the hypercube.
+  if (rem > 0) {
+    ++rounds;
+    std::vector<double> next = ready;
+    for (int r = 0; r < rem; ++r) {
+      const double done =
+          cluster.send(q + r, r, payload, ready[static_cast<size_t>(q + r)]);
+      next[static_cast<size_t>(r)] =
+          std::max(next[static_cast<size_t>(r)], done);
+    }
+    ready.swap(next);
+    if (functional) {
+      for (int r = 0; r < rem; ++r) {
+        state[static_cast<size_t>(r)] =
+            merge_topk_legacy(state[static_cast<size_t>(r)],
+                              state[static_cast<size_t>(q + r)], k, algo);
+      }
+    }
+  }
+
+  // Recursive doubling: in round g, rank r exchanges with r ^ gap; both
+  // merge and re-select, so the whole hypercube converges to one set.
+  for (int gap = 1; gap < q; gap <<= 1) {
+    ++rounds;
+    std::vector<double> next = ready;
+    for (int r = 0; r < q; ++r) {
+      const int partner = r ^ gap;
+      // Full-duplex pairwise exchange; both directions are issued.
+      const double done = cluster.send(r, partner, payload,
+                                       ready[static_cast<size_t>(r)]);
+      next[static_cast<size_t>(partner)] =
+          std::max(next[static_cast<size_t>(partner)], done);
+    }
+    ready.swap(next);
+    if (functional) {
+      std::vector<compress::SparseTensor> merged(static_cast<size_t>(q));
+      for (int r = 0; r < q; ++r) {
+        merged[static_cast<size_t>(r)] =
+            merge_topk_legacy(state[static_cast<size_t>(r)],
+                              state[static_cast<size_t>(r ^ gap)], k, algo);
+      }
+      for (int r = 0; r < q; ++r) {
+        state[static_cast<size_t>(r)] =
+            std::move(merged[static_cast<size_t>(r)]);
+      }
+    }
+  }
+
+  // Unfold: the converged set travels back to the extra ranks.
+  if (rem > 0) {
+    ++rounds;
+    std::vector<double> next = ready;
+    for (int r = 0; r < rem; ++r) {
+      const double done =
+          cluster.send(r, q + r, payload, ready[static_cast<size_t>(r)]);
+      next[static_cast<size_t>(q + r)] =
+          std::max(next[static_cast<size_t>(q + r)], done);
+    }
+    ready.swap(next);
+    if (functional) {
+      for (int r = 0; r < rem; ++r) {
+        state[static_cast<size_t>(q + r)] = state[static_cast<size_t>(r)];
+      }
+    }
+  }
+  return *std::max_element(ready.begin(), ready.end());
+}
+
+// ============================= engine path =============================
+// One schedule: fold step, log2(q) hypercube steps, unfold step — the
+// engine's per-step snapshot slots are exactly the legacy ready/next swap.
+// The functional merges run per round on the parallel_for pool (each rank's
+// merge reads the previous round's state and writes its own slot, so the
+// rounds are bitwise-identical to the serial loop) with the fused
+// workspace-backed merge.
+double schedule_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
+                      size_t payload, size_t k, compress::TopKSelect algo,
+                      std::vector<compress::SparseTensor>& state, double start,
+                      size_t& rounds) {
+  const auto [p, q, rem] = shape;
+  const bool functional = !state.empty();
+
+  Schedule sched;
+  const uint32_t slot0 = sched.add_slots(static_cast<uint32_t>(p));
+  auto slot = [&](int r) { return slot0 + static_cast<uint32_t>(r); };
+
+  if (rem > 0) {
+    ++rounds;
+    for (int r = 0; r < rem; ++r) {
+      sched.send(q + r, r, payload, slot(q + r), slot(r));
+    }
+    sched.end_step();
+  }
+  for (int gap = 1; gap < q; gap <<= 1) {
+    ++rounds;
+    for (int r = 0; r < q; ++r) {
+      sched.send(r, r ^ gap, payload, slot(r), slot(r ^ gap));
+    }
+    sched.end_step();
+  }
+  if (rem > 0) {
+    ++rounds;
+    for (int r = 0; r < rem; ++r) {
+      sched.send(r, q + r, payload, slot(r), slot(q + r));
+    }
+    sched.end_step();
+  }
+  const double done = sched.run_timing(cluster, start).finish;
+
+  if (functional) {
+    if (rem > 0) {
+      parallel_for(0, static_cast<size_t>(rem), [&](size_t r) {
+        state[r] = merge_topk_fused(state[r], state[static_cast<size_t>(q) + r],
+                                    k, algo);
+      });
+    }
+    std::vector<compress::SparseTensor> merged(static_cast<size_t>(q));
+    for (int gap = 1; gap < q; gap <<= 1) {
+      parallel_for(0, static_cast<size_t>(q), [&](size_t r) {
+        merged[r] = merge_topk_fused(
+            state[r], state[r ^ static_cast<size_t>(gap)], k, algo);
+      });
+      for (int r = 0; r < q; ++r) {
+        std::swap(state[static_cast<size_t>(r)],
+                  merged[static_cast<size_t>(r)]);
+      }
+    }
+    if (rem > 0) {
+      parallel_for(0, static_cast<size_t>(rem), [&](size_t r) {
+        state[static_cast<size_t>(q) + r] = state[r];
+      });
+    }
+  }
+  return done;
 }
 
 }  // namespace
@@ -28,8 +205,10 @@ GtopkResult gtopk_comm(simnet::Cluster& cluster, const RankData& data,
                        size_t elems, const GtopkOptions& options,
                        double start) {
   const simnet::Topology& topo = cluster.topology();
-  const int p = topo.world_size();
-  HITOPK_CHECK(is_power_of_two(p)) << "gTop-k needs a power-of-two world";
+  GtopkShape shape;
+  shape.p = topo.world_size();
+  shape.q = floor_pow2(shape.p);
+  shape.rem = shape.p - shape.q;
   const bool functional = !data.empty();
   check_data(world_group(topo), data, elems);
 
@@ -40,62 +219,52 @@ GtopkResult gtopk_comm(simnet::Cluster& cluster, const RankData& data,
 
   GtopkResult out;
 
-  // Local selection (with optional error feedback).
-  std::vector<compress::SparseTensor> state(static_cast<size_t>(p));
+  // Local selection (with optional error feedback).  Ranks are independent
+  // — per-rank EF entries are pre-created so the pool workers only look
+  // them up — and each iteration is deterministic, so the parallel run is
+  // bitwise identical to the serial loop (same argument as HiTopKComm's
+  // selection step).
+  std::vector<compress::SparseTensor> state(
+      functional ? static_cast<size_t>(shape.p) : 0);
   if (functional) {
-    for (int r = 0; r < p; ++r) {
-      auto grad = data[static_cast<size_t>(r)];
-      const std::string key =
-          options.ef_key_prefix + ":" + std::to_string(r);
+    std::vector<std::string> ef_keys;
+    if (options.error_feedback != nullptr) {
+      ef_keys.resize(static_cast<size_t>(shape.p));
+      for (int r = 0; r < shape.p; ++r) {
+        ef_keys[static_cast<size_t>(r)] =
+            options.ef_key_prefix + ":" + std::to_string(r);
+        options.error_feedback->ensure(ef_keys[static_cast<size_t>(r)], elems);
+      }
+    }
+    parallel_for(0, static_cast<size_t>(shape.p), [&](size_t r) {
+      auto grad = data[r];
       // Fused EF exchange (grad untouched between compensation and
       // absorption; see ErrorFeedback::apply_priming).
       if (options.error_feedback != nullptr) {
-        options.error_feedback->apply_priming(key, grad);
+        options.error_feedback->apply_priming(ef_keys[r], grad);
       }
-      state[static_cast<size_t>(r)] =
-          compress::exact_topk(grad, k, options.topk_select);
+      state[r] = compress::exact_topk(grad, k, options.topk_select);
       if (options.error_feedback != nullptr) {
-        options.error_feedback->absorb_primed(key,
-                                              state[static_cast<size_t>(r)]);
+        options.error_feedback->absorb_primed(ef_keys[r], state[r]);
       }
-    }
+    });
   }
 
-  // Recursive doubling: in round g, rank r exchanges with r ^ gap; both
-  // merge and re-select, so the whole hypercube converges to one set.
-  std::vector<double> ready(static_cast<size_t>(p), start);
-  for (int gap = 1; gap < p; gap <<= 1) {
-    ++out.rounds;
-    std::vector<double> next = ready;
-    for (int r = 0; r < p; ++r) {
-      const int partner = r ^ gap;
-      // Full-duplex pairwise exchange; both directions are issued.
-      const double done = cluster.send(r, partner, payload,
-                                       ready[static_cast<size_t>(r)]);
-      next[static_cast<size_t>(partner)] =
-          std::max(next[static_cast<size_t>(partner)], done);
-    }
-    ready.swap(next);
-    if (functional) {
-      std::vector<compress::SparseTensor> merged(static_cast<size_t>(p));
-      for (int r = 0; r < p; ++r) {
-        merged[static_cast<size_t>(r)] =
-            merge_topk(state[static_cast<size_t>(r)],
-                       state[static_cast<size_t>(r ^ gap)], k,
-                       options.topk_select);
-      }
-      state.swap(merged);
-    }
-  }
-  out.total = *std::max_element(ready.begin(), ready.end()) - start;
+  const double done =
+      collective_path() == CollectivePath::kLegacy
+          ? legacy_gtopk(cluster, shape, payload, k, options.topk_select,
+                         state, start, out.rounds)
+          : schedule_gtopk(cluster, shape, payload, k, options.topk_select,
+                           state, start, out.rounds);
+  out.total = done - start;
 
   if (functional) {
     out.final_nnz = state[0].nnz();
-    for (int r = 0; r < p; ++r) {
-      auto dst = data[static_cast<size_t>(r)];
+    parallel_for(0, static_cast<size_t>(shape.p), [&](size_t r) {
+      auto dst = data[r];
       std::fill(dst.begin(), dst.end(), 0.0f);
-      state[static_cast<size_t>(r)].scatter_add_into(dst);
-    }
+      state[r].scatter_add_into(dst);
+    });
   } else {
     out.final_nnz = k;
   }

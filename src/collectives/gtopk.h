@@ -8,6 +8,20 @@
 // rank — less traffic than NaiveAG's O(kP) but with log P rounds of
 // re-selection (and more selection bias, since mass outside the running
 // top-k is dropped at every merge unless error feedback catches it).
+//
+// Non-power-of-two worlds run a documented pre-fold: with q the largest
+// power of two <= P and rem = P - q, the rem extra ranks first fold their
+// selections into ranks 0..rem-1 (one merge round), the q-rank hypercube
+// runs the recursive doubling, and a final unfold round sends the result
+// back to the extra ranks.  `rounds` counts every exchange round:
+// log2(q) + 2 when rem > 0, log2(P) otherwise.
+//
+// Like the other collectives, the timed exchange is a recorded transfer
+// schedule (collectives/schedule.h); CollectivePath::kLegacy selects the
+// pre-engine inline loop as the validation reference, which also keeps the
+// original dense-per-merge scratch behavior the engine path replaces with
+// workspace-backed fused accumulation (bitwise-identical results, pinned in
+// schedule_equivalence_test).
 #pragma once
 
 #include "collectives/common.h"
@@ -38,10 +52,10 @@ struct GtopkResult {
   size_t final_nnz = 0;
 };
 
-// In-place global top-k aggregation over the whole cluster (world size must
-// be a power of two for the hypercube).  Functional mode: each data[rank]
-// (full d elements) is replaced by the identical global top-k of the sum.
-// Timing-only mode: data empty.
+// In-place global top-k aggregation over the whole cluster (any world
+// size; non-powers-of-two pay one fold and one unfold round).  Functional
+// mode: each data[rank] (full d elements) is replaced by the identical
+// global top-k of the sum.  Timing-only mode: data empty.
 GtopkResult gtopk_comm(simnet::Cluster& cluster, const RankData& data,
                        size_t elems, const GtopkOptions& options, double start);
 

@@ -12,18 +12,19 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
                             size_t elems, size_t wire_bytes, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
-  const int n = topo.gpus_per_node();
   const bool functional = !data.empty();
 
   HierArBreakdown out;
 
   // Phase 1: reduce onto each node's leader (local rank 0) — the non-leader
   // GPUs send their full buffer over NVLink; the leader adds sequentially
-  // (its recv port serializes the incoming transfers).
+  // (its recv port serializes the incoming transfers).  Per-node GPU counts
+  // may differ (heterogeneous clusters); leader-based reduction only needs
+  // each node to have a rank 0.
   double t1 = start;
   for (int node = 0; node < m; ++node) {
     const int leader = topo.rank_of(node, 0);
-    for (int local = 1; local < n; ++local) {
+    for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int src = topo.rank_of(node, local);
       const double done =
           cluster.send(src, leader, elems * wire_bytes, start);
@@ -52,7 +53,7 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
   double t3 = t2;
   for (int node = 0; node < m; ++node) {
     const int leader = topo.rank_of(node, 0);
-    for (int local = 1; local < n; ++local) {
+    for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int dst = topo.rank_of(node, local);
       const double done = cluster.send(leader, dst, elems * wire_bytes, t2);
       t3 = std::max(t3, done);
@@ -76,7 +77,6 @@ HierArBreakdown schedule_hier(simnet::Cluster& cluster, const RankData& data,
                               size_t elems, size_t wire_bytes, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
-  const int n = topo.gpus_per_node();
   const bool functional = !data.empty();
 
   Schedule sched;
@@ -95,7 +95,7 @@ HierArBreakdown schedule_hier(simnet::Cluster& cluster, const RankData& data,
   // per leader bucket.
   for (int node = 0; node < m; ++node) {
     const int leader = topo.rank_of(node, 0);
-    for (int local = 1; local < n; ++local) {
+    for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int src = topo.rank_of(node, local);
       sched.send(src, leader, elems * wire_bytes, rank_slot(src),
                  rank_slot(leader));
@@ -133,7 +133,7 @@ HierArBreakdown schedule_hier(simnet::Cluster& cluster, const RankData& data,
   // Phase 3: leaders broadcast inside their node (resolved copies).
   for (int node = 0; node < m; ++node) {
     const int leader = topo.rank_of(node, 0);
-    for (int local = 1; local < n; ++local) {
+    for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int dst = topo.rank_of(node, local);
       sched.send(leader, dst, elems * wire_bytes, rank_slot(leader),
                  rank_slot(dst));

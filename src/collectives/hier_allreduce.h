@@ -5,7 +5,9 @@
 // the m leaders over the NIC, then broadcast inside each node.  Unlike
 // 2DTAR it uses only one inter-node stream per node but moves the *full*
 // buffer across the NIC, so it loses to 2DTAR when n > 1 — the comparison
-// bench_ablation_cluster quantifies this.
+// bench_ablation_cluster quantifies this.  Works on uneven topologies
+// (per-node GPU counts may differ): only the leader role matters, so it is
+// the dense baseline for heterogeneous-cluster scenarios.
 #pragma once
 
 #include "collectives/common.h"

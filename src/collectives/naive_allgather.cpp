@@ -8,6 +8,29 @@
 #include "core/workspace.h"
 
 namespace hitopk::coll {
+namespace {
+
+// The timed flat world-scale gather, as one recorded schedule (engine path)
+// or the legacy inline ring loop (ring_allgather_bytes honors the same
+// CollectivePath flag, so delegating keeps the validation reference).
+// Single-rank worlds and empty payloads carry no steps — the same guard
+// class as ring_allgather_bytes_multi's g == 0 fix — and return `start`.
+double gather_time(simnet::Cluster& cluster,
+                   const std::vector<size_t>& payload, double start,
+                   double step_overhead) {
+  const Group group = world_group(cluster.topology());
+  if (group.size() <= 1) return start;
+  if (collective_path() == CollectivePath::kLegacy) {
+    return ring_allgather_bytes(cluster, group, payload, start, step_overhead);
+  }
+  Schedule sched;
+  const std::vector<Group> groups{group};
+  const RingGrid grid = ring_grid(sched, groups, {});
+  build_ring_allgather_bytes(sched, groups, grid, {payload}, step_overhead);
+  return sched.run_timing(cluster, start).finish;
+}
+
+}  // namespace
 
 NaiveAgResult naive_sparse_allgather(
     simnet::Cluster& cluster,
@@ -19,7 +42,8 @@ NaiveAgResult naive_sparse_allgather(
   HITOPK_CHECK_EQ(sparse.size(), p);
   check_data(world_group(topo), data, elems);
 
-  // Wire payload per origin rank: k values + k indices.
+  // Wire payload per origin rank: k values + k indices (k == 0 blocks ride
+  // the ring as pure-latency messages, like the legacy loop).
   std::vector<size_t> payload(p);
   for (size_t r = 0; r < p; ++r) {
     HITOPK_CHECK(sparse[r].is_valid());
@@ -28,9 +52,7 @@ NaiveAgResult naive_sparse_allgather(
   }
 
   NaiveAgResult out;
-  const Group group = world_group(topo);
-  const double gathered =
-      ring_allgather_bytes(cluster, group, payload, start, step_overhead);
+  const double gathered = gather_time(cluster, payload, start, step_overhead);
   out.allgather = gathered - start;
 
   // Every rank scatter-adds all P blocks locally.
@@ -60,9 +82,7 @@ NaiveAgResult naive_sparse_allgather_time(simnet::Cluster& cluster, size_t k,
   std::vector<size_t> payload(p, k * (value_wire_bytes + 4));
 
   NaiveAgResult out;
-  const Group group = world_group(cluster.topology());
-  const double gathered =
-      ring_allgather_bytes(cluster, group, payload, start, step_overhead);
+  const double gathered = gather_time(cluster, payload, start, step_overhead);
   out.allgather = gathered - start;
   const double done =
       simnet::Cluster::compute(gathered, accumulate_seconds_per_rank);

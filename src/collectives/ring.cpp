@@ -198,10 +198,18 @@ RingGrid ring_grid(Schedule& sched, const std::vector<Group>& groups,
 
 void build_ring_reduce_scatter(Schedule& sched,
                                const std::vector<Group>& groups,
-                               const RingGrid& grid, size_t elems,
+                               const RingGrid& grid,
+                               const std::vector<ChunkRange>& extents,
                                size_t wire_bytes, bool fused_chains) {
   const size_t g = grid.g;
   if (g <= 1) return;
+  HITOPK_CHECK_EQ(extents.size(), grid.nq);
+  // Chunk c of group q, inside that group's extent.
+  auto chunk_of = [&](size_t q, size_t c) {
+    ChunkRange range = chunk_range(extents[q].count, g, c);
+    range.begin += extents[q].begin;
+    return range;
+  };
   // Fused chains: all data movement sits in the first step (each chunk's
   // chain is independent — chain c writes only owner c's chunk c and reads
   // chunk c of the others, ranges disjoint across chains).  Per chunk the
@@ -211,7 +219,7 @@ void build_ring_reduce_scatter(Schedule& sched,
     for (size_t q = 0; q < grid.nq; ++q) {
       if (grid.buf(q, 0) == RingGrid::kNoBuf) continue;
       for (size_t c = 0; c < g; ++c) {
-        const ChunkRange range = chunk_range(elems, g, c);
+        const ChunkRange range = chunk_of(q, c);
         const uint32_t owner = grid.buf(q, c);
         sched.move(TransferOp::kChainFirst, grid.buf(q, (c + 1) % g), owner,
                    range.begin, range.count);
@@ -229,7 +237,7 @@ void build_ring_reduce_scatter(Schedule& sched,
       for (size_t q = 0; q < grid.nq; ++q) {
         const size_t peer = (i + 1) % g;
         const size_t chunk = rs_send_chunk(i, s, g);
-        const ChunkRange range = chunk_range(elems, g, chunk);
+        const ChunkRange range = chunk_of(q, chunk);
         sched.send(groups[q][i], groups[q][peer], range.count * wire_bytes,
                    grid.slot(q, i), grid.slot(q, peer));
         if (!fused_chains && !grid.bufs.empty() &&
@@ -243,11 +251,27 @@ void build_ring_reduce_scatter(Schedule& sched,
   }
 }
 
+void build_ring_reduce_scatter(Schedule& sched,
+                               const std::vector<Group>& groups,
+                               const RingGrid& grid, size_t elems,
+                               size_t wire_bytes, bool fused_chains) {
+  build_ring_reduce_scatter(sched, groups, grid,
+                            std::vector<ChunkRange>(grid.nq, {0, elems}),
+                            wire_bytes, fused_chains);
+}
+
 void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
-                          const RingGrid& grid, size_t elems,
+                          const RingGrid& grid,
+                          const std::vector<ChunkRange>& extents,
                           size_t wire_bytes) {
   const size_t g = grid.g;
   if (g <= 1) return;
+  HITOPK_CHECK_EQ(extents.size(), grid.nq);
+  auto chunk_of = [&](size_t q, size_t c) {
+    ChunkRange range = chunk_range(extents[q].count, g, c);
+    range.begin += extents[q].begin;
+    return range;
+  };
   // Resolved data movement: the wire forwards chunk c hop by hop, but every
   // forwarded value *is* group rank c's chunk c, so each destination gets
   // one direct copy from the origin (recorded in the first gather step —
@@ -258,7 +282,7 @@ void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
     for (size_t q = 0; q < grid.nq; ++q) {
       if (grid.buf(q, 0) == RingGrid::kNoBuf) continue;
       for (size_t c = 0; c < g; ++c) {
-        const ChunkRange owned = chunk_range(elems, g, c);
+        const ChunkRange owned = chunk_of(q, c);
         for (size_t i = 0; i < g; ++i) {
           if (i == c) continue;
           sched.copy(grid.buf(q, c), grid.buf(q, i), owned.begin, owned.count,
@@ -272,13 +296,21 @@ void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
       for (size_t q = 0; q < grid.nq; ++q) {
         const size_t peer = (i + 1) % g;
         const size_t chunk = ag_send_chunk(i, s, g);
-        const ChunkRange range = chunk_range(elems, g, chunk);
+        const ChunkRange range = chunk_of(q, chunk);
         sched.send(groups[q][i], groups[q][peer], range.count * wire_bytes,
                    grid.slot(q, i), grid.slot(q, peer));
       }
     }
     sched.end_step();
   }
+}
+
+void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
+                          const RingGrid& grid, size_t elems,
+                          size_t wire_bytes) {
+  build_ring_allgather(sched, groups, grid,
+                       std::vector<ChunkRange>(grid.nq, {0, elems}),
+                       wire_bytes);
 }
 
 void build_ring_allgather_bytes(

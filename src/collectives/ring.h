@@ -81,6 +81,23 @@ struct RingGrid {
 RingGrid ring_grid(Schedule& sched, const std::vector<Group>& groups,
                    const std::vector<RankData>& data);
 
+// Range-aware leg builders: group q's ring operates on its own sub-range
+// extents[q] of the rank buffers, with chunk c = chunk_range(extents[q].count,
+// G, c) shifted by extents[q].begin.  This is what lets nested-ring
+// decompositions (BlueConnect) reduce a progressively narrower slice per
+// stage; the whole-buffer builders below are the extents = {0, elems}
+// special case.
+void build_ring_reduce_scatter(Schedule& sched,
+                               const std::vector<Group>& groups,
+                               const RingGrid& grid,
+                               const std::vector<ChunkRange>& extents,
+                               size_t wire_bytes, bool fused_chains = false);
+
+void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
+                          const RingGrid& grid,
+                          const std::vector<ChunkRange>& extents,
+                          size_t wire_bytes);
+
 // Reduce-Scatter leg: G-1 snapshot steps.  With fused_chains=false the data
 // pass mirrors the wire per-step (kReduce moves, partial sums land in the
 // intermediate buffers exactly like the legacy loop).  With

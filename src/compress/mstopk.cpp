@@ -9,6 +9,27 @@
 #include "core/workspace.h"
 
 namespace hitopk::compress {
+namespace {
+
+// Degenerate fallback shared by all modes: the first min(k, d) indices,
+// values gathered from x.  Used when no threshold can discriminate —
+// k >= d, all-equal magnitudes (mean == max), or non-finite inputs.  The
+// modes must keep agreeing on it (pinned by
+// MsTopKHistogram.NonFiniteInputsFallBackLikeTheLegacyPaths).
+SparseTensor first_k_fallback(std::span<const float> x, size_t k) {
+  SparseTensor out;
+  out.dense_size = x.size();
+  k = std::min(k, x.size());
+  out.indices.resize(k);
+  out.values.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.indices[i] = static_cast<uint32_t>(i);
+    out.values[i] = x[i];
+  }
+  return out;
+}
+
+}  // namespace
 
 MsTopK::MsTopK(int n_samplings, uint64_t seed, MsTopKMode mode)
     : n_samplings_(n_samplings), rng_(seed), mode_(mode) {
@@ -21,17 +42,17 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
   out.dense_size = d;
   stats_ = MsTopKStats{};
   if (k == 0 || d == 0) return out;
-  if (k >= d) {
-    out.indices.resize(d);
-    out.values.resize(d);
-    for (size_t i = 0; i < d; ++i) {
-      out.indices[i] = static_cast<uint32_t>(i);
-      out.values[i] = x[i];
-    }
-    return out;
+  if (k >= d) return first_k_fallback(x, k);
+
+  // The bit-bucket search needs no statistics: its boundaries are float
+  // bit patterns, and degenerate inputs (all-equal magnitudes) simply put
+  // every element in one sub-bucket, which the band top-up handles.
+  if (mode_ == MsTopKMode::kHistogram) {
+    return bit_select(x, k);
   }
 
-  // Alg. 1 lines 1-3: magnitude statistics, one fused pass.
+  // Alg. 1 lines 1-3: magnitude statistics, one fused pass (the linear and
+  // multi-pass geometries are arithmetic combinations of mean/max).
   const tensor_ops::AbsStats abs = tensor_ops::abs_stats(x);
   const float abs_max = abs.abs_max;
   const float abs_mean =
@@ -39,22 +60,65 @@ SparseTensor MsTopK::compress(std::span<const float> x, size_t k) {
 
   // Degenerate input (all zeros or all equal magnitude): no threshold can
   // discriminate, fall back to the first k indices.
-  if (!(abs_max > abs_mean)) {
-    out.indices.resize(k);
-    out.values.resize(k);
-    for (size_t i = 0; i < k; ++i) {
-      out.indices[i] = static_cast<uint32_t>(i);
-      out.values[i] = x[i];
-    }
-    return out;
-  }
+  if (!(abs_max > abs_mean)) return first_k_fallback(x, k);
 
-  if (mode_ == MsTopKMode::kHistogram) {
+  if (mode_ == MsTopKMode::kLinear) {
     histogram_brackets(x, k, abs_mean, abs_max);
   } else {
     multi_pass_brackets(x, k, abs_mean, abs_max);
   }
   return gather_selection(x, k);
+}
+
+SparseTensor MsTopK::bit_select(std::span<const float> x, size_t k) {
+  Scratch<uint32_t> certain_buf(0);
+  Scratch<uint32_t> band_buf(0);
+  std::vector<uint32_t>& certain = certain_buf.vec();
+  std::vector<uint32_t>& band = band_buf.vec();
+  const MagnitudeBrackets brackets =
+      bracket_kth_magnitude(x, k, &certain, &band);
+  if (!brackets.finite) {
+    // Non-finite magnitudes poison any threshold comparison: keep the
+    // legacy degenerate fallback, like the statistics modes whose
+    // mean/max a NaN or inf poisons.
+    stats_.samplings = 1;
+    stats_.buckets = kThresholdBuckets;
+    return first_k_fallback(x, k);
+  }
+  stats_.thres1 = brackets.thres1;
+  stats_.thres2 = brackets.thres2;
+  stats_.k1 = brackets.k1;
+  stats_.k2 = brackets.k2;
+  stats_.samplings = 2;  // coarse counting read + gather read
+  stats_.buckets = kThresholdBuckets;
+
+  // Alg. 1 lines 25-29 on the pre-partitioned sets: every certain index,
+  // plus a random contiguous run of the remainder from the band.  The
+  // exact bracket counts guarantee band coverage (k2 - k1 >= k - k1), so
+  // the legacy top-up is unreachable here.
+  std::vector<uint32_t> chosen;
+  chosen.reserve(k);
+  chosen.assign(certain.begin(), certain.end());
+  if (chosen.size() > k) chosen.resize(k);
+  const size_t need = k - chosen.size();
+  if (need > 0 && !band.empty()) {
+    const size_t take = std::min(need, band.size());
+    const size_t max_start = band.size() - take;
+    const size_t start = static_cast<size_t>(rng_.uniform_index(max_start + 1));
+    chosen.insert(chosen.end(), band.begin() + static_cast<long>(start),
+                  band.begin() + static_cast<long>(start + take));
+  }
+  HITOPK_CHECK_EQ(chosen.size(), k);
+
+  std::sort(chosen.begin(), chosen.end());
+  SparseTensor out;
+  out.dense_size = x.size();
+  out.indices = std::move(chosen);
+  out.values.resize(out.indices.size());
+  for (size_t i = 0; i < out.indices.size(); ++i) {
+    out.values[i] = x[out.indices[i]];
+  }
+  return out;
 }
 
 void MsTopK::histogram_brackets(std::span<const float> x, size_t k,

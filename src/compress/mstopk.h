@@ -8,16 +8,21 @@
 // (k - k1) elements from the band [thres2, thres1), giving exactly k
 // selected elements (lines 25-29).
 //
-// Two implementations of the bracket search:
-//   kHistogram (default) — one counting pass builds a 512-bucket magnitude
-//       histogram over [mean, max]; suffix sums give the element count above
-//       every bucket boundary at once, so the brackets fall out of a single
-//       scan of the histogram.  Three passes over the data total (statistics,
-//       histogram, gather), independent of N.
+// Three implementations of the bracket search:
+//   kHistogram (default) — two counting passes over integer magnitude-bit
+//       buckets (threshold_select::bracket_kth_magnitude): a half-octave
+//       pass locates the boundary bucket, an exact 512-way mantissa-bit
+//       refinement brackets the k-th magnitude to 2^13 ulps.  No statistics
+//       pass and no verification recount (bit-pattern boundaries make the
+//       counts exact by construction): two counting passes plus the gather,
+//       the same pass structure as exact_topk.
+//   kLinear — the previous fast path, kept flag-selectable: a separate
+//       mean/max statistics pass, one 512-bucket linear histogram over
+//       [mean, max], and an exact verification recount (float-arithmetic
+//       bucket boundaries can misplace elements by one bucket).
 //   kMultiPass — the paper's literal binary search: each of the N samplings
 //       is one counting pass (count |x(i)| >= thres).  O(N*d); kept as the
-//       validation reference for the histogram variant and for the
-//       sampling-count ablation.
+//       validation reference and for the sampling-count ablation.
 #pragma once
 
 #include "compress/compressor.h"
@@ -26,7 +31,8 @@
 namespace hitopk::compress {
 
 enum class MsTopKMode {
-  kHistogram,  // single-pass histogram bracket search (fast path)
+  kHistogram,  // magnitude-bit bracket search (fast path, no stats pass)
+  kLinear,     // linear [mean, max] histogram (previous fast path)
   kMultiPass,  // Alg. 1 literal binary search (validation reference)
 };
 
@@ -37,9 +43,10 @@ struct MsTopKStats {
   // Element counts at those thresholds.
   size_t k1 = 0;
   size_t k2 = 0;
-  // Number of counting passes actually executed (1 for the histogram mode).
+  // Number of counting passes actually executed (2 for the bit-bucket
+  // mode: coarse + refinement; 1 for the linear histogram).
   int samplings = 0;
-  // Histogram buckets used (0 in multi-pass mode).
+  // Histogram buckets used per pass (0 in multi-pass mode).
   int buckets = 0;
 };
 
@@ -51,7 +58,12 @@ class MsTopK : public Compressor {
                   MsTopKMode mode = MsTopKMode::kHistogram);
 
   std::string name() const override {
-    return mode_ == MsTopKMode::kHistogram ? "mstopk" : "mstopk_legacy";
+    switch (mode_) {
+      case MsTopKMode::kHistogram: return "mstopk";
+      case MsTopKMode::kLinear: return "mstopk_linear";
+      case MsTopKMode::kMultiPass: break;
+    }
+    return "mstopk_legacy";
   }
 
   SparseTensor compress(std::span<const float> x, size_t k) override;
@@ -64,6 +76,11 @@ class MsTopK : public Compressor {
   MsTopKMode mode() const { return mode_; }
 
  private:
+  // Fast path: bit-bucket bracket search and selection in two data reads
+  // (threshold_select::bracket_kth_magnitude does the search and hands back
+  // the certain/band index sets; this draws the random band run).
+  SparseTensor bit_select(std::span<const float> x, size_t k);
+
   // Bracket searches: fill stats_.{thres1,thres2,k1,k2,samplings,buckets}.
   void histogram_brackets(std::span<const float> x, size_t k, float abs_mean,
                           float abs_max);

@@ -68,6 +68,15 @@ bool SparseTensor::is_valid() const {
 
 void accumulate_into(std::span<const SparseTensor> parts,
                      std::span<float> dense) {
+  Scratch<const SparseTensor*> ptrs(parts.size());
+  for (size_t p = 0; p < parts.size(); ++p) ptrs[p] = &parts[p];
+  accumulate_into(std::span<const SparseTensor* const>(ptrs.data(),
+                                                       parts.size()),
+                  dense);
+}
+
+void accumulate_into(std::span<const SparseTensor* const> parts,
+                     std::span<float> dense) {
   const size_t d = dense.size();
   // Validate everything once: size agreement, value/index pairing, and the
   // index-bounds guard (branch-free max-fold per part, like
@@ -77,7 +86,7 @@ void accumulate_into(std::span<const SparseTensor> parts,
   size_t total_nnz = 0;
   Scratch<uint32_t> sorted_flags(parts.size());
   for (size_t p = 0; p < parts.size(); ++p) {
-    const SparseTensor& part = parts[p];
+    const SparseTensor& part = *parts[p];
     HITOPK_CHECK_EQ(part.dense_size, d);
     HITOPK_CHECK_EQ(part.values.size(), part.indices.size());
     uint32_t max_index = 0;
@@ -100,11 +109,11 @@ void accumulate_into(std::span<const SparseTensor> parts,
       std::min<size_t>(static_cast<size_t>(std::max(1, parallel_threads())),
                        d / 4096);
   if (max_workers <= 1 || total_nnz < 4096) {
-    for (const SparseTensor& part : parts) {
-      const uint32_t* idx = part.indices.data();
-      const float* val = part.values.data();
+    for (const SparseTensor* part : parts) {
+      const uint32_t* idx = part->indices.data();
+      const float* val = part->values.data();
       float* out = dense.data();
-      for (size_t i = 0; i < part.values.size(); ++i) out[idx[i]] += val[i];
+      for (size_t i = 0; i < part->values.size(); ++i) out[idx[i]] += val[i];
     }
     return;
   }
@@ -113,7 +122,7 @@ void accumulate_into(std::span<const SparseTensor> parts,
     const uint32_t hi = static_cast<uint32_t>(d * (w + 1) / max_workers);
     float* out = dense.data();
     for (size_t p = 0; p < parts.size(); ++p) {
-      const SparseTensor& part = parts[p];
+      const SparseTensor& part = *parts[p];
       const uint32_t* idx = part.indices.data();
       const float* val = part.values.data();
       if (sorted_flags[p]) {

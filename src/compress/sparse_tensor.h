@@ -54,6 +54,12 @@ struct SparseTensor {
 void accumulate_into(std::span<const SparseTensor> parts,
                      std::span<float> dense);
 
+// Pointer form for callers whose parts are not contiguous (gTop-k merges a
+// pair drawn from different slots of its per-rank state); identical
+// semantics and float-add order.
+void accumulate_into(std::span<const SparseTensor* const> parts,
+                     std::span<float> dense);
+
 // Allocating wrapper around accumulate_into.
 Tensor accumulate(std::span<const SparseTensor> parts, size_t dense_size);
 

@@ -195,6 +195,142 @@ void magnitude_histogram(std::span<const float> x, float lo, float inv_width,
   });
 }
 
+MagnitudeBrackets bracket_kth_magnitude(std::span<const float> x, size_t k,
+                                        std::vector<uint32_t>* certain,
+                                        std::vector<uint32_t>* band) {
+  MagnitudeBrackets out;
+  const size_t d = x.size();
+  out.k2 = d;
+  if (certain != nullptr) certain->clear();
+  if (band != nullptr) band->clear();
+  if (d == 0 || k == 0 || k >= d) return out;  // no bracket to find
+
+  // Read 1: half-octave bit buckets locate the boundary bucket (exactly
+  // select_topk's coarse geometry).
+  Scratch<size_t> counts(kSlots, /*zeroed=*/true);
+  histogram_count(x, counts.span(),
+                  [](float v) { return magnitude_bits_bucket(v); });
+  // Non-finite magnitudes (bits >= 0x7F800000 land in buckets 510/511):
+  // no representable threshold can discriminate above an infinity, and a
+  // NaN poisons every magnitude comparison — report "no bracket" so the
+  // caller can fall back, exactly like the legacy searches whose
+  // mean/max statistics a non-finite input poisons.
+  if (counts[510] + counts[511] > 0) {
+    out.finite = false;
+    return out;
+  }
+  const BoundaryScan scan = scan_boundary(counts.span(), k);
+  const uint32_t bucket = scan.boundary;
+
+  // Read 2: select_topk-style gather.  Elements above the boundary bucket
+  // are certain winners; the bucket's occupants become candidates carrying
+  // their magnitude bits (index order preserved).  Sizes are known exactly
+  // from the histogram — no reallocation.
+  Scratch<uint32_t> own_certain(0);
+  std::vector<uint32_t>& sure = certain != nullptr ? *certain
+                                                   : own_certain.vec();
+  sure.resize(scan.above);
+  uint32_t* sure_out = sure.data();
+  size_t n_sure = 0;
+  Scratch<uint32_t> cand_idx(counts[bucket]);
+  Scratch<uint32_t> cand_bits(counts[bucket]);
+  size_t n_cand = 0;
+  const uint32_t lower_bits = bucket << 22;
+  // For bucket 511 this wraps to 0x80000000, which no magnitude reaches —
+  // exactly "nothing is above the top bucket".
+  const uint32_t above_bits = (bucket + 1) << 22;
+  {
+    constexpr size_t kBlock = 1024;
+    uint32_t mag[kBlock];
+    const float* p = x.data();
+    auto bits_block = [&](size_t base, size_t count) {
+      for (size_t j = 0; j < count; ++j) mag[j] = magnitude_bits(p[base + j]);
+    };
+    auto gather_block = [&](size_t base, size_t count) {
+      for (size_t j = 0; j < count; ++j) {
+        const uint32_t m = mag[j];
+        if (m < lower_bits) continue;  // common case first
+        const uint32_t i = static_cast<uint32_t>(base + j);
+        if (m >= above_bits) {
+          sure_out[n_sure++] = i;
+        } else {
+          cand_idx[n_cand] = i;
+          cand_bits[n_cand] = m;
+          ++n_cand;
+        }
+      }
+    };
+    const size_t full_end = d - d % kBlock;
+    for (size_t base = 0; base < full_end; base += kBlock) {
+      bits_block(base, kBlock);
+      gather_block(base, kBlock);
+    }
+    bits_block(full_end, d - full_end);
+    gather_block(full_end, d - full_end);
+  }
+  HITOPK_CHECK_EQ(n_sure, scan.above);
+  HITOPK_CHECK_EQ(n_cand, counts[bucket]);
+
+  // Exact 512-way refinement on the candidates' mantissa bits 13..21 —
+  // O(bucket occupancy), no further pass over x.
+  Scratch<size_t> fine(static_cast<size_t>(kThresholdBuckets),
+                       /*zeroed=*/true);
+  for (size_t c = 0; c < n_cand; ++c) {
+    ++fine[(cand_bits[c] >> 13) & (kThresholdBuckets - 1)];
+  }
+  size_t above = scan.above;
+  uint32_t sub = 0;
+  for (int b = kThresholdBuckets - 1; b >= 0; --b) {
+    const size_t c = fine[static_cast<size_t>(b)];
+    if (above + c >= k) {
+      sub = static_cast<uint32_t>(b);
+      break;
+    }
+    above += c;
+    HITOPK_CHECK_GT(b, 0) << "refinement histogram lost elements";
+  }
+
+  // Bracket boundaries as exact bit patterns: the sub-bucket's own lower
+  // edge (loose side) and the next sub-bucket edge (tight side, with
+  // natural carry into the next half-octave).
+  const uint32_t edge2 = ((bucket << 9) | sub) << 13;
+  const uint32_t edge1 = (((bucket << 9) | sub) + 1) << 13;
+  out.k1 = above;                                 // |x| >= edge1, < k of them
+  out.k2 = above + fine[sub];                     // |x| >= edge2, >= k
+  out.thres2 = std::bit_cast<float>(edge2);
+  bool promoted = false;
+  if (out.k2 == k) {
+    // The loose edge already selects exactly k: promote it to the
+    // certain-set threshold; no band is needed.
+    out.thres1 = out.thres2;
+    out.k1 = k;
+    out.thres2 = 0.0f;
+    out.k2 = d;
+    promoted = true;
+  } else {
+    // All inputs are finite (checked above), so bucket <= 509 and the
+    // tight edge is always representable (at worst +inf, which selects
+    // zero finite elements).
+    out.thres1 = std::bit_cast<float>(edge1);
+  }
+
+  // Split the candidates across the refined edge: at or above the tight
+  // edge they are certain (promoted: at or above the loose edge), inside
+  // [edge2, edge1) they form the band, ascending index order preserved.
+  if (certain != nullptr || band != nullptr) {
+    const uint32_t certain_edge = promoted ? edge2 : edge1;
+    for (size_t c = 0; c < n_cand; ++c) {
+      if (cand_bits[c] >= certain_edge) {
+        sure.push_back(cand_idx[c]);
+      } else if (cand_bits[c] >= edge2 && band != nullptr) {
+        band->push_back(cand_idx[c]);
+      }
+    }
+    HITOPK_CHECK_EQ(sure.size(), out.k1);
+  }
+  return out;
+}
+
 SparseTensor select_topk(std::span<const float> x, size_t k, TopKSelect algo) {
   SparseTensor out;
   out.dense_size = x.size();

@@ -66,6 +66,50 @@ inline constexpr size_t kHistogramMinSize = 2048;
 void magnitude_histogram(std::span<const float> x, float lo, float inv_width,
                          std::span<size_t> counts);
 
+// Exact magnitude brackets around the k-th largest |x(i)| in two blocked
+// data reads — the machinery MSTopK's bracket search runs on:
+//
+//   read 1 — the log-spaced magnitude-bit histogram (bits >> 22, as in
+//     select_topk) locates the half-octave bucket holding the k-th
+//     magnitude;
+//   read 2 — a select_topk-style gather: indices above the bucket are
+//     emitted directly, the bucket's occupants become candidates carrying
+//     their magnitude bits, and a 512-way sub-histogram of those bits
+//     (mantissa bits 13..21, O(bucket) work — no third read) refines the
+//     bracket to 2^13 ulps of the k-th magnitude, tighter than the legacy
+//     (max-mean)/512 linear bucket for anything Gaussian-shaped.
+//
+// Because every boundary is an exact float bit pattern (not float
+// arithmetic on mean/max), the counts are exact by construction: no
+// statistics pass and no verification recount — the same read structure as
+// exact selection.  Conventions match MsTopKStats: thres1 is the tightest
+// boundary selecting k1 <= k elements (0 when no representable boundary
+// does — ties at the top of the float range); thres2 the loosest boundary
+// selecting k2 > k (0 when the bracket reaches the bottom of the float
+// range, or when thres1 already selects exactly k and no band is needed).
+//
+// When `certain` / `band` are non-null they are overwritten with the
+// selection sets of the brackets: `certain` holds the k1 indices with
+// |x(i)| >= thres1 (every one belongs to the true top-k), `band` the
+// k2 - k1 indices with thres2 <= |x(i)| < thres1 in ascending index order
+// (what MSTopK draws its random run from).  With k == 0 or k >= x.size()
+// there is no bracket; both sets come back empty.  Inputs containing any
+// non-finite magnitude (inf or NaN) set finite = false and return no
+// bracket either — thresholds cannot discriminate above an infinity, and
+// the legacy searches' mean/max statistics are equally poisoned there;
+// callers fall back (MSTopK keeps its legacy first-k fallback).
+struct MagnitudeBrackets {
+  float thres1 = 0.0f;
+  float thres2 = 0.0f;
+  size_t k1 = 0;
+  size_t k2 = 0;
+  bool finite = true;
+};
+
+MagnitudeBrackets bracket_kth_magnitude(std::span<const float> x, size_t k,
+                                        std::vector<uint32_t>* certain = nullptr,
+                                        std::vector<uint32_t>* band = nullptr);
+
 // Exactly min(k, x.size()) elements with the largest |x(i)|, ties broken by
 // lower index; indices sorted ascending, values gathered from x.  Both
 // algorithms return bit-identical results for every input bit pattern.

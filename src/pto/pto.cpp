@@ -65,18 +65,22 @@ double pto_allgather_seconds(simnet::Cluster& cluster, size_t items,
   const double stage2 =
       coll::ring_allgather_bytes(cluster, leaders, node_payload, stage1);
 
-  // Stage 3: leaders broadcast the foreign-node items inside the node.
-  double stage3 = stage2;
+  // Stage 3: leaders broadcast the foreign-node items inside the node —
+  // recorded as a one-step schedule (timing-only; PTO moves no tensor data
+  // here) so the broadcast is a schedule definition like every other leg.
+  coll::Schedule bcast;
+  const uint32_t slot0 =
+      bcast.add_slots(static_cast<uint32_t>(topo.world_size()));
   const size_t total_bytes = items * bytes_per_item;
   for (int node = 0; node < topo.nodes(); ++node) {
     const int leader = topo.rank_of(node, 0);
-    for (int local = 1; local < topo.gpus_per_node(); ++local) {
-      stage3 = std::max(stage3, cluster.send(leader,
-                                             topo.rank_of(node, local),
-                                             total_bytes, stage2));
+    for (int local = 1; local < topo.gpus_on_node(node); ++local) {
+      const int dst = topo.rank_of(node, local);
+      bcast.send(leader, dst, total_bytes, slot0 + static_cast<uint32_t>(leader),
+                 slot0 + static_cast<uint32_t>(dst));
     }
   }
-  return stage3;
+  return bcast.run_timing(cluster, stage2).finish;
 }
 
 PtoTiming pto_timing(simnet::Cluster& cluster, size_t items,

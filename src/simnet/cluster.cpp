@@ -10,11 +10,27 @@ namespace hitopk::simnet {
 Cluster::Cluster(Topology topology)
     : topology_(std::move(topology)),
       gpu_ports_(static_cast<size_t>(topology_.world_size())),
-      nic_ports_(static_cast<size_t>(topology_.nodes())) {}
+      nic_ports_(static_cast<size_t>(topology_.nodes())) {
+  if (topology_.oversubscription() > 1.0) {
+    if (topology_.pods() > 1) {
+      // Edge/aggregation fat tree: one uplink per pod of capacity
+      // nodes_per_pod * nic_rate / f, as seconds/byte.
+      pod_ports_.resize(static_cast<size_t>(topology_.pods()));
+      uplink_beta_ = topology_.nic_beta() * topology_.oversubscription() /
+                     static_cast<double>(topology_.nodes_per_pod());
+    } else {
+      // Single switch layer: aggregate core capacity nodes * nic_rate / f.
+      core_beta_ = topology_.nic_beta() * topology_.oversubscription() /
+                   static_cast<double>(topology_.nodes());
+    }
+  }
+}
 
 void Cluster::reset() {
   for (auto& p : gpu_ports_) p = Port{};
   for (auto& p : nic_ports_) p = Port{};
+  for (auto& p : pod_ports_) p = Port{};
+  core_free_ = 0.0;
   inter_node_bytes_ = 0;
   intra_node_bytes_ = 0;
   trace_.clear();
@@ -30,11 +46,22 @@ double Cluster::send(int src, int dst, size_t bytes, double data_ready,
   const LinkParams& link = topology_.link_between(src, dst);
   const double duration = link.transfer_seconds(bytes) + extra_seconds;
 
+  const int src_node = crosses_node ? topology_.node_of(src) : 0;
+  const int dst_node = crosses_node ? topology_.node_of(dst) : 0;
+  const bool crosses_pod =
+      crosses_node && uplink_beta_ > 0.0 &&
+      !topology_.same_pod(src_node, dst_node);
+
   double start = std::max(data_ready, gpu_ports_[src].send_free);
   start = std::max(start, gpu_ports_[dst].recv_free);
   if (crosses_node) {
-    start = std::max(start, nic_ports_[topology_.node_of(src)].send_free);
-    start = std::max(start, nic_ports_[topology_.node_of(dst)].recv_free);
+    start = std::max(start, nic_ports_[src_node].send_free);
+    start = std::max(start, nic_ports_[dst_node].recv_free);
+    if (core_beta_ > 0.0) start = std::max(start, core_free_);
+    if (crosses_pod) {
+      start = std::max(start, pod_ports_[topology_.pod_of(src_node)].send_free);
+      start = std::max(start, pod_ports_[topology_.pod_of(dst_node)].recv_free);
+    }
   }
   const double done = start + duration;
 
@@ -46,8 +73,22 @@ double Cluster::send(int src, int dst, size_t bytes, double data_ready,
     // while the flow itself completes at its (slower) per-flow rate.
     const double nic_service =
         static_cast<double>(bytes) * topology_.nic_beta() + extra_seconds;
-    nic_ports_[topology_.node_of(src)].send_free = start + nic_service;
-    nic_ports_[topology_.node_of(dst)].recv_free = start + nic_service;
+    nic_ports_[src_node].send_free = start + nic_service;
+    nic_ports_[dst_node].recv_free = start + nic_service;
+    if (core_beta_ > 0.0) {
+      // Shared oversubscribed core: serves the flow's bytes at the
+      // aggregate core rate, then frees for the next inter-node flow.
+      core_free_ = start + static_cast<double>(bytes) * core_beta_;
+    }
+    if (crosses_pod) {
+      // Oversubscribed pod uplinks, same processor-sharing treatment.
+      const double uplink_service =
+          static_cast<double>(bytes) * uplink_beta_;
+      pod_ports_[topology_.pod_of(src_node)].send_free =
+          start + uplink_service;
+      pod_ports_[topology_.pod_of(dst_node)].recv_free =
+          start + uplink_service;
+    }
     inter_node_bytes_ += bytes;
   } else {
     intra_node_bytes_ += bytes;
@@ -94,7 +135,10 @@ double Cluster::quiescent_time() const {
   for (const auto& p : nic_ports_) {
     t = std::max({t, p.send_free, p.recv_free});
   }
-  return t;
+  for (const auto& p : pod_ports_) {
+    t = std::max({t, p.send_free, p.recv_free});
+  }
+  return std::max(t, core_free_);
 }
 
 }  // namespace hitopk::simnet

@@ -11,6 +11,22 @@
 //   2. every inter-node transfer serializes through the node's single NIC,
 //      so n concurrent inter-node streams from one node share 25 GbE.
 //
+// When the Topology declares a fat-tree oversubscription factor f > 1, a
+// third constraint applies (service at the aggregate rate, processor
+// sharing like the NIC, while the flow still completes at its per-flow
+// rate):
+//
+//   - single switch layer (nodes_per_pod == 0): every inter-node transfer
+//     shares one core port of capacity nodes * nic_rate / f;
+//   - edge pods (0 < nodes_per_pod < nodes): transfers between nodes of
+//     one pod see only the NIC ports (the edge switch is non-blocking),
+//     while cross-pod transfers also occupy the source pod's uplink send
+//     port and the destination pod's uplink recv port, each of capacity
+//     nodes_per_pod * nic_rate / f.
+//
+// With f == 1 neither layer is consulted, so non-blocking topologies keep
+// their exact pre-existing timings.
+//
 // All collectives are simulated deterministically in a single OS thread;
 // simulated concurrency comes from the port timestamps.
 #pragma once
@@ -82,6 +98,10 @@ class Cluster {
   Topology topology_;
   std::vector<Port> gpu_ports_;   // one per rank
   std::vector<Port> nic_ports_;   // one per node
+  std::vector<Port> pod_ports_;   // one uplink per pod (oversub > 1, pods > 1)
+  double core_free_ = 0.0;        // shared fat-tree core (oversub > 1, 1 pod)
+  double core_beta_ = 0.0;        // seconds/byte of the aggregate core
+  double uplink_beta_ = 0.0;      // seconds/byte of one pod uplink
   size_t inter_node_bytes_ = 0;
   size_t intra_node_bytes_ = 0;
   bool tracing_ = false;

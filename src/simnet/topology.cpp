@@ -1,5 +1,6 @@
 #include "simnet/topology.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace hitopk::simnet {
@@ -25,11 +26,33 @@ LinkParams nvlink() { return LinkParams{kNvlinkAlpha, 1.0 / kNvlinkHopBandwidth}
 }  // namespace
 
 Topology::Topology(int nodes, int gpus_per_node, LinkParams intra,
-                   LinkParams inter, double nic_beta)
-    : nodes_(nodes), gpus_per_node_(gpus_per_node), intra_(intra),
-      inter_(inter), nic_beta_(nic_beta > 0.0 ? nic_beta : inter.beta) {
-  HITOPK_CHECK_GT(nodes, 0);
-  HITOPK_CHECK_GT(gpus_per_node, 0);
+                   LinkParams inter, double nic_beta, double oversubscription,
+                   int nodes_per_pod)
+    : Topology(std::vector<int>(static_cast<size_t>(std::max(nodes, 0)),
+                                gpus_per_node),
+               intra, inter, nic_beta, oversubscription, nodes_per_pod) {
+  // nodes <= 0 yields an empty vector, which the delegated constructor
+  // rejects before this body runs.
+}
+
+Topology::Topology(std::vector<int> gpus, LinkParams intra, LinkParams inter,
+                   double nic_beta, double oversubscription, int nodes_per_pod)
+    : gpus_(std::move(gpus)), intra_(intra), inter_(inter),
+      nic_beta_(nic_beta > 0.0 ? nic_beta : inter.beta),
+      oversubscription_(oversubscription), nodes_per_pod_(nodes_per_pod) {
+  HITOPK_CHECK(!gpus_.empty()) << "topology needs at least one node";
+  HITOPK_CHECK_GE(oversubscription_, 1.0);
+  HITOPK_CHECK_GE(nodes_per_pod_, 0);
+  node_base_.reserve(gpus_.size() + 1);
+  uniform_gpus_ = gpus_.front();
+  for (int n : gpus_) {
+    HITOPK_CHECK_GT(n, 0);
+    node_base_.push_back(world_size_);
+    world_size_ += n;
+    max_gpus_ = std::max(max_gpus_, n);
+    if (n != uniform_gpus_) uniform_gpus_ = 0;
+  }
+  node_base_.push_back(world_size_);
 }
 
 Topology Topology::tencent_cloud(int nodes, int gpus_per_node) {
@@ -58,22 +81,38 @@ Topology Topology::infiniband_100g(int nodes, int gpus_per_node) {
 }
 
 int Topology::node_of(int rank) const {
-  HITOPK_CHECK(rank >= 0 && rank < world_size());
-  return rank / gpus_per_node_;
+  HITOPK_CHECK(rank >= 0 && rank < world_size_);
+  if (uniform_gpus_ > 0) return rank / uniform_gpus_;
+  // First node whose base exceeds rank sits one past rank's node.
+  const auto it =
+      std::upper_bound(node_base_.begin(), node_base_.end(), rank);
+  return static_cast<int>(it - node_base_.begin()) - 1;
 }
 
 int Topology::local_rank(int rank) const {
-  HITOPK_CHECK(rank >= 0 && rank < world_size());
-  return rank % gpus_per_node_;
+  HITOPK_CHECK(rank >= 0 && rank < world_size_);
+  if (uniform_gpus_ > 0) return rank % uniform_gpus_;
+  return rank - node_base_[static_cast<size_t>(node_of(rank))];
 }
 
 int Topology::rank_of(int node, int local) const {
-  HITOPK_CHECK(node >= 0 && node < nodes_);
-  HITOPK_CHECK(local >= 0 && local < gpus_per_node_);
-  return node * gpus_per_node_ + local;
+  HITOPK_CHECK(node >= 0 && node < nodes());
+  HITOPK_CHECK(local >= 0 && local < gpus_[static_cast<size_t>(node)]);
+  return node_base_[static_cast<size_t>(node)] + local;
 }
 
 bool Topology::same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+int Topology::pods() const {
+  if (nodes_per_pod_ <= 0 || nodes_per_pod_ >= nodes()) return 1;
+  return (nodes() + nodes_per_pod_ - 1) / nodes_per_pod_;
+}
+
+int Topology::pod_of(int node) const {
+  HITOPK_CHECK(node >= 0 && node < nodes());
+  if (nodes_per_pod_ <= 0 || nodes_per_pod_ >= nodes()) return 0;
+  return node / nodes_per_pod_;
+}
 
 const LinkParams& Topology::link_between(int a, int b) const {
   return same_node(a, b) ? intra_ : inter_;
@@ -81,11 +120,23 @@ const LinkParams& Topology::link_between(int a, int b) const {
 
 std::string Topology::describe() const {
   std::ostringstream os;
-  os << nodes_ << " nodes x " << gpus_per_node_ << " GPUs"
-     << " | intra " << 1.0 / intra_.beta / 1e9 << " GB/s, "
+  if (uniform_gpus_ > 0) {
+    os << nodes() << " nodes x " << uniform_gpus_ << " GPUs";
+  } else {
+    os << nodes() << " nodes x {";
+    for (size_t n = 0; n < gpus_.size(); ++n) {
+      os << (n == 0 ? "" : ",") << gpus_[n];
+    }
+    os << "} GPUs";
+  }
+  os << " | intra " << 1.0 / intra_.beta / 1e9 << " GB/s, "
      << intra_.alpha * 1e6 << " us"
      << " | inter " << 1.0 / inter_.beta / 1e9 << " GB/s, "
      << inter_.alpha * 1e6 << " us";
+  if (oversubscription_ > 1.0) {
+    os << " | " << oversubscription_ << ":1 oversubscribed";
+    if (pods() > 1) os << " (" << pods() << " pods)";
+  }
   return os.str();
 }
 

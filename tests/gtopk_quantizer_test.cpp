@@ -94,11 +94,63 @@ TEST(Gtopk, SingleSharedSpikeSurvivesAllMerges) {
   EXPECT_NEAR(grads[0][137], 40.0f, 1e-4f);  // 8 ranks x 5.0
 }
 
-TEST(Gtopk, NonPowerOfTwoWorldThrows) {
-  Topology topo = fabric(3, 1);
-  Cluster cluster(topo);
+// Non-power-of-two worlds fold the extra ranks into the hypercube (one
+// pre-fold round), run recursive doubling over the largest power of two,
+// and unfold the result back out — rounds = log2(q) + 2.
+TEST(Gtopk, NonPowerOfTwoWorldsFoldAndConverge) {
+  struct Shape {
+    int nodes, gpus;
+    size_t expected_rounds;
+  };
+  for (const Shape shape : {Shape{3, 1, 3},    // p=3:  q=2, 1+1+1
+                            Shape{3, 2, 4},    // p=6:  q=4, 1+2+1
+                            Shape{3, 4, 5}}) {  // p=12: q=8, 1+3+1
+    SCOPED_TRACE(shape.nodes * shape.gpus);
+    Topology topo = fabric(shape.nodes, shape.gpus);
+    Cluster cluster(topo);
+    const int p = topo.world_size();
+    const size_t elems = 300;
+    std::vector<Tensor> grads;
+    Rng rng(41);
+    for (int r = 0; r < p; ++r) {
+      Tensor t(elems);
+      t.fill_normal(rng, 0.0f, 0.01f);
+      t[17] = 3.0f;  // shared spike must survive every merge
+      grads.push_back(std::move(t));
+    }
+    coll::RankData spans;
+    for (auto& g : grads) spans.push_back(g.span());
+    GtopkOptions options;
+    options.density = 0.05;
+    const auto result = gtopk_comm(cluster, spans, elems, options, 0.0);
+    EXPECT_EQ(result.rounds, shape.expected_rounds);
+    EXPECT_GT(result.total, 0.0);
+    // Every rank — including the folded extras — holds the identical set.
+    const size_t k = static_cast<size_t>(0.05 * 300 + 0.5);
+    size_t nnz = 0;
+    for (size_t i = 0; i < elems; ++i) nnz += grads[0][i] != 0.0f ? 1 : 0;
+    EXPECT_LE(nnz, k);
+    for (int r = 1; r < p; ++r) {
+      for (size_t i = 0; i < elems; ++i) {
+        ASSERT_EQ(grads[static_cast<size_t>(r)][i], grads[0][i]);
+      }
+    }
+    EXPECT_NEAR(grads[0][17], 3.0f * static_cast<float>(p), 1e-4f);
+  }
+}
+
+TEST(Gtopk, NonPowerOfTwoTimingAddsFoldRounds) {
+  // Timing-only runs support any world size; the fold and unfold rounds
+  // each cost at least one inter-rank hop beyond the hypercube rounds.
   GtopkOptions options;
-  EXPECT_THROW(gtopk_comm(cluster, {}, 100, options, 0.0), CheckError);
+  options.density = 0.01;
+  Cluster c12(fabric(3, 4));
+  const auto r12 = gtopk_comm(c12, {}, 1 << 20, options, 0.0);
+  Cluster c8(fabric(2, 4));
+  const auto r8 = gtopk_comm(c8, {}, 1 << 20, options, 0.0);
+  EXPECT_EQ(r12.rounds, 5u);  // q=8: fold + 3 + unfold
+  EXPECT_EQ(r8.rounds, 3u);   // exact power of two: no fold
+  EXPECT_GT(r12.total, r8.total);
 }
 
 TEST(Gtopk, TimingScalesLogarithmically) {

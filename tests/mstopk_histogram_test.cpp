@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -139,17 +141,45 @@ TEST(MsTopKHistogram, SemanticsMatchLegacyReferenceOnAdversarialInputs) {
     for (size_t k : {1u, 7u, 100u, 1000u}) {
       if (k >= input.x.size()) continue;
       MsTopK hist(30, 21);
+      MsTopK linear(30, 21, MsTopKMode::kLinear);
       MsTopK legacy(30, 21, MsTopKMode::kMultiPass);
       check_selection_semantics(input.x, k, hist, input.name + "/histogram");
+      check_selection_semantics(input.x, k, linear, input.name + "/linear");
       check_selection_semantics(input.x, k, legacy, input.name + "/legacy");
     }
   }
 }
 
+TEST(MsTopKHistogram, BitBracketCountsAreExactByConstruction) {
+  // The bit-bucket search's bracket boundaries are float bit patterns, so
+  // its recorded k1/k2 must equal the true counts with no verification
+  // pass — including straddling k strictly whenever both brackets exist.
+  for (auto& input : adversarial_inputs()) {
+    for (size_t k : {1u, 7u, 100u, 1000u}) {
+      if (k >= input.x.size()) continue;
+      SCOPED_TRACE(input.name + "/k=" + std::to_string(k));
+      MsTopK hist(30, 23);
+      hist.compress(input.x.span(), k);
+      const MsTopKStats& stats = hist.last_stats();
+      EXPECT_EQ(stats.samplings, 2);  // coarse + refinement, never more
+      if (stats.thres1 > 0.0f) {
+        EXPECT_EQ(input.x.count_abs_ge(stats.thres1), stats.k1);
+        EXPECT_LE(stats.k1, k);
+      }
+      if (stats.thres2 > 0.0f) {
+        EXPECT_EQ(input.x.count_abs_ge(stats.thres2), stats.k2);
+        EXPECT_GT(stats.k2, k);
+      }
+    }
+  }
+}
+
 TEST(MsTopKHistogram, BracketsAtLeastAsTightAsNineSamplings) {
-  // 512 buckets resolve the threshold interval to (max-mean)/512 — the same
-  // resolution as 9 binary-search halvings — so the histogram bracket gap
-  // must not exceed the 9-sampling legacy gap (plus float slop).
+  // The linear histogram's 512 buckets resolve the threshold interval to
+  // (max-mean)/512 — the same resolution as 9 binary-search halvings — and
+  // the bit-bucket refinement resolves to 2^13 ulps (half-octave / 512),
+  // tighter still on anything Gaussian-shaped.  Neither bracket gap may
+  // exceed the 9-sampling legacy gap (plus float slop).
   Rng rng(211);
   Tensor x(100000);
   x.fill_normal(rng, 0.0f, 1.0f);
@@ -159,18 +189,30 @@ TEST(MsTopKHistogram, BracketsAtLeastAsTightAsNineSamplings) {
   hist.compress(x.span(), k);
   const MsTopKStats hist_stats = hist.last_stats();
 
+  MsTopK linear(30, 3, MsTopKMode::kLinear);
+  linear.compress(x.span(), k);
+  const MsTopKStats linear_stats = linear.last_stats();
+
   MsTopK legacy(9, 3, MsTopKMode::kMultiPass);
   legacy.compress(x.span(), k);
   const MsTopKStats legacy_stats = legacy.last_stats();
 
   ASSERT_GT(hist_stats.thres1, 0.0f);
   ASSERT_GT(hist_stats.thres2, 0.0f);
+  ASSERT_GT(linear_stats.thres1, 0.0f);
+  ASSERT_GT(linear_stats.thres2, 0.0f);
   const float hist_gap = hist_stats.thres1 - hist_stats.thres2;
+  const float linear_gap = linear_stats.thres1 - linear_stats.thres2;
   const float legacy_gap = legacy_stats.thres1 - legacy_stats.thres2;
   EXPECT_LE(hist_gap, legacy_gap + 1e-6f);
-  // And it does so in a single counting pass.
-  EXPECT_EQ(hist_stats.samplings, 1);
+  EXPECT_LE(hist_gap, linear_gap + 1e-6f);  // the refinement is tighter yet
+  EXPECT_LE(linear_gap, legacy_gap + 1e-6f);
+  // Pass structure: two bit-bucket counting passes vs one linear counting
+  // pass (which also needs the statistics pass and a verification recount).
+  EXPECT_EQ(hist_stats.samplings, 2);
   EXPECT_EQ(hist_stats.buckets, 512);
+  EXPECT_EQ(linear_stats.samplings, 1);
+  EXPECT_EQ(linear_stats.buckets, 512);
 }
 
 TEST(MsTopKHistogram, MassOverlapWithExactTopKAtAcceptanceScale) {
@@ -192,17 +234,48 @@ TEST(MsTopKHistogram, MassOverlapWithExactTopKAtAcceptanceScale) {
   EXPECT_GT(approx_mass, 0.99 * exact_mass);
 }
 
-TEST(MsTopKHistogram, RegistryExposesBothVariants) {
+TEST(MsTopKHistogram, RegistryExposesAllVariants) {
   auto hist = make_compressor("mstopk", 7);
+  auto linear = make_compressor("mstopk_linear", 7);
   auto legacy = make_compressor("mstopk_legacy", 7);
   EXPECT_EQ(hist->name(), "mstopk");
+  EXPECT_EQ(linear->name(), "mstopk_linear");
   EXPECT_EQ(legacy->name(), "mstopk_legacy");
 
   Rng rng(229);
   Tensor x(5000);
   x.fill_normal(rng, 0.0f, 1.0f);
   EXPECT_EQ(hist->compress(x.span(), 50).nnz(), 50u);
+  EXPECT_EQ(linear->compress(x.span(), 50).nnz(), 50u);
   EXPECT_EQ(legacy->compress(x.span(), 50).nnz(), 50u);
+}
+
+TEST(MsTopKHistogram, NonFiniteInputsFallBackLikeTheLegacyPaths) {
+  // A diverging training run can hand the compressor inf/NaN gradients.
+  // The legacy searches degrade to the first-k fallback because their
+  // mean/max statistics are poisoned; the bit-bucket search must do the
+  // same instead of tripping its internal consistency checks.
+  Tensor x(256);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(i % 7) * 0.25f;
+  }
+  x[3] = std::numeric_limits<float>::infinity();
+  x[10] = -std::numeric_limits<float>::infinity();
+  x[77] = std::bit_cast<float>(0x7FA00000u);  // NaN payload
+  for (size_t k : {1u, 2u, 50u}) {
+    SCOPED_TRACE(k);
+    MsTopK hist(30, 37);
+    MsTopK linear(30, 37, MsTopKMode::kLinear);
+    MsTopK legacy(30, 37, MsTopKMode::kMultiPass);
+    const SparseTensor h = hist.compress(x.span(), k);
+    const SparseTensor li = linear.compress(x.span(), k);
+    const SparseTensor le = legacy.compress(x.span(), k);
+    EXPECT_EQ(h.nnz(), k);
+    EXPECT_TRUE(h.is_valid());
+    // All three modes agree on the degenerate fallback (first k indices).
+    EXPECT_EQ(h.indices, li.indices);
+    EXPECT_EQ(h.indices, le.indices);
+  }
 }
 
 TEST(MsTopKHistogram, HeavyTiesStillReturnExactlyK) {

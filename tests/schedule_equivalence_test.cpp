@@ -5,17 +5,22 @@
 // single-rank groups, and multi-chunk tree pipelining.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
+#include "collectives/blueconnect.h"
+#include "collectives/gtopk.h"
 #include "collectives/hier_allreduce.h"
 #include "collectives/hitopkcomm.h"
+#include "collectives/naive_allgather.h"
 #include "collectives/param_server.h"
 #include "collectives/ring.h"
 #include "collectives/schedule.h"
 #include "collectives/torus2d.h"
 #include "collectives/tree_allreduce.h"
 #include "compress/error_feedback.h"
+#include "compress/exact_topk.h"
 #include "core/rng.h"
 #include "core/tensor.h"
 
@@ -338,6 +343,280 @@ TEST(HiTopKEquivalence, FunctionalWithErrorFeedback) {
   EXPECT_DOUBLE_EQ(ef_sched.residual_sq_norm(), ef_legacy.residual_sq_norm());
   EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, nullptr, nullptr).total,
                    run(CollectivePath::kLegacy, nullptr, nullptr).total);
+}
+
+// ------------------------------------------------------------ gTop-k
+// Clock parity and bitwise buffers across power-of-two and folded
+// (non-power-of-two) worlds, with error-feedback state carried across two
+// successive calls — the engine path also swaps the dense-allocating merge
+// for the fused workspace-backed one, so this pins that rewrite too.
+class GtopkEquivalenceTest
+    : public ::testing::TestWithParam<std::pair<std::pair<int, int>, size_t>> {
+};
+
+TEST_P(GtopkEquivalenceTest, TwoCallsWithErrorFeedback) {
+  const auto [shape, elems] = GetParam();
+  const auto [m, n] = shape;
+  const Topology topo = fabric(m, n);
+  auto run = [&](CollectivePath path, std::vector<Tensor>* buffers,
+                 compress::ErrorFeedback* ef) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    GtopkOptions options;
+    options.density = 0.04;
+    options.error_feedback = ef;
+    RankData data;
+    if (buffers != nullptr) data = spans_of(*buffers);
+    const auto first = coll::gtopk_comm(cluster, data, elems, options, 0.0);
+    // Second call continues from the first's residuals (functional mode).
+    const auto second =
+        coll::gtopk_comm(cluster, data, elems, options, first.total);
+    return std::pair{first, second};
+  };
+  std::vector<Tensor> buf_sched =
+      random_buffers(topo.world_size(), elems, 300 + elems);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  compress::ErrorFeedback ef_sched, ef_legacy;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched, &ef_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy, &ef_legacy);
+  EXPECT_DOUBLE_EQ(s.first.total, l.first.total);
+  EXPECT_DOUBLE_EQ(s.second.total, l.second.total);
+  EXPECT_EQ(s.first.rounds, l.first.rounds);
+  EXPECT_EQ(s.second.final_nnz, l.second.final_nnz);
+  expect_bitwise_equal(buf_sched, buf_legacy);
+  EXPECT_DOUBLE_EQ(ef_sched.residual_sq_norm(), ef_legacy.residual_sq_norm());
+  // Timing-only parity of the same shapes.
+  const auto s_empty = run(CollectivePath::kSchedule, nullptr, nullptr);
+  const auto l_empty = run(CollectivePath::kLegacy, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(s_empty.second.total, l_empty.second.total);
+}
+
+// Power-of-two (2x2, 2x4), folded worlds (3x1, 3x2, 3x4), an uneven ragged
+// element count, and a folded world on an *uneven* node topology below.
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GtopkEquivalenceTest,
+    ::testing::Values(std::pair{std::pair{2, 2}, size_t{200}},
+                      std::pair{std::pair{2, 4}, size_t{257}},
+                      std::pair{std::pair{3, 1}, size_t{100}},
+                      std::pair{std::pair{3, 2}, size_t{331}},
+                      std::pair{std::pair{3, 4}, size_t{97}}));
+
+TEST(GtopkEquivalence, UnevenNodeTopology) {
+  // 3 + 1 + 2 GPUs: world size 6 folds (q = 4, rem = 2) and the NIC port
+  // layout is asymmetric across nodes.
+  const Topology topo(std::vector<int>{3, 1, 2}, LinkParams{1e-6, 1e-9},
+                      LinkParams{1e-5, 1e-8});
+  const size_t elems = 150;
+  auto run = [&](CollectivePath path, std::vector<Tensor>* buffers) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    GtopkOptions options;
+    options.density = 0.05;
+    RankData data;
+    if (buffers != nullptr) data = spans_of(*buffers);
+    return coll::gtopk_comm(cluster, data, elems, options, 0.25);
+  };
+  std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 44);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy);
+  EXPECT_DOUBLE_EQ(s.total, l.total);
+  EXPECT_EQ(s.rounds, 4u);  // q = 4: fold + 2 + unfold
+  expect_bitwise_equal(buf_sched, buf_legacy);
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, nullptr).total,
+                   run(CollectivePath::kLegacy, nullptr).total);
+}
+
+// ------------------------------------------------------------ NaiveAG
+TEST(NaiveAgEquivalence, RaggedSparsePayloads) {
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 211;
+  // Per-rank top-k with *different* k so the ring payloads are ragged.
+  std::vector<Tensor> grads = random_buffers(topo.world_size(), elems, 91);
+  std::vector<compress::SparseTensor> sparse;
+  for (size_t r = 0; r < grads.size(); ++r) {
+    sparse.push_back(compress::exact_topk(grads[r].span(), 3 + 5 * r));
+  }
+  auto run = [&](CollectivePath path, std::vector<Tensor>* buffers) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    RankData data;
+    if (buffers != nullptr) data = spans_of(*buffers);
+    return coll::naive_sparse_allgather(cluster, sparse, data, elems, 2,
+                                        1e-4, 0.5);
+  };
+  std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 92);
+  std::vector<Tensor> buf_legacy = buf_sched;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy);
+  EXPECT_DOUBLE_EQ(s.total, l.total);
+  EXPECT_DOUBLE_EQ(s.allgather, l.allgather);
+  EXPECT_DOUBLE_EQ(s.accumulate, l.accumulate);
+  expect_bitwise_equal(buf_sched, buf_legacy);
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule, nullptr).total,
+                   run(CollectivePath::kLegacy, nullptr).total);
+}
+
+TEST(NaiveAgEquivalence, UnevenNodeTopologyTimingParity) {
+  const Topology topo(std::vector<int>{2, 4, 1}, LinkParams{1e-6, 1e-9},
+                      LinkParams{1e-5, 1e-8});
+  auto run = [&](CollectivePath path) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    return coll::naive_sparse_allgather_time(cluster, 64, 2, 1e-4, 0.0).total;
+  };
+  EXPECT_DOUBLE_EQ(run(CollectivePath::kSchedule),
+                   run(CollectivePath::kLegacy));
+}
+
+// Guard class from PR 4's ring_allgather_bytes_multi g == 0 fix: degenerate
+// NaiveAG inputs must not crash and must cost only the local accumulate.
+TEST(NaiveAgGuards, SingleRankWorldIsGatherFree) {
+  const Topology topo = fabric(1, 1);
+  Cluster cluster(topo);
+  Tensor grad(50);
+  grad.fill(2.0f);
+  std::vector<compress::SparseTensor> sparse{
+      compress::exact_topk(grad.span(), 5)};
+  Tensor out(50);
+  RankData data{out.span()};
+  const auto r =
+      coll::naive_sparse_allgather(cluster, sparse, data, 50, 4, 1e-3, 0.0);
+  EXPECT_DOUBLE_EQ(r.allgather, 0.0);  // no ring steps for one rank
+  EXPECT_DOUBLE_EQ(r.accumulate, 1e-3);
+  EXPECT_DOUBLE_EQ(r.total, 1e-3);
+  float sum = 0.0f;
+  for (size_t i = 0; i < 50; ++i) sum += out[i];
+  EXPECT_FLOAT_EQ(sum, 10.0f);  // the rank's own top-5 of a constant tensor
+  EXPECT_DOUBLE_EQ(
+      coll::naive_sparse_allgather_time(cluster, 100, 4, 0.0, 2.0).total, 0.0);
+}
+
+TEST(NaiveAgGuards, EmptySelectionsRideAsLatencyOnlyMessages) {
+  const Topology topo = fabric(2, 2);
+  const size_t elems = 40;
+  // k == 0 everywhere: zero payload bytes, but the ring steps still pay
+  // alpha, identically on both paths.
+  std::vector<compress::SparseTensor> sparse(4);
+  for (auto& s : sparse) s.dense_size = elems;
+  std::vector<Tensor> buffers = random_buffers(4, elems, 7);
+  auto run = [&](CollectivePath path, std::vector<Tensor>* bufs) {
+    PathGuard guard(path);
+    Cluster cluster(topo);
+    RankData data;
+    if (bufs != nullptr) data = spans_of(*bufs);
+    return coll::naive_sparse_allgather(cluster, sparse, data, elems, 4, 0.0,
+                                        0.0);
+  };
+  std::vector<Tensor> buf_sched = buffers;
+  std::vector<Tensor> buf_legacy = buffers;
+  const auto s = run(CollectivePath::kSchedule, &buf_sched);
+  const auto l = run(CollectivePath::kLegacy, &buf_legacy);
+  EXPECT_DOUBLE_EQ(s.total, l.total);
+  EXPECT_GT(s.allgather, 0.0);  // alpha per step survives
+  for (const auto& t : buf_sched) {
+    for (size_t i = 0; i < elems; ++i) ASSERT_EQ(t[i], 0.0f);  // empty sum
+  }
+  expect_bitwise_equal(buf_sched, buf_legacy);
+}
+
+TEST(NaiveAgGuards, EmptyRankDataIsTimingOnly) {
+  const Topology topo = fabric(2, 2);
+  Cluster cluster(topo);
+  std::vector<compress::SparseTensor> sparse(4);
+  for (auto& s : sparse) s.dense_size = 16;
+  const auto r =
+      coll::naive_sparse_allgather(cluster, sparse, RankData{}, 16, 4, 0.0,
+                                   0.0);
+  EXPECT_GT(r.total, 0.0);  // clocks advance, no data is touched
+}
+
+// ------------------------------------------------------------ BlueConnect
+// BlueConnect has no legacy twin: with factors = {P} its recorded schedule
+// must be *identical* to ring_allreduce's (clock and bitwise), which in
+// turn is pinned against the legacy loops above — that chain anchors the
+// whole decomposition.
+TEST(BlueConnect, SingleStageIsExactlyFlatRing) {
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 151;
+  std::vector<Tensor> buf_bc = random_buffers(topo.world_size(), elems, 120);
+  std::vector<Tensor> buf_ring = buf_bc;
+  Cluster c_bc(topo), c_ring(topo);
+  BlueConnectOptions options;
+  options.factors = {6};
+  options.wire_bytes = 4;
+  const auto bc =
+      blueconnect_allreduce(c_bc, spans_of(buf_bc), elems, options, 0.75);
+  const double ring = ring_allreduce(c_ring, world_group(topo),
+                                     spans_of(buf_ring), elems, 4, 0.75);
+  // Same expression shape on both sides (finish - start), so the doubles
+  // must be identical, not merely close.
+  EXPECT_DOUBLE_EQ(bc.total, ring - 0.75);
+  expect_bitwise_equal(buf_bc, buf_ring);
+  // Timing-only too.
+  Cluster c_bc2(topo), c_ring2(topo);
+  EXPECT_DOUBLE_EQ(
+      blueconnect_allreduce(c_bc2, {}, elems, options, 0.0).total,
+      ring_allreduce(c_ring2, world_group(topo), {}, elems, 4, 0.0));
+}
+
+class BlueConnectShapeTest
+    : public ::testing::TestWithParam<
+          std::pair<std::vector<int>, std::pair<std::pair<int, int>, size_t>>> {
+};
+
+TEST_P(BlueConnectShapeTest, AllRanksConvergeToTheSum) {
+  const auto [factors, rest] = GetParam();
+  const auto [shape, elems] = rest;
+  const auto [m, n] = shape;
+  const Topology topo = fabric(m, n);
+  std::vector<Tensor> buffers =
+      random_buffers(topo.world_size(), elems, 130 + elems);
+  std::vector<double> expected(elems, 0.0);
+  for (const auto& b : buffers) {
+    for (size_t i = 0; i < elems; ++i) expected[i] += b[i];
+  }
+  Cluster cluster(topo);
+  BlueConnectOptions options;
+  options.factors = factors;
+  const auto r =
+      blueconnect_allreduce(cluster, spans_of(buffers), elems, options, 0.0);
+  EXPECT_EQ(r.stages, options.factors.empty()
+                          ? (m == 1 || n == 1 ? 1u : 2u)
+                          : options.factors.size());
+  EXPECT_GT(r.total, 0.0);
+  EXPECT_DOUBLE_EQ(r.total, r.reduce_scatter + r.allgather);
+  for (size_t rank = 0; rank < buffers.size(); ++rank) {
+    for (size_t i = 0; i < elems; ++i) {
+      ASSERT_EQ(buffers[rank][i], buffers[0][i]) << rank << "," << i;
+      ASSERT_NEAR(buffers[rank][i], expected[i],
+                  1e-4 * std::max(1.0, std::abs(expected[i])));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlueConnectShapeTest,
+    ::testing::Values(
+        // Auto-derived {n, m} on a ragged element count.
+        std::pair{std::vector<int>{}, std::pair{std::pair{3, 2}, size_t{157}}},
+        std::pair{std::vector<int>{}, std::pair{std::pair{4, 4}, size_t{96}}},
+        // Explicit three-stage rack-aware factorization {n, pod, pods}.
+        std::pair{std::vector<int>{2, 2, 2},
+                  std::pair{std::pair{4, 2}, size_t{203}}},
+        std::pair{std::vector<int>{4, 2, 2},
+                  std::pair{std::pair{4, 4}, size_t{129}}},
+        // Factor-1 stages are legal no-ops.
+        std::pair{std::vector<int>{1, 6, 1},
+                  std::pair{std::pair{3, 2}, size_t{64}}}));
+
+TEST(BlueConnect, RejectsFactorizationMismatch) {
+  const Topology topo = fabric(2, 2);
+  Cluster cluster(topo);
+  BlueConnectOptions options;
+  options.factors = {3};
+  EXPECT_THROW(blueconnect_allreduce(cluster, {}, 10, options, 0.0),
+               CheckError);
 }
 
 // ------------------------------------------------------- engine unit tests

@@ -66,6 +66,104 @@ TEST(Topology, DescribeMentionsShape) {
   EXPECT_NE(s.find("8 GPUs"), std::string::npos);
 }
 
+// ------------------------------------------------ uneven gpus-per-node
+TEST(Topology, UnevenRankMapping) {
+  const Topology t(std::vector<int>{3, 1, 2}, LinkParams{1e-6, 1e-9},
+                   LinkParams{1e-5, 1e-8});
+  EXPECT_EQ(t.world_size(), 6);
+  EXPECT_EQ(t.nodes(), 3);
+  EXPECT_FALSE(t.uniform());
+  EXPECT_EQ(t.gpus_on_node(0), 3);
+  EXPECT_EQ(t.gpus_on_node(1), 1);
+  EXPECT_EQ(t.gpus_on_node(2), 2);
+  EXPECT_EQ(t.max_gpus_per_node(), 3);
+  // Ranks 0-2 on node 0, rank 3 on node 1, ranks 4-5 on node 2.
+  EXPECT_EQ(t.node_of(2), 0);
+  EXPECT_EQ(t.node_of(3), 1);
+  EXPECT_EQ(t.node_of(4), 2);
+  EXPECT_EQ(t.local_rank(5), 1);
+  EXPECT_EQ(t.rank_of(2, 1), 5);
+  EXPECT_TRUE(t.same_node(4, 5));
+  EXPECT_FALSE(t.same_node(2, 3));
+  // The uniform accessor must fail loudly instead of mis-mapping ranks.
+  EXPECT_THROW(t.gpus_per_node(), CheckError);
+  EXPECT_THROW(t.rank_of(1, 1), CheckError);  // node 1 has a single GPU
+  const std::string s = t.describe();
+  EXPECT_NE(s.find("{3,1,2}"), std::string::npos);
+}
+
+TEST(Topology, UniformVectorCollapsesToUniform) {
+  const Topology t(std::vector<int>{2, 2}, LinkParams{1e-6, 1e-9},
+                   LinkParams{1e-5, 1e-8});
+  EXPECT_TRUE(t.uniform());
+  EXPECT_EQ(t.gpus_per_node(), 2);
+}
+
+TEST(Cluster, UnevenNodesShareTheirOwnNic) {
+  // Node 0 has two GPUs whose inter-node flows share node 0's NIC; the
+  // single-GPU node 1 is unaffected.
+  const Topology t(std::vector<int>{2, 1, 1}, LinkParams{0.0, 1e-9},
+                   LinkParams{0.0, 1e-8});
+  Cluster c(t);
+  const double a = c.send(0, 2, 1000, 0.0);
+  const double b = c.send(1, 3, 1000, 0.0);
+  EXPECT_DOUBLE_EQ(a, 1e-5);
+  EXPECT_DOUBLE_EQ(b, 2e-5);  // serialized behind a on node 0's NIC
+}
+
+// ------------------------------------------------ fat-tree oversubscription
+TEST(Cluster, SingleLayerCoreCapsAggregateInterNodeRate) {
+  // 4 nodes, nic == per-flow rate, core oversubscribed 2:1: the core's
+  // aggregate capacity is 4 * nic / 2 = 2 flows' worth, so four concurrent
+  // single-hop flows from distinct nodes stagger in pairs.
+  const Topology t(4, 2, LinkParams{0.0, 1e-9}, LinkParams{0.0, 1e-8},
+                   /*nic_beta=*/1e-8, /*oversubscription=*/2.0);
+  Cluster c(t);
+  const size_t bytes = 1'000'000;
+  // Distinct (src node, dst node) pairs: no NIC is shared.
+  const double f1 = c.send(0, 2, bytes, 0.0);   // node 0 -> 1
+  const double f2 = c.send(4, 6, bytes, 0.0);   // node 2 -> 3
+  // Per-flow time 10 ms; core service per flow = bytes * nic*2/4 = 5 ms.
+  EXPECT_DOUBLE_EQ(f1, 1e-2);
+  EXPECT_DOUBLE_EQ(f2, 5e-3 + 1e-2);
+}
+
+TEST(Cluster, NonBlockingFabricIgnoresOversubscriptionKnob) {
+  // f == 1 must leave timings bit-for-bit identical to the plain topology.
+  const Topology plain(4, 2, LinkParams{0.0, 1e-9}, LinkParams{0.0, 1e-8});
+  const Topology f1(4, 2, LinkParams{0.0, 1e-9}, LinkParams{0.0, 1e-8}, 0.0,
+                    1.0, /*nodes_per_pod=*/2);
+  Cluster a(plain), b(f1);
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_DOUBLE_EQ(a.send(g, 7 - g, 12345, 0.0), b.send(g, 7 - g, 12345, 0.0));
+  }
+}
+
+TEST(Cluster, PodUplinksConstrainOnlyCrossPodFlows) {
+  // 4 nodes in pods of 2, uplink oversubscribed 4:1 (uplink capacity =
+  // 2 * nic / 4 = nic / 2).  Intra-pod inter-node flows never touch the
+  // uplink; cross-pod flows serialize through it at half NIC rate.
+  const Topology t(4, 1, LinkParams{0.0, 1e-9}, LinkParams{0.0, 1e-8},
+                   /*nic_beta=*/1e-8, /*oversubscription=*/4.0,
+                   /*nodes_per_pod=*/2);
+  EXPECT_EQ(t.pods(), 2);
+  EXPECT_EQ(t.pod_of(1), 0);
+  EXPECT_EQ(t.pod_of(2), 1);
+  Cluster c(t);
+  const size_t bytes = 1'000'000;
+  // Intra-pod: nodes 0 -> 1, full per-flow rate (10 ms), uplink untouched.
+  EXPECT_DOUBLE_EQ(c.send(0, 1, bytes, 0.0), 1e-2);
+  c.reset();
+  // Cross-pod: node 0 -> 2 then node 1 -> 3.  Distinct NICs, but both
+  // occupy pod 0's uplink send port: service = bytes * nic * 4 / 2 = 20 ms.
+  const double x1 = c.send(0, 2, bytes, 0.0);
+  const double x2 = c.send(1, 3, bytes, 0.0);
+  EXPECT_DOUBLE_EQ(x1, 1e-2);
+  EXPECT_DOUBLE_EQ(x2, 2e-2 + 1e-2);
+  // An intra-pod flow inside pod 1 is still free to start at once.
+  EXPECT_DOUBLE_EQ(c.send(3, 2, bytes, 1e-2), 1e-2 + 1e-2);
+}
+
 // ------------------------------------------------------------ cluster
 TEST(Cluster, SingleTransferCost) {
   Cluster c(tiny());

@@ -8,7 +8,7 @@ namespace hitopk::coll {
 namespace {
 
 std::vector<int> derive_factors(const simnet::Topology& topo) {
-  HITOPK_CHECK(topo.uniform())
+  HITOPK_VALIDATE(topo.uniform())
       << "BlueConnect auto-factorization needs a uniform topology; pass "
          "explicit factors for uneven clusters";
   const int n = topo.gpus_per_node();
@@ -20,11 +20,9 @@ std::vector<int> derive_factors(const simnet::Topology& topo) {
 
 }  // namespace
 
-BlueConnectBreakdown blueconnect_allreduce(simnet::Cluster& cluster,
-                                           const RankData& data, size_t elems,
-                                           const BlueConnectOptions& options,
-                                           double start) {
-  const simnet::Topology& topo = cluster.topology();
+size_t build_blueconnect(Schedule& sched, const simnet::Topology& topo,
+                         const RankData& data, size_t elems,
+                         const BlueConnectOptions& options) {
   const int p = topo.world_size();
   check_data(world_group(topo), data, elems);
   const bool functional = !data.empty();
@@ -34,14 +32,12 @@ BlueConnectBreakdown blueconnect_allreduce(simnet::Cluster& cluster,
   const size_t S = factors.size();
   int product = 1;
   for (int f : factors) {
-    HITOPK_CHECK_GT(f, 0);
+    HITOPK_VALIDATE(f > 0) << "stage factor" << f << "must be positive";
     product *= f;
   }
-  HITOPK_CHECK_EQ(product, p) << "stage factors must multiply to world size";
-
-  BlueConnectBreakdown out;
-  out.stages = S;
-  if (p <= 1) return out;
+  HITOPK_VALIDATE(product == p)
+      << "stage factors multiply to" << product << ", world size is" << p;
+  if (p <= 1) return S;
 
   // Mixed-radix strides: digit s of rank r is (r / stride[s]) % factors[s].
   std::vector<int> stride(S, 1);
@@ -51,7 +47,6 @@ BlueConnectBreakdown blueconnect_allreduce(simnet::Cluster& cluster,
   // the rank's stage digit as the Reduce-Scatter descends).
   std::vector<ChunkRange> ext(static_cast<size_t>(p), ChunkRange{0, elems});
 
-  Schedule sched;
   std::vector<std::vector<Group>> stage_groups(S);
   std::vector<std::vector<ChunkRange>> stage_extents(S);
   std::vector<RingGrid> grids(S);
@@ -107,6 +102,20 @@ BlueConnectBreakdown blueconnect_allreduce(simnet::Cluster& cluster,
                          options.wire_bytes);
     if (s > 0) sched.sync(/*collapse=*/true);
   }
+  return S;
+}
+
+BlueConnectBreakdown blueconnect_allreduce(simnet::Cluster& cluster,
+                                           const RankData& data, size_t elems,
+                                           const BlueConnectOptions& options,
+                                           double start) {
+  Schedule sched;
+  const size_t S =
+      build_blueconnect(sched, cluster.topology(), data, elems, options);
+
+  BlueConnectBreakdown out;
+  out.stages = S;
+  if (cluster.topology().world_size() <= 1) return out;
 
   const Schedule::TimingResult timing = sched.run_timing(cluster, start);
   sched.run_data();

@@ -20,6 +20,7 @@
 #pragma once
 
 #include "collectives/common.h"
+#include "collectives/schedule.h"
 
 namespace hitopk::coll {
 
@@ -39,6 +40,17 @@ struct BlueConnectBreakdown {
   double allgather = 0.0;       // all ascending stages
   size_t stages = 0;
 };
+
+// Records the complete BlueConnect schedule (descending Reduce-Scatter
+// stages, then ascending All-Gather stages, with a collapse sync between
+// consecutive stages) into `sched` and returns the stage count S; replaying
+// it, sync_times[S-1] is the RS/AG midpoint.  Throws ConfigError when the
+// factors do not multiply to the world size (or auto-factorization meets an
+// uneven topology).  Exposed so the elastic layer can rebuild the schedule
+// for a surviving world after a preemption.
+size_t build_blueconnect(Schedule& sched, const simnet::Topology& topo,
+                         const RankData& data, size_t elems,
+                         const BlueConnectOptions& options);
 
 // In-place All-Reduce over the whole cluster.  Functional mode: every
 // data[rank] (full `elems` floats) ends up holding the global sum (the

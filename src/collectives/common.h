@@ -50,11 +50,19 @@ Group cross_node_group(const simnet::Topology& topology, int local_rank);
 // All world ranks in rank order.
 Group world_group(const simnet::Topology& topology);
 
-// Validates a functional data vector against a group.
+// Validates a functional data vector against a group.  Throws the
+// recoverable ConfigError: buffer/group shape mismatches arrive from
+// callers' runtime configuration (world size, payload layout), not from
+// internal invariants.
 inline void check_data(const Group& group, const RankData& data, size_t elems) {
   if (data.empty()) return;  // timing-only
-  HITOPK_CHECK_EQ(data.size(), group.size());
-  for (const auto& span : data) HITOPK_CHECK_EQ(span.size(), elems);
+  HITOPK_VALIDATE(data.size() == group.size())
+      << "got" << data.size() << "rank buffers for a group of"
+      << group.size();
+  for (const auto& span : data) {
+    HITOPK_VALIDATE(span.size() == elems)
+        << "rank buffer has" << span.size() << "elements, expected" << elems;
+  }
 }
 
 }  // namespace hitopk::coll

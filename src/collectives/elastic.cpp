@@ -1,0 +1,172 @@
+#include "collectives/elastic.h"
+
+#include <algorithm>
+
+#include "collectives/ring.h"
+
+namespace hitopk::coll {
+namespace {
+
+// Records the exact engine-path ring All-Reduce (ring.cpp ring_allreduce):
+// fused-chain Reduce-Scatter, collapse sync, resolved All-Gather.
+void build_ring_allreduce(Schedule& sched, const Group& group,
+                          const RankData& data, size_t elems,
+                          size_t wire_bytes) {
+  if (group.size() <= 1) return;
+  std::vector<Group> groups{group};
+  std::vector<RankData> group_data;
+  if (!data.empty()) group_data.push_back(data);
+  const RingGrid grid = ring_grid(sched, groups, group_data);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes,
+                            /*fused_chains=*/true);
+  sched.sync(/*collapse=*/true);
+  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+}
+
+}  // namespace
+
+SurvivorWorld shrink_topology(const simnet::Topology& topology,
+                              const std::vector<int>& dead_ranks) {
+  std::vector<bool> dead(static_cast<size_t>(topology.world_size()), false);
+  for (int r : dead_ranks) {
+    HITOPK_CHECK(r >= 0 && r < topology.world_size());
+    dead[static_cast<size_t>(r)] = true;
+  }
+
+  SurvivorWorld out{simnet::Topology(1, 1, topology.intra(), topology.inter()),
+                    {}, {}};
+  std::vector<int> gpus;
+  for (int node = 0; node < topology.nodes(); ++node) {
+    int alive_here = 0;
+    for (int local = 0; local < topology.gpus_on_node(node); ++local) {
+      const int rank = topology.rank_of(node, local);
+      if (dead[static_cast<size_t>(rank)]) continue;
+      ++alive_here;
+      out.old_rank.push_back(rank);
+    }
+    if (alive_here > 0) {
+      gpus.push_back(alive_here);
+      out.old_node.push_back(node);
+    }
+  }
+  HITOPK_VALIDATE(!out.old_rank.empty())
+      << "no rank survives the preemption set";
+  // nodes_per_pod is a count of *original* node positions; once nodes drop
+  // out the pod grouping no longer tiles, so the shrunk fabric keeps the
+  // oversubscription factor but collapses to a single switch layer (the
+  // conservative model: every inter-node flow sees the oversubscribed
+  // core).  A uniform original topology that loses whole nodes only stays
+  // podded when the grouping still tiles exactly.
+  int nodes_per_pod = topology.nodes_per_pod();
+  if (nodes_per_pod > 0) {
+    bool tiles = static_cast<int>(gpus.size()) % nodes_per_pod == 0;
+    for (size_t i = 0; tiles && i < out.old_node.size(); ++i) {
+      tiles = out.old_node[i] / nodes_per_pod ==
+              static_cast<int>(i) / nodes_per_pod;
+    }
+    if (!tiles) nodes_per_pod = 0;
+  }
+  out.topology = simnet::Topology(std::move(gpus), topology.intra(),
+                                  topology.inter(), topology.nic_beta(),
+                                  topology.oversubscription(), nodes_per_pod);
+  return out;
+}
+
+ElasticResult elastic_allreduce(const simnet::Topology& topology,
+                                const simnet::FaultPlan& plan,
+                                const RankData& data, size_t elems,
+                                const ElasticOptions& options, double start) {
+  check_data(world_group(topology), data, elems);
+  const bool functional = !data.empty();
+
+  ElasticResult result;
+  // Original ranks participating in the current attempt.
+  std::vector<int> survivors;
+  for (int r = 0; r < topology.world_size(); ++r) {
+    if (plan.alive(r, start)) survivors.push_back(r);
+  }
+  std::vector<int> dead;
+  for (int r = 0; r < topology.world_size(); ++r) {
+    if (!plan.alive(r, start)) dead.push_back(r);
+  }
+
+  double now = start;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (survivors.empty()) break;
+    const SurvivorWorld world = shrink_topology(topology, dead);
+    const simnet::FaultPlan local_plan =
+        plan.remap(world.old_rank, world.old_node);
+    simnet::Cluster cluster(world.topology);
+    cluster.set_fault_plan(&local_plan);
+    const int p = world.topology.world_size();
+
+    RankData attempt_data;
+    if (functional) {
+      for (int r : world.old_rank) {
+        attempt_data.push_back(data[static_cast<size_t>(r)]);
+      }
+    }
+
+    ScheduleOutcome outcome;
+    switch (options.algorithm) {
+      case ElasticAlgorithm::kRing: {
+        Schedule sched;
+        build_ring_allreduce(sched, world_group(world.topology), attempt_data,
+                             elems, options.wire_bytes);
+        outcome = sched.run_timing_abortable(cluster, now);
+        if (outcome.completed()) sched.run_data();
+        break;
+      }
+      case ElasticAlgorithm::kBlueConnect: {
+        BlueConnectOptions bc = options.blueconnect;
+        int product = 1;
+        for (int f : bc.factors) product *= f;
+        if (bc.factors.empty() || product != p) {
+          // Rescale invalidated the caller's factorization: re-derive (auto
+          // on uniform survivors, flat ring on uneven ones).
+          bc.factors = world.topology.uniform() ? std::vector<int>{}
+                                                : std::vector<int>{p};
+        }
+        Schedule sched;
+        build_blueconnect(sched, world.topology, attempt_data, elems, bc);
+        outcome = sched.run_timing_abortable(cluster, now);
+        if (outcome.completed()) sched.run_data();
+        break;
+      }
+      case ElasticAlgorithm::kGtopk: {
+        GtopkOptions gt = options.gtopk;
+        gt.outcome = &outcome;
+        gtopk_comm(cluster, attempt_data, elems, gt, now);
+        break;
+      }
+    }
+
+    result.attempts.push_back(ElasticAttempt{outcome, p});
+    result.surviving_world = p;
+    result.survivors = world.old_rank;
+    if (outcome.completed()) {
+      result.completed = true;
+      result.finish = outcome.finish;
+      return result;
+    }
+
+    // Abort: the failure was detected at outcome.finish; survivors
+    // rendezvous, drop every rank dead at that point, and rebuild.
+    now = outcome.finish + options.reschedule_seconds;
+    std::vector<int> still_alive;
+    for (int r : survivors) {
+      if (plan.alive(r, now)) {
+        still_alive.push_back(r);
+      } else {
+        dead.push_back(r);
+      }
+    }
+    if (still_alive.size() < survivors.size()) ++result.rescales;
+    survivors = std::move(still_alive);
+  }
+
+  result.finish = now;
+  return result;
+}
+
+}  // namespace hitopk::coll

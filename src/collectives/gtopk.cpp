@@ -141,9 +141,9 @@ double legacy_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
 double schedule_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
                       size_t payload, size_t k, compress::TopKSelect algo,
                       std::vector<compress::SparseTensor>& state, double start,
-                      size_t& rounds) {
+                      size_t& rounds, ScheduleOutcome* outcome) {
   const auto [p, q, rem] = shape;
-  const bool functional = !state.empty();
+  bool functional = !state.empty();
 
   Schedule sched;
   const uint32_t slot0 = sched.add_slots(static_cast<uint32_t>(p));
@@ -170,7 +170,17 @@ double schedule_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
     }
     sched.end_step();
   }
-  const double done = sched.run_timing(cluster, start).finish;
+  double done;
+  if (outcome != nullptr) {
+    *outcome = sched.run_timing_abortable(cluster, start);
+    done = outcome->finish;
+    // Aborted exchange: no merge ever completed consistently across the
+    // world, so the functional rounds are skipped and callers leave the
+    // input gradients untouched.
+    if (outcome->aborted()) functional = false;
+  } else {
+    done = sched.run_timing(cluster, start).finish;
+  }
 
   if (functional) {
     if (rem > 0) {
@@ -250,15 +260,22 @@ GtopkResult gtopk_comm(simnet::Cluster& cluster, const RankData& data,
     });
   }
 
+  const bool legacy = collective_path() == CollectivePath::kLegacy;
   const double done =
-      collective_path() == CollectivePath::kLegacy
-          ? legacy_gtopk(cluster, shape, payload, k, options.topk_select,
-                         state, start, out.rounds)
-          : schedule_gtopk(cluster, shape, payload, k, options.topk_select,
-                           state, start, out.rounds);
+      legacy ? legacy_gtopk(cluster, shape, payload, k, options.topk_select,
+                            state, start, out.rounds)
+             : schedule_gtopk(cluster, shape, payload, k, options.topk_select,
+                              state, start, out.rounds, options.outcome);
   out.total = done - start;
+  if (legacy && options.outcome != nullptr) {
+    // The legacy reference has no abortable replay (a dead rank throws from
+    // Cluster::send); report a completed outcome for interface parity.
+    *options.outcome = ScheduleOutcome{};
+    options.outcome->finish = done;
+  }
 
-  if (functional) {
+  const bool aborted = options.outcome != nullptr && options.outcome->aborted();
+  if (functional && !aborted) {
     out.final_nnz = state[0].nnz();
     parallel_for(0, static_cast<size_t>(shape.p), [&](size_t r) {
       auto dst = data[r];

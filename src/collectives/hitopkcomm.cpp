@@ -24,6 +24,8 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
                             size_t elems, const HiTopKOptions& options,
                             double start) {
   const simnet::Topology& topo = cluster.topology();
+  HITOPK_VALIDATE(topo.uniform())
+      << "hitopk_comm's owned-shard layout needs a uniform topology";
   const int m = topo.nodes();
   const int n = topo.gpus_per_node();
   const int world = topo.world_size();

@@ -39,7 +39,8 @@ NaiveAgResult naive_sparse_allgather(
     double start, double step_overhead) {
   const simnet::Topology& topo = cluster.topology();
   const size_t p = static_cast<size_t>(topo.world_size());
-  HITOPK_CHECK_EQ(sparse.size(), p);
+  HITOPK_VALIDATE(sparse.size() == p)
+      << "got" << sparse.size() << "sparse blocks for world size" << p;
   check_data(world_group(topo), data, elems);
 
   // Wire payload per origin rank: k values + k indices (k == 0 blocks ride
@@ -47,7 +48,9 @@ NaiveAgResult naive_sparse_allgather(
   std::vector<size_t> payload(p);
   for (size_t r = 0; r < p; ++r) {
     HITOPK_CHECK(sparse[r].is_valid());
-    HITOPK_CHECK_EQ(sparse[r].dense_size, elems);
+    HITOPK_VALIDATE(sparse[r].dense_size == elems)
+        << "sparse block" << r << "has dense_size" << sparse[r].dense_size
+        << ", expected" << elems;
     payload[r] = sparse[r].nnz() * (value_wire_bytes + 4);
   }
 

@@ -157,12 +157,16 @@ double legacy_allgather_bytes_multi(
 
 void check_groups(const std::vector<Group>& groups,
                   const std::vector<RankData>& data, size_t elems) {
-  HITOPK_CHECK(!groups.empty());
+  HITOPK_VALIDATE(!groups.empty()) << "ring collective needs a group";
   for (const auto& group : groups) {
-    HITOPK_CHECK_EQ(group.size(), groups[0].size());
+    HITOPK_VALIDATE(group.size() == groups[0].size())
+        << "ring groups must share one size; got" << group.size() << "and"
+        << groups[0].size();
   }
   if (!data.empty()) {
-    HITOPK_CHECK_EQ(data.size(), groups.size());
+    HITOPK_VALIDATE(data.size() == groups.size())
+        << "got" << data.size() << "data vectors for" << groups.size()
+        << "groups";
     for (size_t q = 0; q < groups.size(); ++q) {
       check_data(groups[q], data[q], elems);
     }
@@ -435,16 +439,21 @@ double ring_allgather_bytes_multi(
     simnet::Cluster& cluster, const std::vector<Group>& groups,
     const std::vector<std::vector<size_t>>& payload_bytes, double start,
     double step_overhead) {
-  HITOPK_CHECK(!groups.empty());
-  HITOPK_CHECK_EQ(payload_bytes.size(), groups.size());
+  HITOPK_VALIDATE(!groups.empty()) << "allgather needs a group";
+  HITOPK_VALIDATE(payload_bytes.size() == groups.size())
+      << "got" << payload_bytes.size() << "payload vectors for"
+      << groups.size() << "groups";
   const size_t g = groups[0].size();
   // Zero-size groups carry no blocks and no steps: return before the
   // per-group validation below would index payload_bytes[q][origin] with
   // origin computed modulo g == 0.
   if (g == 0) return start;
   for (size_t q = 0; q < groups.size(); ++q) {
-    HITOPK_CHECK_EQ(groups[q].size(), g);
-    HITOPK_CHECK_EQ(payload_bytes[q].size(), g);
+    HITOPK_VALIDATE(groups[q].size() == g)
+        << "group" << q << "has" << groups[q].size() << "ranks, expected" << g;
+    HITOPK_VALIDATE(payload_bytes[q].size() == g)
+        << "payload vector" << q << "has" << payload_bytes[q].size()
+        << "entries, expected" << g;
   }
   if (g == 1) return start;
 

@@ -108,6 +108,77 @@ Schedule::TimingResult Schedule::run_timing(simnet::Cluster& cluster,
   return result;
 }
 
+ScheduleOutcome Schedule::run_timing_abortable(simnet::Cluster& cluster,
+                                               double start) const {
+  ScheduleOutcome out;
+  out.sync_times.reserve(syncs_.size());
+  // Same replay loop as run_timing; see the comments there.  The only
+  // divergence is try_send: a fault-free cluster takes the identical
+  // arithmetic path, so completed outcomes match run_timing bit-for-bit.
+  Scratch<double> clock_buf(num_slots_);
+  Scratch<double> next_buf(num_slots_);
+  auto clock = clock_buf.span();
+  auto next = next_buf.span();
+  std::fill(clock.begin(), clock.end(), start);
+
+  auto running_max = [&](std::span<double> slots) {
+    double best = start;
+    for (double t : slots) best = std::max(best, t);
+    return best;
+  };
+
+  bool degraded = false;
+  size_t sync_cursor = 0;
+  size_t i = 0;
+  while (i < sends_.size() || sync_cursor < syncs_.size()) {
+    uint32_t step;
+    if (i < sends_.size() && sync_cursor < syncs_.size()) {
+      step = std::min(sends_[i].step, syncs_[sync_cursor].step);
+    } else if (i < sends_.size()) {
+      step = sends_[i].step;
+    } else {
+      step = syncs_[sync_cursor].step;
+    }
+    while (sync_cursor < syncs_.size() && syncs_[sync_cursor].step <= step) {
+      const double t = running_max(clock);
+      out.sync_times.push_back(t);
+      if (syncs_[sync_cursor].collapse) {
+        std::fill(clock.begin(), clock.end(), t);
+      }
+      ++sync_cursor;
+    }
+    if (i >= sends_.size()) break;
+    std::copy(clock.begin(), clock.end(), next.begin());
+    for (; i < sends_.size() && sends_[i].step == step; ++i) {
+      const Send& t = sends_[i];
+      const simnet::SendOutcome sent = cluster.try_send(
+          t.src, t.dst, t.bytes, clock[t.src_slot], t.extra_seconds);
+      if (!sent.delivered) {
+        // Abort: everything already in flight this step (the partials in
+        // `next`, which started >= the step-boundary clock) drains, the
+        // failure surfaces at sent.time, and the runtime waits out its
+        // detection timeout before declaring the rank dead.
+        const double detect =
+            cluster.fault_plan() ? cluster.fault_plan()->detection_timeout()
+                                 : 0.0;
+        out.status = ScheduleStatus::kAborted;
+        out.abort_step = static_cast<int>(step);
+        out.dead_rank = sent.dead_rank;
+        out.finish =
+            std::max(running_max(next), sent.time) + detect;
+        return out;
+      }
+      out.retries += sent.retries;
+      degraded = degraded || sent.degraded;
+      next[t.dst_slot] = std::max(next[t.dst_slot], sent.time);
+    }
+    std::swap(clock, next);
+  }
+  out.finish = running_max(clock);
+  if (degraded) out.status = ScheduleStatus::kDegraded;
+  return out;
+}
+
 void Schedule::run_data() const {
   if (buffers_.empty() || moves_.empty()) return;
   // Per step: group moves by bucket key (destination buffer by default).

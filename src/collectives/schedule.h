@@ -83,6 +83,29 @@ enum class TransferOp : uint8_t {
   kChainLast,
 };
 
+// Outcome of an abortable timed replay (run_timing_abortable).
+//
+//   kCompleted — every recorded send delivered at full health.
+//   kDegraded  — completed, but some sends paid degradation windows or
+//                transient retries (finish reflects the slowdown).
+//   kAborted   — a send touched a preempted rank: the replay stopped at
+//                that schedule step, charged the fault plan's detection
+//                timeout on top of all in-flight work, and never ran the
+//                data pass (buffers keep their pre-collective contents, so
+//                a rebuilt schedule on the surviving world starts clean).
+enum class ScheduleStatus : uint8_t { kCompleted, kDegraded, kAborted };
+
+struct ScheduleOutcome {
+  ScheduleStatus status = ScheduleStatus::kCompleted;
+  double finish = 0.0;              // completion, or abort-detected time
+  std::vector<double> sync_times;   // syncs reached before finishing/aborting
+  int abort_step = -1;              // schedule step of the fatal send
+  int dead_rank = -1;               // the preempted endpoint
+  int retries = 0;                  // transient retries across delivered sends
+  bool aborted() const { return status == ScheduleStatus::kAborted; }
+  bool completed() const { return status != ScheduleStatus::kAborted; }
+};
+
 class Schedule {
  public:
   // ---- recording ------------------------------------------------------
@@ -140,6 +163,15 @@ class Schedule {
 
   // Serial timing replay.  Does not touch data buffers.
   TimingResult run_timing(simnet::Cluster& cluster, double start) const;
+
+  // Fault-aware timing replay via Cluster::try_send.  With no fault plan on
+  // the cluster (or an empty one) the finish and sync times are bit-identical
+  // to run_timing.  On a dead-rank hit it stops issuing, charges the plan's
+  // detection timeout, and reports the abort step — it never throws for
+  // faults scripted in the plan.  Does not touch data buffers; callers skip
+  // run_data when the outcome is aborted.
+  ScheduleOutcome run_timing_abortable(simnet::Cluster& cluster,
+                                       double start) const;
 
   // Functional data pass (no clocks).  No-op for timing-only schedules.
   void run_data() const;

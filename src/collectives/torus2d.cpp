@@ -200,8 +200,12 @@ Torus2dBreakdown torus2d_allreduce(simnet::Cluster& cluster,
                                    const RankData& data, size_t elems,
                                    size_t wire_bytes, double start) {
   const simnet::Topology& topo = cluster.topology();
+  HITOPK_VALIDATE(topo.uniform())
+      << "torus2d's node-major grid needs a uniform topology";
   if (!data.empty()) {
-    HITOPK_CHECK_EQ(static_cast<int>(data.size()), topo.world_size());
+    HITOPK_VALIDATE(static_cast<int>(data.size()) == topo.world_size())
+        << "got" << data.size() << "rank buffers for world size"
+        << topo.world_size();
   }
   if (collective_path() == CollectivePath::kLegacy) {
     return legacy_torus2d(cluster, data, elems, wire_bytes, start);

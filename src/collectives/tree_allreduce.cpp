@@ -301,11 +301,16 @@ double tree_allreduce(simnet::Cluster& cluster, const Group& group,
                       const RankData& data, size_t elems,
                       const TreeOptions& options, double start) {
   const simnet::Topology& topo = cluster.topology();
+  HITOPK_VALIDATE(topo.uniform())
+      << "tree_allreduce's leader layout needs a uniform topology";
   // TreeAR is a whole-cluster collective (it is NCCL's All-Reduce): the
   // group must be the full world in rank order.
-  HITOPK_CHECK_EQ(group.size(), static_cast<size_t>(topo.world_size()));
+  HITOPK_VALIDATE(group.size() == static_cast<size_t>(topo.world_size()))
+      << "tree_allreduce group has" << group.size()
+      << "ranks, world size is" << topo.world_size();
   for (size_t i = 0; i < group.size(); ++i) {
-    HITOPK_CHECK_EQ(group[i], static_cast<int>(i));
+    HITOPK_VALIDATE(group[i] == static_cast<int>(i))
+        << "tree_allreduce group must be the full world in rank order";
   }
   check_data(group, data, elems);
   if (topo.world_size() <= 1) return start;

@@ -8,6 +8,11 @@
 // Checks express contract violations (caller bugs), not recoverable runtime
 // conditions; they stay enabled in release builds because every experiment in
 // this repository depends on the simulator's invariants holding.
+//
+// HITOPK_VALIDATE(cond) is the recoverable sibling: it throws
+// hitopk::ConfigError for invalid runtime configurations at API boundaries
+// (unsupported topology shape, mismatched buffer sizes) that an elastic or
+// scheduling layer may legitimately catch and respond to.
 #pragma once
 
 #include <sstream>
@@ -21,6 +26,17 @@ namespace hitopk {
 class CheckError : public std::logic_error {
  public:
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Thrown when a HITOPK_VALIDATE fails.  Derives from runtime_error: an
+// invalid *runtime configuration* (a collective asked to run on a topology
+// it does not support, mismatched buffer shapes handed across an API
+// boundary) is recoverable — a scheduler or elastic-execution layer may
+// catch it, adjust the configuration, and retry — unlike a CheckError,
+// which marks a broken internal invariant.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
 };
 
 namespace internal {
@@ -47,6 +63,27 @@ class CheckFailStream {
   std::ostringstream stream_;
 };
 
+// Same shape as CheckFailStream, but throws the recoverable ConfigError.
+class ValidateFailStream {
+ public:
+  ValidateFailStream(const char* condition, const char* file, int line) {
+    stream_ << file << ":" << line << ": invalid configuration: " << condition;
+  }
+
+  template <typename T>
+  ValidateFailStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+  [[noreturn]] ~ValidateFailStream() noexcept(false) {
+    throw ConfigError(stream_.str());
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
 }  // namespace internal
 }  // namespace hitopk
 
@@ -54,6 +91,13 @@ class CheckFailStream {
   if (condition) {                                                       \
   } else                                                                 \
     ::hitopk::internal::CheckFailStream(#condition, __FILE__, __LINE__)
+
+// Recoverable counterpart of HITOPK_CHECK for runtime-configuration
+// validation at API boundaries: throws hitopk::ConfigError.
+#define HITOPK_VALIDATE(condition)                                          \
+  if (condition) {                                                          \
+  } else                                                                    \
+    ::hitopk::internal::ValidateFailStream(#condition, __FILE__, __LINE__)
 
 #define HITOPK_CHECK_EQ(a, b) HITOPK_CHECK((a) == (b))
 #define HITOPK_CHECK_NE(a, b) HITOPK_CHECK((a) != (b))

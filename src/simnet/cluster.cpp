@@ -34,17 +34,28 @@ void Cluster::reset() {
   inter_node_bytes_ = 0;
   intra_node_bytes_ = 0;
   trace_.clear();
+  send_seq_ = 0;
 }
 
 double Cluster::send(int src, int dst, size_t bytes, double data_ready,
                      double extra_seconds) {
+  const SendOutcome outcome =
+      try_send(src, dst, bytes, data_ready, extra_seconds);
+  HITOPK_CHECK(outcome.delivered)
+      << "send touched preempted rank" << outcome.dead_rank
+      << "at t=" << outcome.time << "(use try_send on fault-injected runs)";
+  return outcome.time;
+}
+
+SendOutcome Cluster::try_send(int src, int dst, size_t bytes,
+                              double data_ready, double extra_seconds) {
   HITOPK_CHECK(src >= 0 && src < world_size());
   HITOPK_CHECK(dst >= 0 && dst < world_size());
   HITOPK_CHECK_NE(src, dst);
 
   const bool crosses_node = !topology_.same_node(src, dst);
   const LinkParams& link = topology_.link_between(src, dst);
-  const double duration = link.transfer_seconds(bytes) + extra_seconds;
+  double duration = link.transfer_seconds(bytes) + extra_seconds;
 
   const int src_node = crosses_node ? topology_.node_of(src) : 0;
   const int dst_node = crosses_node ? topology_.node_of(dst) : 0;
@@ -63,7 +74,43 @@ double Cluster::send(int src, int dst, size_t bytes, double data_ready,
       start = std::max(start, pod_ports_[topology_.pod_of(dst_node)].recv_free);
     }
   }
+
+  SendOutcome outcome;
+  double nic_degrade = 1.0;
+  const bool faults = fault_plan_ != nullptr && !fault_plan_->empty();
+  if (faults) {
+    // Message-boundary fault granularity: a transfer whose start falls in a
+    // preemption window never happens; nothing below this point runs, so a
+    // failed send leaves ports, counters, and the trace untouched.
+    if (!fault_plan_->alive(src, start)) {
+      outcome.delivered = false;
+      outcome.dead_rank = src;
+      outcome.time = start;
+      return outcome;
+    }
+    if (!fault_plan_->alive(dst, start)) {
+      outcome.delivered = false;
+      outcome.dead_rank = dst;
+      outcome.time = start;
+      return outcome;
+    }
+    if (crosses_node) {
+      nic_degrade =
+          std::max(fault_plan_->degrade_factor(topology_.node_of(src), start),
+                   fault_plan_->degrade_factor(topology_.node_of(dst), start));
+      duration *= nic_degrade;
+    }
+    outcome.retries = fault_plan_->transient_attempts(send_seq_++);
+    if (outcome.retries > 0) {
+      // Each failed attempt wasted one full (possibly degraded) transfer
+      // plus the backoff before the retry.
+      duration += outcome.retries *
+                  (duration + fault_plan_->transient_backoff());
+    }
+    outcome.degraded = nic_degrade > 1.0 || outcome.retries > 0;
+  }
   const double done = start + duration;
+  outcome.time = done;
 
   gpu_ports_[src].send_free = done;
   gpu_ports_[dst].recv_free = done;
@@ -72,7 +119,8 @@ double Cluster::send(int src, int dst, size_t bytes, double data_ready,
     // free for the next flow — processor sharing across concurrent flows —
     // while the flow itself completes at its (slower) per-flow rate.
     const double nic_service =
-        static_cast<double>(bytes) * topology_.nic_beta() + extra_seconds;
+        (static_cast<double>(bytes) * topology_.nic_beta() + extra_seconds) *
+        nic_degrade;
     nic_ports_[src_node].send_free = start + nic_service;
     nic_ports_[dst_node].recv_free = start + nic_service;
     if (core_beta_ > 0.0) {
@@ -97,7 +145,7 @@ double Cluster::send(int src, int dst, size_t bytes, double data_ready,
     trace_.push_back(
         TraceEvent{src, dst, bytes, start, duration, crosses_node});
   }
-  return done;
+  return outcome;
 }
 
 void Cluster::write_chrome_trace(std::ostream& os,

@@ -32,10 +32,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "simnet/fault.h"
 #include "simnet/topology.h"
 
 namespace hitopk::simnet {
@@ -48,6 +50,19 @@ struct TraceEvent {
   double start = 0.0;
   double duration = 0.0;
   bool inter_node = false;
+};
+
+// Result of try_send under a FaultPlan.  When `delivered` is false the
+// transfer never happened: no port was occupied, no byte was counted, and
+// `time` is the instant the failure became observable (the would-be start);
+// the caller charges the plan's detection timeout on top.  `degraded` marks
+// deliveries that paid a degradation window or transient retries.
+struct SendOutcome {
+  bool delivered = true;
+  double time = 0.0;
+  int dead_rank = -1;
+  int retries = 0;
+  bool degraded = false;
 };
 
 class Cluster {
@@ -65,8 +80,24 @@ class Cluster {
   // extra_seconds models per-message protocol overhead that occupies the
   // ports for the whole duration (e.g. proxy-thread handoff on flat
   // world-scale rings, see models/calibration.h).
+  // With a fault plan installed, a send touching a dead rank is a contract
+  // violation here — fault-aware callers use try_send instead.
   double send(int src, int dst, size_t bytes, double data_ready,
               double extra_seconds = 0.0);
+
+  // Fault-aware variant: consults the installed FaultPlan (if any).  A send
+  // whose endpoints are alive is delivered — possibly slower, through
+  // degradation windows (inter-node only) and transient retries — and
+  // occupies ports exactly like send().  A send touching a preempted rank
+  // returns delivered=false without mutating any state, so the caller can
+  // abort and rebuild.  Without a plan this is bit-identical to send().
+  SendOutcome try_send(int src, int dst, size_t bytes, double data_ready,
+                       double extra_seconds = 0.0);
+
+  // Installs a fault script (non-owning; nullptr disables).  The plan is
+  // kept across reset() so a reset cluster replays the same script.
+  void set_fault_plan(const FaultPlan* plan) { fault_plan_ = plan; }
+  const FaultPlan* fault_plan() const { return fault_plan_; }
 
   // Models local (non-communication) work on a rank: occupies no ports,
   // returns ready + duration.  Exists so call sites read uniformly.
@@ -106,6 +137,8 @@ class Cluster {
   size_t intra_node_bytes_ = 0;
   bool tracing_ = false;
   std::vector<TraceEvent> trace_;
+  const FaultPlan* fault_plan_ = nullptr;  // non-owning
+  uint64_t send_seq_ = 0;  // transient-failure hash key; cleared by reset()
 };
 
 }  // namespace hitopk::simnet

@@ -57,7 +57,8 @@ IterationBreakdown TrainingSimulator::simulate_iteration() {
   return simulate_with_io(raw_io_seconds());
 }
 
-IterationBreakdown TrainingSimulator::simulate_with_io(double raw_io) {
+IterationBreakdown TrainingSimulator::simulate_with_io(
+    double raw_io, double compute_multiplier) {
   const models::ModelSpec model = models::model_by_name(options_.model);
   const size_t params = model.total_params();
   double ffbp = models::PerfModel::ffbp_seconds(
@@ -69,6 +70,10 @@ IterationBreakdown TrainingSimulator::simulate_with_io(double raw_io) {
                       std::sqrt(2.0 * std::log(static_cast<double>(
                                     topology_.world_size())));
   }
+  // Bursty/correlated jitter (fault scenarios): the whole iteration waits
+  // for the slowest pod, so its burst factor multiplies on top of the
+  // steady-state order statistic.
+  ffbp *= compute_multiplier;
   const double forward_end = ffbp * models::PerfModel::forward_fraction;
   const double bp_duration = ffbp - forward_end;
 

@@ -84,7 +84,16 @@ class TrainingSimulator {
   // Same pipeline with an externally supplied raw (pre-overlap) per-
   // iteration I/O time — the DAWNBench simulator drives this with a
   // persistent DataCache whose state evolves across epochs.
-  IterationBreakdown simulate_with_io(double raw_io);
+  // `compute_multiplier` scales the (straggler-adjusted) FF&BP time: the
+  // fault-scenario simulator drives it with the slowest pod's bursty-jitter
+  // factor (>= 1), on top of the steady-state straggler_cv model.
+  IterationBreakdown simulate_with_io(double raw_io,
+                                      double compute_multiplier = 1.0);
+
+  // Raw (pre-overlap) I/O seconds per iteration for one node's workers —
+  // public so timeline drivers (DAWNBench, fault scenarios) can price it
+  // once and replay simulate_with_io many times.
+  double raw_io_seconds();
 
   // The same workload on one GPU (no communication, no compression) — the
   // scaling-efficiency denominator.
@@ -97,9 +106,6 @@ class TrainingSimulator {
   const simnet::Topology& topology() const { return topology_; }
 
  private:
-  // Raw (pre-overlap) I/O seconds per iteration for one node's workers.
-  double raw_io_seconds();
-
   simnet::Topology topology_;
   TrainerOptions options_;
   simgpu::GpuCostModel gpu_;

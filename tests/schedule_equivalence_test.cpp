@@ -5,11 +5,13 @@
 // single-rank groups, and multi-chunk tree pipelining.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <vector>
 
 #include "collectives/blueconnect.h"
+#include "collectives/elastic.h"
 #include "collectives/gtopk.h"
 #include "collectives/hier_allreduce.h"
 #include "collectives/hitopkcomm.h"
@@ -615,8 +617,10 @@ TEST(BlueConnect, RejectsFactorizationMismatch) {
   Cluster cluster(topo);
   BlueConnectOptions options;
   options.factors = {3};
+  // A bad factorization is a recoverable runtime configuration, not a
+  // broken invariant: the elastic layer catches ConfigError and re-derives.
   EXPECT_THROW(blueconnect_allreduce(cluster, {}, 10, options, 0.0),
-               CheckError);
+               ConfigError);
 }
 
 // ------------------------------------------------------- engine unit tests
@@ -661,6 +665,268 @@ TEST(Schedule, DataPassKeepsPerDestinationOrder) {
   // ((0 + 1e30) - 1e30) + 1 == 1; any other order collapses to 0.
   EXPECT_EQ(dst[0], 1.0f);
 }
+
+// --------------------------------------------------- elastic fault rescale
+// The acceptance sweep: a preemption injected at *every* step index of the
+// replayed schedule must never crash — it surfaces as a structured abort,
+// and the elastic retry completes on the surviving world with buffers
+// bitwise identical to a fresh run at that world (aborted attempts never
+// run the data pass, so the retry consumes pristine inputs).  The sweep
+// drives preemption times over a dense grid spanning the fault-free replay
+// and asserts the observed abort steps cover the schedule gaplessly.
+namespace elastic_sweep {
+
+constexpr int kDeadRank = 1;
+constexpr int kGridPoints = 120;
+
+// Fresh-run oracle at the surviving world, mirroring the elastic layer's
+// per-algorithm rebuild (ring builders; BlueConnect with re-derived
+// factors; gTop-k fold/unfold).
+void run_fresh(ElasticAlgorithm algorithm, const Topology& topo,
+               const RankData& data, size_t elems) {
+  Cluster cluster(topo);
+  switch (algorithm) {
+    case ElasticAlgorithm::kRing:
+      ring_allreduce(cluster, world_group(topo), data, elems, 4, 0.0);
+      break;
+    case ElasticAlgorithm::kBlueConnect: {
+      BlueConnectOptions options;
+      if (!topo.uniform()) options.factors = {topo.world_size()};
+      blueconnect_allreduce(cluster, data, elems, options, 0.0);
+      break;
+    }
+    case ElasticAlgorithm::kGtopk: {
+      GtopkOptions options;
+      options.density = 0.05;
+      gtopk_comm(cluster, data, elems, options, 0.0);
+      break;
+    }
+  }
+}
+
+// Runs the sweep for one algorithm; fills the set of abort steps seen.
+// (void return: gtest's fatal ASSERT_* macros require it.)
+void sweep(ElasticAlgorithm algorithm, const Topology& topo, size_t elems,
+           std::vector<int>* abort_steps_out) {
+  const int world = topo.world_size();
+  ElasticOptions options;
+  options.algorithm = algorithm;
+  options.gtopk.density = 0.05;
+  options.reschedule_seconds = 0.5;
+
+  // Fault-free pass pins the sweep window and the baseline behavior.
+  const simnet::FaultPlan no_faults;
+  const auto clean = elastic_allreduce(topo, no_faults, {}, elems, options,
+                                       0.0);
+  EXPECT_TRUE(clean.completed);
+  EXPECT_EQ(clean.surviving_world, world);
+  EXPECT_EQ(clean.rescales, 0);
+  const double finish = clean.finish;
+  EXPECT_GT(finish, 0.0);
+
+  // Dead at start (t = 0): the initial survivor filter excludes the rank
+  // before any send, so the single attempt runs at p - 1 and its buffers
+  // match the fresh shrunk-world oracle bitwise.
+  {
+    simnet::FaultPlan plan;
+    plan.preempt(kDeadRank, 0.0);
+    std::vector<Tensor> buffers = random_buffers(world, elems, 499);
+    const auto result =
+        elastic_allreduce(topo, plan, spans_of(buffers), elems, options, 0.0);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.surviving_world, world - 1);
+    EXPECT_EQ(result.attempts.size(), 1u);
+    EXPECT_EQ(result.rescales, 0);
+    const SurvivorWorld survivor = shrink_topology(topo, {kDeadRank});
+    std::vector<Tensor> fresh = random_buffers(world, elems, 499);
+    RankData fresh_data;
+    for (const int old_rank : survivor.old_rank) {
+      fresh_data.push_back(fresh[static_cast<size_t>(old_rank)].span());
+    }
+    run_fresh(algorithm, survivor.topology, fresh_data, elems);
+    for (const int old_rank : survivor.old_rank) {
+      const auto r = static_cast<size_t>(old_rank);
+      ASSERT_EQ(std::memcmp(buffers[r].data(), fresh[r].data(),
+                            elems * sizeof(float)),
+                0)
+          << "dead-at-start survivor (old rank " << old_rank << ")";
+    }
+  }
+
+  std::vector<int> abort_steps;
+  for (int i = 0; i < kGridPoints; ++i) {
+    const double t =
+        finish * (static_cast<double>(i) + 0.5) / kGridPoints;
+    simnet::FaultPlan plan;
+    plan.preempt(kDeadRank, t);
+    plan.set_detection_timeout(0.1);
+
+    std::vector<Tensor> buffers =
+        random_buffers(world, elems, 500 + static_cast<uint64_t>(i));
+    const auto result =
+        elastic_allreduce(topo, plan, spans_of(buffers), elems, options, 0.0);
+    ASSERT_TRUE(result.completed);
+    if (result.attempts.front().outcome.aborted()) {
+      // Preemption hit mid-schedule: structured abort, then a completed
+      // retry on the surviving world.
+      abort_steps.push_back(result.attempts.front().outcome.abort_step);
+      ASSERT_EQ(result.surviving_world, world - 1);
+      ASSERT_EQ(result.rescales, 1);
+      ASSERT_EQ(result.attempts.size(), 2u);
+      ASSERT_TRUE(result.attempts.back().outcome.completed());
+      ASSERT_GE(result.attempts.front().outcome.abort_step, 0);
+      // The abort charged the detection timeout before the rebuild.
+      ASSERT_GE(result.attempts.back().outcome.finish, t + 0.1 + 0.5);
+
+      // Bitwise oracle: fresh buffers, fresh cluster, shrunk world.
+      const SurvivorWorld survivor =
+          shrink_topology(topo, {kDeadRank});
+      std::vector<Tensor> fresh =
+          random_buffers(world, elems, 500 + static_cast<uint64_t>(i));
+      RankData fresh_data;
+      for (const int old_rank : survivor.old_rank) {
+        fresh_data.push_back(fresh[static_cast<size_t>(old_rank)].span());
+      }
+      run_fresh(algorithm, survivor.topology, fresh_data, elems);
+      for (const int old_rank : survivor.old_rank) {
+        const auto r = static_cast<size_t>(old_rank);
+        ASSERT_EQ(std::memcmp(buffers[r].data(), fresh[r].data(),
+                              elems * sizeof(float)),
+                  0)
+            << "survivor (old rank " << old_rank
+            << ") differs from the fresh shrunk-world run at t=" << t;
+      }
+      // The dead rank's buffer is untouched by the retry.
+      std::vector<Tensor> inputs =
+          random_buffers(world, elems, 500 + static_cast<uint64_t>(i));
+      const auto dead = static_cast<size_t>(kDeadRank);
+      if (algorithm != ElasticAlgorithm::kGtopk) {
+        // (gTop-k primes inputs in-place before the schedule runs, so only
+        // the dense All-Reduce paths keep the dead buffer bit-pristine.)
+        ASSERT_EQ(std::memcmp(buffers[dead].data(), inputs[dead].data(),
+                              elems * sizeof(float)),
+                  0);
+      }
+    } else {
+      // The preemption landed after the last send started: the full-world
+      // attempt completed before anyone observed the failure.
+      ASSERT_EQ(result.surviving_world, world);
+    }
+  }
+  std::sort(abort_steps.begin(), abort_steps.end());
+  abort_steps.erase(std::unique(abort_steps.begin(), abort_steps.end()),
+                    abort_steps.end());
+  *abort_steps_out = abort_steps;
+}
+
+void expect_gapless(const std::vector<int>& steps, int expected_first,
+                    int expected_last) {
+  ASSERT_FALSE(steps.empty());
+  EXPECT_EQ(steps.front(), expected_first);
+  EXPECT_EQ(steps.back(), expected_last);
+  for (size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i], expected_first + static_cast<int>(i))
+        << "abort-step coverage gap";
+  }
+}
+
+// A preemption is observable only by a send starting at or after it; every
+// step-0 send of a dense All-Reduce starts exactly at the attempt's start
+// time, so a "step 0" death is indistinguishable from dead-at-start and is
+// handled by the survivor filter (asserted inside sweep()).  Hence the
+// mid-schedule sweeps cover steps 1..last.
+TEST(ElasticRescale, RingEveryStepIndex) {
+  // p = 6: 2(p-1) = 10 ring steps, indices 0..9.
+  std::vector<int> steps;
+  sweep(ElasticAlgorithm::kRing, fabric(3, 2), 48, &steps);
+  expect_gapless(steps, 1, 9);
+}
+
+TEST(ElasticRescale, BlueConnectEveryStepIndex) {
+  const Topology topo = fabric(3, 2);
+  // Auto-derived factors {2, 3} on 3x2: RS 1+2 steps descending, then
+  // AG 2+1 ascending = 6 steps, indices 0..5.
+  std::vector<int> steps;
+  sweep(ElasticAlgorithm::kBlueConnect, topo, 48, &steps);
+  expect_gapless(steps, 1, 5);
+}
+
+TEST(ElasticRescale, GtopkEveryStepIndex) {
+  // p = 6 folds to q = 4: fold + 2 exchange rounds + unfold.  gTop-k's
+  // step-0 sends start after the local compression compute, so even step 0
+  // is killable mid-schedule here.
+  std::vector<int> steps;
+  sweep(ElasticAlgorithm::kGtopk, fabric(3, 2), 64, &steps);
+  expect_gapless(steps, 0, static_cast<int>(steps.size()) - 1);
+  EXPECT_GE(steps.size(), 3u);
+}
+
+TEST(ElasticRescale, SecondPreemptionShrinksTwice) {
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 48;
+  ElasticOptions options;
+  options.reschedule_seconds = 0.5;
+
+  // Probe: learn when the retry starts after rank 1 dies early.
+  simnet::FaultPlan probe;
+  probe.preempt(1, 1e-9);
+  probe.set_detection_timeout(0.1);
+  const auto first =
+      elastic_allreduce(topo, probe, {}, elems, options, 0.0);
+  ASSERT_TRUE(first.completed);
+  ASSERT_EQ(first.surviving_world, 5);
+  const double retry_start = first.attempts.front().outcome.finish + 0.5;
+
+  // Kill rank 4 a hair after the retry begins — late enough that the
+  // rescale's liveness check still sees it alive (so attempt 2 runs and
+  // aborts mid-schedule), early enough to hit attempt 2's first steps.
+  simnet::FaultPlan plan;
+  plan.preempt(1, 1e-9);
+  plan.preempt(4, retry_start + 1e-9);
+  plan.set_detection_timeout(0.1);
+  std::vector<Tensor> buffers = random_buffers(topo.world_size(), elems, 901);
+  const auto result =
+      elastic_allreduce(topo, plan, spans_of(buffers), elems, options, 0.0);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.surviving_world, 4);
+  EXPECT_EQ(result.rescales, 2);
+  EXPECT_EQ(result.survivors, (std::vector<int>{0, 2, 3, 5}));
+
+  const SurvivorWorld survivor = shrink_topology(topo, {1, 4});
+  std::vector<Tensor> fresh = random_buffers(topo.world_size(), elems, 901);
+  RankData fresh_data;
+  for (const int old_rank : survivor.old_rank) {
+    fresh_data.push_back(fresh[static_cast<size_t>(old_rank)].span());
+  }
+  run_fresh(ElasticAlgorithm::kRing, survivor.topology, fresh_data, elems);
+  for (const int old_rank : survivor.old_rank) {
+    const auto r = static_cast<size_t>(old_rank);
+    ASSERT_EQ(
+        std::memcmp(buffers[r].data(), fresh[r].data(), elems * sizeof(float)),
+        0)
+        << "old rank " << old_rank;
+  }
+}
+
+TEST(ElasticRescale, ShrinkTopologyMapsSurvivorsDensely) {
+  const Topology topo = fabric(3, 2);  // ranks {0,1} {2,3} {4,5}
+  const SurvivorWorld w = shrink_topology(topo, {1, 4});
+  EXPECT_EQ(w.topology.world_size(), 4);
+  EXPECT_EQ(w.topology.nodes(), 3);  // every node kept at least one GPU
+  EXPECT_EQ(w.old_rank, (std::vector<int>{0, 2, 3, 5}));
+  EXPECT_EQ(w.old_node, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(w.topology.uniform());  // 1 + 2 + 1 GPUs
+
+  // A whole node dying removes it from the node list too.
+  const SurvivorWorld gone = shrink_topology(topo, {2, 3});
+  EXPECT_EQ(gone.topology.nodes(), 2);
+  EXPECT_EQ(gone.old_node, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(gone.topology.uniform());
+
+  EXPECT_THROW(shrink_topology(fabric(1, 2), {0, 1}), ConfigError);
+}
+
+}  // namespace elastic_sweep
 
 }  // namespace
 }  // namespace hitopk::coll

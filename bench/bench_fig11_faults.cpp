@@ -18,7 +18,13 @@
 // output sits under the JSON "sim" subtree and the CI perf gate pins it to
 // 1e-6 relative (bench/refs/BENCH_fig11.json; schema in docs/REPRODUCING.md).
 //
+// A second axis sweeps the checkpoint interval alone at a fixed preemption
+// rate with the *size-derived* write cost (checkpoint_write_gbps prices a
+// snapshot from the model's three float state planes instead of the flat
+// checkpoint_seconds), tracing the interior optimum directly.
+//
 // Flags: --iterations=N (default 2000)  --seed=N (default 42)
+//        --ckpt_gbps=F (default 2.0, interval sweep write rate)
 //        --json=PATH (default BENCH_fig11.json; empty disables)
 #include <cstdio>
 #include <iostream>
@@ -47,6 +53,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const int iterations = flags.get_int("iterations", 2000);
   const uint64_t seed = static_cast<uint64_t>(flags.get_int("seed", 42));
+  const double ckpt_gbps = flags.get_double("ckpt_gbps", 2.0);
   const std::string json_path = flags.get("json", "BENCH_fig11.json");
 
   std::cout << "=== Fig. 11: preemption rate x checkpoint interval x "
@@ -96,6 +103,47 @@ int main(int argc, char** argv) {
                    std::to_string(r.result.min_world_nodes)});
   }
   table.print(std::cout);
+
+  // ---- checkpoint-interval sweep at a fixed rate, size-derived write cost
+  const double sweep_rate = 2.0;
+  const int sweep_intervals[] = {25, 50, 100, 200, 400, 1000};
+  std::vector<Row> sweep_rows;
+  for (const int interval : sweep_intervals) {
+    for (const auto& [policy, policy_name] : policies) {
+      ScenarioOptions options;
+      options.trainer.model = "resnet50";
+      options.trainer.resolution = 96;
+      options.iterations = iterations;
+      options.preempt_rate_per_node_hour = sweep_rate;
+      options.node_return_seconds = 600.0;
+      options.checkpoint_interval = interval;
+      options.checkpoint_write_gbps = ckpt_gbps;
+      options.policy = policy;
+      options.seed = seed;
+      Row row;
+      row.rate = sweep_rate;
+      row.interval = interval;
+      row.policy = policy_name;
+      row.result = simulate_scenario(topo, options);
+      sweep_rows.push_back(row);
+    }
+  }
+  std::cout << "\n--- checkpoint-interval sweep (rate "
+            << TablePrinter::fmt(sweep_rate, 1) << "/node-h, write cost = "
+            << "state size / " << TablePrinter::fmt(ckpt_gbps, 1)
+            << " GB/s) ---\n";
+  TablePrinter sweep_table({"Ckpt every", "Policy", "Goodput frac",
+                            "Lost work", "Ckpt overhead", "Wall (s)"});
+  for (const Row& r : sweep_rows) {
+    sweep_table.add_row(
+        {std::to_string(r.interval), r.policy,
+         TablePrinter::fmt(r.result.goodput_fraction, 3),
+         TablePrinter::fmt(r.result.lost_work_fraction, 3),
+         TablePrinter::fmt(r.result.checkpoint_overhead_fraction, 4),
+         TablePrinter::fmt(r.result.wall_seconds, 1)});
+  }
+  sweep_table.print(std::cout);
+
   std::cout << "\nExpected: abort-restart's best checkpoint interval "
                "shortens as the preemption rate\ngrows (and it thrashes "
                "when rollback + restart approaches the MTBF); elastic-\n"
@@ -127,7 +175,26 @@ int main(int argc, char** argv) {
             s.preemptions, s.restarts, s.rescales, s.min_world_nodes,
             i + 1 < rows.size() ? "," : "");
       }
-      std::fprintf(json, "    ]\n  }\n}\n");
+      std::fprintf(json,
+                   "    ],\n    \"interval_sweep\": {\n"
+                   "      \"rate_per_node_hour\": %.9g,\n"
+                   "      \"checkpoint_write_gbps\": %.9g,\n"
+                   "      \"rows\": [\n",
+                   sweep_rate, ckpt_gbps);
+      for (size_t i = 0; i < sweep_rows.size(); ++i) {
+        const Row& r = sweep_rows[i];
+        const ScenarioResult& s = r.result;
+        std::fprintf(
+            json,
+            "        {\"checkpoint_interval\": %d, \"policy\": \"%s\", "
+            "\"goodput_fraction\": %.9g, \"lost_work_fraction\": %.9g, "
+            "\"checkpoint_overhead_fraction\": %.9g, \"wall\": %.9g, "
+            "\"preemptions\": %d}%s\n",
+            r.interval, r.policy, s.goodput_fraction, s.lost_work_fraction,
+            s.checkpoint_overhead_fraction, s.wall_seconds, s.preemptions,
+            i + 1 < sweep_rows.size() ? "," : "");
+      }
+      std::fprintf(json, "      ]\n    }\n  }\n}\n");
       std::fclose(json);
       std::printf("wrote %s\n", json_path.c_str());
     }

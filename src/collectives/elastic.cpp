@@ -80,19 +80,48 @@ ElasticResult elastic_allreduce(const simnet::Topology& topology,
   const bool functional = !data.empty();
 
   ElasticResult result;
-  // Original ranks participating in the current attempt.
-  std::vector<int> survivors;
-  for (int r = 0; r < topology.world_size(); ++r) {
-    if (plan.alive(r, start)) survivors.push_back(r);
-  }
-  std::vector<int> dead;
-  for (int r = 0; r < topology.world_size(); ++r) {
-    if (!plan.alive(r, start)) dead.push_back(r);
-  }
-
   double now = start;
+  // Survivors of the previous attempt (original ranks); membership of each
+  // new attempt is re-derived from full-world liveness so recovered ranks
+  // rejoin (grow) just as dead ones drop out (shrink).
+  std::vector<int> previous;
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    std::vector<int> survivors;
+    std::vector<int> dead;
+    for (int r = 0; r < topology.world_size(); ++r) {
+      (plan.alive(r, now) ? survivors : dead).push_back(r);
+    }
     if (survivors.empty()) break;
+    if (attempt > 0) {
+      const bool dropped =
+          std::any_of(previous.begin(), previous.end(), [&](int r) {
+            return std::find(survivors.begin(), survivors.end(), r) ==
+                   survivors.end();
+          });
+      const bool gained =
+          std::any_of(survivors.begin(), survivors.end(), [&](int r) {
+            return std::find(previous.begin(), previous.end(), r) ==
+                   previous.end();
+          });
+      if (dropped) ++result.rescales;
+      if (gained) ++result.regrows;
+    }
+    previous = survivors;
+
+    if (survivors.size() == 1) {
+      // Degenerate world: one survivor needs no collective (the All-Reduce
+      // of a single contribution is the identity).  Complete instantly with
+      // no cluster, schedule, or traffic — and no abort risk.
+      ScheduleOutcome outcome;
+      outcome.finish = now;
+      result.attempts.push_back(ElasticAttempt{outcome, 1});
+      result.surviving_world = 1;
+      result.survivors = survivors;
+      result.completed = true;
+      result.finish = now;
+      return result;
+    }
+
     const SurvivorWorld world = shrink_topology(topology, dead);
     const simnet::FaultPlan local_plan =
         plan.remap(world.old_rank, world.old_node);
@@ -123,9 +152,12 @@ ElasticResult elastic_allreduce(const simnet::Topology& topology,
         for (int f : bc.factors) product *= f;
         if (bc.factors.empty() || product != p) {
           // Rescale invalidated the caller's factorization: re-derive (auto
-          // on uniform survivors, flat ring on uneven ones).
-          bc.factors = world.topology.uniform() ? std::vector<int>{}
-                                                : std::vector<int>{p};
+          // on uniform multi-node survivors; a flat hierarchy-free ring on
+          // uneven worlds and on all-on-one-node worlds, where a multi-stage
+          // hierarchy has nothing to exploit).
+          bc.factors = world.topology.uniform() && world.topology.nodes() > 1
+                           ? std::vector<int>{}
+                           : std::vector<int>{p};
         }
         Schedule sched;
         build_blueconnect(sched, world.topology, attempt_data, elems, bc);
@@ -151,18 +183,9 @@ ElasticResult elastic_allreduce(const simnet::Topology& topology,
     }
 
     // Abort: the failure was detected at outcome.finish; survivors
-    // rendezvous, drop every rank dead at that point, and rebuild.
+    // rendezvous and the next attempt re-derives its membership from
+    // full-world liveness at the rebuilt start time.
     now = outcome.finish + options.reschedule_seconds;
-    std::vector<int> still_alive;
-    for (int r : survivors) {
-      if (plan.alive(r, now)) {
-        still_alive.push_back(r);
-      } else {
-        dead.push_back(r);
-      }
-    }
-    if (still_alive.size() < survivors.size()) ++result.rescales;
-    survivors = std::move(still_alive);
   }
 
   result.finish = now;

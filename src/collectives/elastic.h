@@ -11,6 +11,15 @@
 // completed attempt is therefore bitwise identical to a fresh run at the
 // surviving world size (pinned by schedule_equivalence_test).
 //
+// The membership of every attempt is re-derived from the *full original
+// world's* liveness at that attempt's start time, so the world both shrinks
+// and grows: a rank whose scripted recover_time has passed rejoins the next
+// rebuild (its buffer still holds its original contribution — aborted
+// attempts never touch data).  Degenerate worlds need no schedule at all: a
+// single survivor completes instantly with zero traffic (an All-Reduce of
+// one contribution is the identity), and an all-on-one-node world runs a
+// hierarchy-free flat ring whatever the requested algorithm's hierarchy.
+//
 // Buffers stay indexed by *original* world rank throughout: attempt data is
 // a view selecting the survivors' spans, so callers keep one stable buffer
 // vector across rescales.
@@ -64,6 +73,7 @@ struct ElasticResult {
   std::vector<int> survivors;     // original ranks of the final attempt
   std::vector<ElasticAttempt> attempts;
   int rescales = 0;               // attempts that dropped at least one rank
+  int regrows = 0;                // attempts that regained at least one rank
 };
 
 // All-Reduce (or gTop-k aggregation) over the whole original world under a

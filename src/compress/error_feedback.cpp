@@ -67,13 +67,48 @@ void ErrorFeedback::absorb_primed(const std::string& key,
 
 double ErrorFeedback::residual_sq_norm() const {
   double acc = 0.0;
-  for (const auto& [key, residual] : residuals_) {
-    const float norm = residual.l2_norm();
+  for (const std::string& key : keys()) {
+    const float norm = residuals_.at(key).l2_norm();
     acc += static_cast<double>(norm) * norm;
   }
   return acc;
 }
 
 void ErrorFeedback::reset() { residuals_.clear(); }
+
+std::vector<std::string> ErrorFeedback::keys() const {
+  std::vector<std::string> out;
+  out.reserve(residuals_.size());
+  for (const auto& [key, residual] : residuals_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::span<const float> ErrorFeedback::residual(const std::string& key) const {
+  auto it = residuals_.find(key);
+  HITOPK_CHECK(it != residuals_.end()) << "no residual for tensor" << key;
+  return it->second.span();
+}
+
+void ErrorFeedback::set(const std::string& key,
+                        std::span<const float> values) {
+  Tensor t(values.size());
+  std::copy(values.begin(), values.end(), t.span().begin());
+  residuals_[key] = std::move(t);
+}
+
+Tensor ErrorFeedback::take(const std::string& key) {
+  auto it = residuals_.find(key);
+  if (it == residuals_.end()) return Tensor();
+  Tensor out = std::move(it->second);
+  residuals_.erase(it);
+  return out;
+}
+
+void ErrorFeedback::accumulate(const std::string& key,
+                               std::span<const float> values) {
+  Tensor& residual = entry(key, values.size());
+  tensor_ops::add_into(residual.span(), values);
+}
 
 }  // namespace hitopk::compress

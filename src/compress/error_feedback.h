@@ -14,6 +14,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "compress/sparse_tensor.h"
 #include "core/tensor.h"
@@ -54,12 +55,43 @@ class ErrorFeedback {
 
   // Sum of squared residual magnitudes across all keys (a diagnostic the
   // convergence bench tracks: bounded residual norm is the EF invariant).
+  // Accumulated in sorted-key order, so the value is a function of the
+  // stored residuals alone — independent of map insertion history, which a
+  // checkpoint restore cannot reproduce.
   double residual_sq_norm() const;
 
   // Drops all stored residuals (e.g. between convergence runs).
   void reset();
 
   size_t num_tensors() const { return residuals_.size(); }
+
+  // ---- state export / elastic remap (checkpointing and world rescale) ----
+
+  // All stored keys, sorted (a canonical order for serialization).
+  std::vector<std::string> keys() const;
+
+  bool has(const std::string& key) const { return residuals_.count(key) > 0; }
+
+  // Read-only view of an existing residual; throws CheckError if absent.
+  std::span<const float> residual(const std::string& key) const;
+
+  // Overwrites (or creates) the residual for `key` from a checkpoint.
+  void set(const std::string& key, std::span<const float> values);
+
+  // Removes the residual for `key` and returns it (empty Tensor if absent).
+  // The building block for elastic re-keying: take() every affected entry,
+  // then set()/accumulate() under the new keys — no in-place rename that
+  // could collide.
+  Tensor take(const std::string& key);
+
+  // residual[key] += values (created zeroed if absent).  Used to fold a dead
+  // worker's residual into a survivor so the total unsent gradient mass is
+  // preserved across a world shrink.
+  void accumulate(const std::string& key, std::span<const float> values);
+
+  // Drops the residual for `key` if present (a worker that left the world
+  // and whose mass was folded elsewhere).
+  void erase(const std::string& key) { residuals_.erase(key); }
 
  private:
   // Finds (or, on first use, creates) the residual for `key`.

@@ -1,5 +1,6 @@
 #include "core/rng.h"
 
+#include <bit>
 #include <cmath>
 
 #include "core/check.h"
@@ -76,5 +77,20 @@ double Rng::normal(double mean, double stddev) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+std::array<uint64_t, Rng::kStateWords> Rng::state() const {
+  return {state_[0], state_[1], state_[2], state_[3],
+          std::bit_cast<uint64_t>(cached_normal_),
+          static_cast<uint64_t>(has_cached_normal_ ? 1 : 0)};
+}
+
+void Rng::set_state(const std::array<uint64_t, kStateWords>& words) {
+  state_[0] = words[0];
+  state_[1] = words[1];
+  state_[2] = words[2];
+  state_[3] = words[3];
+  cached_normal_ = std::bit_cast<double>(words[4]);
+  has_cached_normal_ = words[5] != 0;
+}
 
 }  // namespace hitopk

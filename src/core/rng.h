@@ -7,6 +7,7 @@
 // has a 2^256-1 period, and passes BigCrush.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -47,6 +48,13 @@ class Rng {
 
   // Derive an independent child stream (e.g. one per worker rank).
   Rng fork();
+
+  // Complete generator state for checkpointing: the four xoshiro words plus
+  // the Box-Muller cache (value bit-cast to u64, presence flag).  A restored
+  // generator continues the exact stream, including a pending cached normal.
+  static constexpr size_t kStateWords = 6;
+  std::array<uint64_t, kStateWords> state() const;
+  void set_state(const std::array<uint64_t, kStateWords>& words);
 
  private:
   uint64_t state_[4];

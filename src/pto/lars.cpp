@@ -1,10 +1,39 @@
 #include "pto/lars.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/check.h"
 
 namespace hitopk::pto {
+namespace {
+
+// Shared velocity-map export helpers (SgdOptimizer and LarsOptimizer store
+// the same unordered_map<string, Tensor> momentum state).
+std::vector<std::string> sorted_keys(
+    const std::unordered_map<std::string, Tensor>& m) {
+  std::vector<std::string> out;
+  out.reserve(m.size());
+  for (const auto& [key, value] : m) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::span<const float> lookup_state(
+    const std::unordered_map<std::string, Tensor>& m, const std::string& key) {
+  auto it = m.find(key);
+  HITOPK_CHECK(it != m.end()) << "no optimizer state for" << key;
+  return it->second.span();
+}
+
+void store_state(std::unordered_map<std::string, Tensor>& m,
+                 const std::string& key, std::span<const float> values) {
+  Tensor t(values.size());
+  std::copy(values.begin(), values.end(), t.span().begin());
+  m[key] = std::move(t);
+}
+
+}  // namespace
 
 float lars_rate(const LarsConfig& config, float weight_norm, float grad_norm) {
   if (weight_norm <= 0.0f) return 1.0f;  // fresh tensors: no scaling signal
@@ -56,6 +85,19 @@ void SgdOptimizer::step(const std::string& key, std::span<float> weights,
              static_cast<float>(lr));
 }
 
+std::vector<std::string> SgdOptimizer::state_keys() const {
+  return sorted_keys(velocity_);
+}
+
+std::span<const float> SgdOptimizer::state(const std::string& key) const {
+  return lookup_state(velocity_, key);
+}
+
+void SgdOptimizer::set_state(const std::string& key,
+                             std::span<const float> values) {
+  store_state(velocity_, key, values);
+}
+
 LarsOptimizer::LarsOptimizer(LarsConfig config) : config_(config) {}
 
 void LarsOptimizer::step(const std::string& key, std::span<float> weights,
@@ -82,6 +124,19 @@ void LarsOptimizer::step(const std::string& key, std::span<float> weights,
 float LarsOptimizer::last_rate(const std::string& key) const {
   auto it = last_rate_.find(key);
   return it == last_rate_.end() ? 0.0f : it->second;
+}
+
+std::vector<std::string> LarsOptimizer::state_keys() const {
+  return sorted_keys(velocity_);
+}
+
+std::span<const float> LarsOptimizer::state(const std::string& key) const {
+  return lookup_state(velocity_, key);
+}
+
+void LarsOptimizer::set_state(const std::string& key,
+                              std::span<const float> values) {
+  store_state(velocity_, key, values);
 }
 
 LambOptimizer::LambOptimizer(double beta1, double beta2, double weight_decay,

@@ -12,6 +12,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/tensor.h"
 
@@ -36,6 +37,15 @@ class SgdOptimizer {
   void step(const std::string& key, std::span<float> weights,
             std::span<const float> grad, double lr);
 
+  // Momentum-state export/import for checkpointing (sorted keys = canonical
+  // serialization order) and elastic worker management.
+  std::vector<std::string> state_keys() const;
+  std::span<const float> state(const std::string& key) const;
+  void set_state(const std::string& key, std::span<const float> values);
+  // Drops the velocity for `key` (a rejoining worker restarts cold).
+  void reset(const std::string& key) { velocity_.erase(key); }
+  void clear() { velocity_.clear(); }
+
  private:
   double momentum_;
   double weight_decay_;
@@ -52,6 +62,16 @@ class LarsOptimizer {
 
   // The rate used in the most recent step for `key` (diagnostics / tests).
   float last_rate(const std::string& key) const;
+
+  // Momentum-state export/import, mirroring SgdOptimizer's (last_rate_ is a
+  // diagnostic recomputed every step, so it is not part of the state).
+  std::vector<std::string> state_keys() const;
+  std::span<const float> state(const std::string& key) const;
+  void set_state(const std::string& key, std::span<const float> values);
+  void clear() {
+    velocity_.clear();
+    last_rate_.clear();
+  }
 
  private:
   LarsConfig config_;

@@ -126,6 +126,15 @@ FaultPlan FaultPlan::remap(const std::vector<int>& new_to_old_rank,
 FaultPlan FaultPlan::generate(uint64_t seed, const Topology& topology,
                               double horizon, const FaultRates& rates) {
   HITOPK_CHECK_GT(horizon, 0.0);
+  // Negative intensities are config bugs, not "no faults": reject them
+  // loudly instead of silently sampling nothing (rate == 0 is the documented
+  // empty-script case and stays valid).
+  HITOPK_VALIDATE(rates.preempt_per_rank_hour >= 0.0)
+      << "negative preemption rate:" << rates.preempt_per_rank_hour;
+  HITOPK_VALIDATE(rates.degrade_per_node_hour >= 0.0)
+      << "negative degradation rate:" << rates.degrade_per_node_hour;
+  HITOPK_VALIDATE(rates.recover_seconds > 0.0)
+      << "recovery delay must be positive:" << rates.recover_seconds;
   FaultPlan plan;
   Rng rng(seed);
   if (rates.preempt_per_rank_hour > 0.0) {

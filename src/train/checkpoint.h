@@ -1,0 +1,128 @@
+// Checksummed, versioned training-state snapshots.
+//
+// A checkpoint is a flat byte blob of named, typed records (u64 / f64 /
+// float32 payloads), each protected by its own FNV-1a 64 checksum, with a
+// whole-blob footer checksum on top.  The two layers split the failure
+// modes: a flipped byte inside a record trips that record's checksum (and
+// names the culprit), while truncation, reordering, or a torn tail trips
+// the footer.  CheckpointReader verifies everything up front and throws
+// ConfigError — the *recoverable* error type (core/check.h) — so a corrupt
+// snapshot is an input condition callers handle, never a crash.
+//
+// CheckpointStore keeps the last `max_versions` committed blobs.  commit()
+// validates the blob before retiring the oldest version (a malformed blob
+// leaves the store untouched), and newest_valid() re-verifies on the way
+// out, silently falling back to the previous version when the newest is
+// corrupt — the torn-checkpoint contract the fault-tolerant convergence
+// driver relies on.  The store is an in-memory version ring; durability
+// media (local disk, object store) would wrap the same blobs without
+// changing the format.
+//
+// Multi-byte values are encoded little-endian via memcpy (the toolchain
+// targets little-endian platforms; the checksums would reject a
+// foreign-endian blob rather than misread it).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hitopk::train {
+
+// FNV-1a 64-bit over a byte range (the record and footer checksum).
+uint64_t fnv1a64(std::span<const uint8_t> bytes,
+                 uint64_t basis = 0xcbf29ce484222325ull);
+
+class CheckpointWriter {
+ public:
+  CheckpointWriter();
+
+  void put_u64s(std::string_view name, std::span<const uint64_t> values);
+  void put_f64s(std::string_view name, std::span<const double> values);
+  void put_floats(std::string_view name, std::span<const float> values);
+
+  // Appends the footer checksum and returns the blob.  The writer is spent
+  // afterwards (throws CheckError on further use).
+  std::vector<uint8_t> finish();
+
+ private:
+  void put_record(std::string_view name, uint8_t type,
+                  std::span<const uint8_t> payload);
+
+  std::vector<uint8_t> blob_;
+  bool finished_ = false;
+};
+
+class CheckpointReader {
+ public:
+  // Parses and fully verifies `blob`; throws ConfigError on any corruption
+  // (bad magic, record checksum mismatch, truncation, footer mismatch).
+  explicit CheckpointReader(std::span<const uint8_t> blob);
+
+  // Record names in blob order.
+  const std::vector<std::string>& names() const { return names_; }
+  bool has(std::string_view name) const;
+
+  // Typed accessors; throw ConfigError when the record is missing or was
+  // written with a different type.
+  std::span<const uint64_t> u64s(std::string_view name) const;
+  std::span<const double> f64s(std::string_view name) const;
+  std::span<const float> floats(std::string_view name) const;
+
+ private:
+  struct Record {
+    uint8_t type = 0;
+    std::vector<uint64_t> u;
+    std::vector<double> d;
+    std::vector<float> f;
+  };
+  const Record& record(std::string_view name, uint8_t type) const;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Record> records_;
+};
+
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(size_t max_versions = 2);
+
+  // Validates `blob` (parse + checksums), stores it as the newest version,
+  // and retires the oldest once `max_versions` is exceeded.  Returns the
+  // version id (monotonically increasing from 1).  Throws ConfigError for a
+  // malformed blob, leaving the store unchanged — a failed write must never
+  // evict a good snapshot.
+  uint64_t commit(std::vector<uint8_t> blob);
+
+  // Newest version whose blob still verifies, or nullopt when none does.
+  // Every corrupt version skipped on the way increments fallbacks().
+  struct Snapshot {
+    uint64_t version = 0;
+    const std::vector<uint8_t>* blob = nullptr;
+  };
+  std::optional<Snapshot> newest_valid();
+
+  size_t versions() const { return slots_.size(); }
+  uint64_t newest_version() const;
+  // Corrupt versions skipped by newest_valid() so far (restore diagnostics).
+  int fallbacks() const { return fallbacks_; }
+
+  // Mutable access for fault-injection tests (flip a byte, then watch
+  // newest_valid() fall back).  Throws CheckError for an unknown version.
+  std::vector<uint8_t>& mutable_blob(uint64_t version);
+
+ private:
+  struct Slot {
+    uint64_t version = 0;
+    std::vector<uint8_t> blob;
+  };
+  size_t max_versions_;
+  uint64_t next_version_ = 1;
+  std::vector<Slot> slots_;  // oldest first
+  int fallbacks_ = 0;
+};
+
+}  // namespace hitopk::train

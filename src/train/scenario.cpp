@@ -65,6 +65,17 @@ ScenarioResult simulate_scenario(const simnet::Topology& topology,
       static_cast<double>(model.total_params()) * 4.0 *
       topology.inter().beta;
 
+  // Checkpoint write cost: size-derived when a write rate is given (weights
+  // + momentum + error-feedback residuals = 3 float planes, the state the
+  // ConvergenceEngine actually serializes), otherwise the legacy flat cost.
+  HITOPK_VALIDATE(options.checkpoint_write_gbps >= 0.0)
+      << "negative checkpoint write rate:" << options.checkpoint_write_gbps;
+  const double checkpoint_write_seconds =
+      options.checkpoint_write_gbps > 0.0
+          ? static_cast<double>(model.total_params()) * 4.0 * 3.0 /
+                (options.checkpoint_write_gbps * 1e9)
+          : options.checkpoint_seconds;
+
   // Bursty correlated stragglers: a FaultPlan degradation script with one
   // "node" per pod, generated over a horizon comfortably past the expected
   // wall time (a run that outlives it just sees a calm tail).
@@ -182,8 +193,8 @@ ScenarioResult simulate_scenario(const simnet::Topology& topology,
     ++since_checkpoint;
     if (since_checkpoint == options.checkpoint_interval &&
         out.useful_iterations < options.iterations) {
-      t += options.checkpoint_seconds;
-      out.checkpoint_seconds_total += options.checkpoint_seconds;
+      t += checkpoint_write_seconds;
+      out.checkpoint_seconds_total += checkpoint_write_seconds;
       since_checkpoint = 0;
     }
   }
@@ -195,6 +206,8 @@ ScenarioResult simulate_scenario(const simnet::Topology& topology,
   out.goodput_fraction =
       out.ideal_throughput > 0.0 ? out.goodput / out.ideal_throughput : 0.0;
   out.lost_work_fraction = t > 0.0 ? lost_seconds / t : 0.0;
+  out.checkpoint_overhead_fraction =
+      t > 0.0 ? out.checkpoint_seconds_total / t : 0.0;
   out.mean_time_to_recover =
       out.preemptions > 0
           ? recover_seconds_total / static_cast<double>(out.preemptions)

@@ -53,6 +53,13 @@ struct ScenarioOptions {
   RecoveryPolicy policy = RecoveryPolicy::kElasticContinue;
   int checkpoint_interval = 100;     // iterations between checkpoints
   double checkpoint_seconds = 5.0;   // cost of writing one checkpoint
+  // When positive, the checkpoint write is priced from the snapshot size
+  // instead of the flat checkpoint_seconds: the state a fault-tolerant run
+  // snapshots is ~3 parameter planes (weights + optimizer momentum +
+  // error-feedback residuals, the ConvergenceEngine serialization) at 4
+  // bytes each, streamed to durable storage at this rate.  0 keeps the
+  // legacy flat cost.
+  double checkpoint_write_gbps = 0.0;
   double restart_seconds = 120.0;    // abort-restart: provision + reload
   double reschedule_seconds = 2.0;   // elastic: rendezvous + re-derivation
 
@@ -80,6 +87,9 @@ struct ScenarioResult {
   int rescales = 0;   // elastic world-size changes (shrink + regrow)
   int restarts = 0;   // abort-restart recoveries
   double checkpoint_seconds_total = 0.0;
+  // Wall-time share spent writing checkpoints (the interval trade-off axis
+  // of bench_fig11_faults: short intervals bound lost work but raise this).
+  double checkpoint_overhead_fraction = 0.0;
   int min_world_nodes = 0;  // smallest node count the job ran at
   int useful_iterations = 0;
   bool completed = true;  // false if the world died out with no returns

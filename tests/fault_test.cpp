@@ -123,6 +123,31 @@ TEST(FaultPlan, GenerateIsDeterministicInSeed) {
   EXPECT_TRUE(FaultPlan::generate(9, topo, 3600.0, FaultRates{}).empty());
 }
 
+TEST(FaultPlan, GenerateRejectsNegativeRates) {
+  const Topology topo = tiny();
+  FaultRates bad;
+  bad.preempt_per_rank_hour = -1.0;
+  EXPECT_THROW(FaultPlan::generate(9, topo, 3600.0, bad), ConfigError);
+  bad = FaultRates{};
+  bad.degrade_per_node_hour = -0.5;
+  EXPECT_THROW(FaultPlan::generate(9, topo, 3600.0, bad), ConfigError);
+  bad = FaultRates{};
+  bad.recover_seconds = 0.0;  // a preempted rank cannot return instantly
+  EXPECT_THROW(FaultPlan::generate(9, topo, 3600.0, bad), ConfigError);
+}
+
+TEST(FaultPlan, EmptyPlanRemapIsANoOp) {
+  const FaultPlan empty;
+  const FaultPlan mapped = empty.remap({0, 1, 2}, {0, 1});
+  EXPECT_TRUE(mapped.empty());
+  EXPECT_TRUE(mapped.preemptions().empty());
+  EXPECT_TRUE(mapped.degradations().empty());
+  EXPECT_DOUBLE_EQ(mapped.detection_timeout(), 0.0);
+  EXPECT_DOUBLE_EQ(mapped.transient_probability(), 0.0);
+  EXPECT_TRUE(mapped.alive(0, 1e9));
+  EXPECT_DOUBLE_EQ(mapped.degrade_factor(0, 1e9), 1.0);
+}
+
 TEST(FaultPlan, RemapKeepsSurvivorsAndSettings) {
   FaultPlan plan;
   plan.preempt(0, 1.0);

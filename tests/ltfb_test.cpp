@@ -1,0 +1,143 @@
+// Tests for LTFB-style tournament training: round structure, winner
+// adoption, determinism, and fault tolerance (mid-round worker loss,
+// population forfeits, total collapse).
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "train/ltfb.h"
+#include "train/synthetic.h"
+
+namespace hitopk::train {
+namespace {
+
+LtfbOptions base_options() {
+  LtfbOptions options;
+  options.training.algorithm = ConvergenceAlgorithm::kTopk;
+  options.training.nodes = 1;
+  options.training.gpus_per_node = 2;
+  options.training.local_batch = 32;
+  options.training.epochs = 4;
+  options.training.density = 0.05;
+  options.training.seed = 21;
+  options.populations = 2;
+  options.round_epochs = 2;
+  return options;
+}
+
+TaskFactory vision_factory() {
+  // Same data seed for every population: identical task and held-out set,
+  // so qualities are comparable; the engine seeds differentiate training.
+  return [](int) { return make_vision_task(11); };
+}
+
+TEST(Ltfb, PlaysAllRoundsAndAdoptsWinners) {
+  const auto result = run_ltfb(vision_factory(), base_options());
+  EXPECT_TRUE(result.completed);
+  ASSERT_EQ(result.rounds.size(), 2u);  // 4 epochs / 2 per round
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.standing, 2);
+    ASSERT_EQ(round.winners.size(), 1u);
+    EXPECT_GE(round.winners[0], 0);
+    EXPECT_LT(round.winners[0], 2);
+    EXPECT_GE(round.qualities[0], 0.0);
+    EXPECT_GE(round.qualities[1], 0.0);
+  }
+  EXPECT_EQ(result.exchanges, 2);
+  EXPECT_EQ(result.forfeits, 0);
+  EXPECT_GT(result.best_quality, 0.0);
+  EXPECT_GT(result.wall_seconds, 0.0);
+  EXPECT_GE(result.final_quality[result.best_population],
+            result.final_quality[1 - result.best_population]);
+}
+
+TEST(Ltfb, DeterministicAcrossRuns) {
+  const auto a = run_ltfb(vision_factory(), base_options());
+  const auto b = run_ltfb(vision_factory(), base_options());
+  EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+  EXPECT_EQ(a.best_population, b.best_population);
+  EXPECT_EQ(a.best_quality, b.best_quality);
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].winners, b.rounds[i].winners);
+    EXPECT_EQ(a.rounds[i].qualities, b.rounds[i].qualities);
+  }
+}
+
+TEST(Ltfb, OddPopulationCountGivesTailABye) {
+  auto options = base_options();
+  options.populations = 3;
+  const auto result = run_ltfb(vision_factory(), options);
+  EXPECT_TRUE(result.completed);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  for (const auto& round : result.rounds) {
+    EXPECT_EQ(round.standing, 3);
+    EXPECT_EQ(round.winners.size(), 1u);  // one pair, population 2 byes
+  }
+  EXPECT_EQ(result.exchanges, 2);
+}
+
+TEST(Ltfb, ToleratesMidRoundWorkerLoss) {
+  auto options = base_options();
+  // Population 0 loses one of its two workers mid-run (global rank 1 is
+  // population 0, local worker 1) and later gets it back; the round still
+  // completes and every exchange is played.
+  options.faults.preempt(1, 0.4, 1.2);
+  options.faults.set_detection_timeout(0.05);
+  const auto result = run_ltfb(vision_factory(), options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.preemptions, 1);
+  EXPECT_EQ(result.regrows, 1);
+  EXPECT_EQ(result.forfeits, 0);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  EXPECT_EQ(result.rounds[0].standing, 2);
+  EXPECT_EQ(result.exchanges, 2);
+  EXPECT_GT(result.best_quality, 0.0);
+}
+
+TEST(Ltfb, FullyDeadPopulationForfeitsAndByesOut) {
+  auto options = base_options();
+  // Population 1 (global ranks 2, 3) loses both workers permanently early
+  // in round 1: it forfeits, the survivor finishes all rounds alone with
+  // no exchanges after that.
+  options.faults.preempt(2, 0.2);
+  options.faults.preempt(3, 0.25);
+  options.faults.set_detection_timeout(0.05);
+  const auto result = run_ltfb(vision_factory(), options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.forfeits, 1);
+  EXPECT_EQ(result.preemptions, 2);
+  ASSERT_EQ(result.rounds.size(), 2u);
+  EXPECT_EQ(result.rounds[0].standing, 1);
+  EXPECT_EQ(result.rounds[0].winners.size(), 0u);
+  EXPECT_EQ(result.exchanges, 0);
+  EXPECT_EQ(result.best_population, 0);
+  EXPECT_EQ(result.final_quality[1], -1.0);
+  EXPECT_GT(result.final_quality[0], 0.0);
+}
+
+TEST(Ltfb, AllPopulationsDeadEndsIncomplete) {
+  auto options = base_options();
+  for (int r = 0; r < 4; ++r) options.faults.preempt(r, 0.2);
+  options.faults.set_detection_timeout(0.05);
+  const auto result = run_ltfb(vision_factory(), options);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.forfeits, 2);
+  EXPECT_EQ(result.best_quality, 0.0);
+}
+
+TEST(Ltfb, ValidatesOptions) {
+  auto options = base_options();
+  options.round_epochs = 3;  // 4 % 3 != 0
+  EXPECT_THROW(run_ltfb(vision_factory(), options), ConfigError);
+  options = base_options();
+  options.populations = 0;
+  EXPECT_THROW(run_ltfb(vision_factory(), options), ConfigError);
+  options = base_options();
+  EXPECT_THROW(
+      run_ltfb([](int) { return std::unique_ptr<ConvergenceTask>(); },
+               options),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace hitopk::train

@@ -908,6 +908,145 @@ TEST(ElasticRescale, SecondPreemptionShrinksTwice) {
   }
 }
 
+TEST(ElasticRescale, SingleSurvivorCompletesTrivially) {
+  // All but one rank dead at start: the All-Reduce of one contribution is
+  // the identity, so the attempt completes instantly — no schedule, no
+  // traffic, no time, and the survivor's buffer is bit-untouched.
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 48;
+  for (const auto algorithm :
+       {ElasticAlgorithm::kRing, ElasticAlgorithm::kBlueConnect,
+        ElasticAlgorithm::kGtopk}) {
+    simnet::FaultPlan plan;
+    for (int r = 1; r < topo.world_size(); ++r) plan.preempt(r, 0.0);
+    ElasticOptions options;
+    options.algorithm = algorithm;
+    options.gtopk.density = 0.05;
+    std::vector<Tensor> buffers = random_buffers(topo.world_size(), elems, 77);
+    const std::vector<Tensor> inputs =
+        random_buffers(topo.world_size(), elems, 77);
+    const auto result =
+        elastic_allreduce(topo, plan, spans_of(buffers), elems, options, 0.0);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.surviving_world, 1);
+    EXPECT_EQ(result.survivors, (std::vector<int>{0}));
+    ASSERT_EQ(result.attempts.size(), 1u);
+    EXPECT_EQ(result.finish, 0.0);
+    EXPECT_EQ(result.rescales, 0);
+    EXPECT_EQ(result.regrows, 0);
+    EXPECT_EQ(std::memcmp(buffers[0].data(), inputs[0].data(),
+                          elems * sizeof(float)),
+              0);
+  }
+}
+
+TEST(ElasticRescale, AllSurvivorsOnOneNodeRunHierarchyFree) {
+  // Two whole nodes die, leaving both survivors on node 0: the rebuilt
+  // world has no inter-node links, so every algorithm must run a flat,
+  // hierarchy-free schedule — and match the fresh single-node oracle
+  // bitwise.  (BlueConnect's auto factor derivation on one node already
+  // yields the flat {p} ring; the elastic re-derivation must agree.)
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 48;
+  for (const auto algorithm :
+       {ElasticAlgorithm::kRing, ElasticAlgorithm::kBlueConnect,
+        ElasticAlgorithm::kGtopk}) {
+    simnet::FaultPlan plan;
+    for (int r = 2; r < topo.world_size(); ++r) plan.preempt(r, 0.0);
+    ElasticOptions options;
+    options.algorithm = algorithm;
+    options.gtopk.density = 0.05;
+    std::vector<Tensor> buffers = random_buffers(topo.world_size(), elems, 78);
+    const auto result =
+        elastic_allreduce(topo, plan, spans_of(buffers), elems, options, 0.0);
+    ASSERT_TRUE(result.completed);
+    EXPECT_EQ(result.surviving_world, 2);
+    ASSERT_EQ(result.attempts.size(), 1u);
+
+    const SurvivorWorld survivor = shrink_topology(topo, {2, 3, 4, 5});
+    EXPECT_EQ(survivor.topology.nodes(), 1);
+    std::vector<Tensor> fresh = random_buffers(topo.world_size(), elems, 78);
+    RankData fresh_data;
+    for (const int old_rank : survivor.old_rank) {
+      fresh_data.push_back(fresh[static_cast<size_t>(old_rank)].span());
+    }
+    run_fresh(algorithm, survivor.topology, fresh_data, elems);
+    for (const int old_rank : survivor.old_rank) {
+      const auto r = static_cast<size_t>(old_rank);
+      ASSERT_EQ(std::memcmp(buffers[r].data(), fresh[r].data(),
+                            elems * sizeof(float)),
+                0)
+          << "old rank " << old_rank;
+    }
+  }
+}
+
+TEST(ElasticRescale, RecoveredRankRejoinsTheRetry) {
+  // Grow path: rank 1 dies during attempt 1 and recovers while attempt 2
+  // (which excluded it) is still running; when rank 4's death aborts
+  // attempt 2, the third attempt re-derives membership from the full-world
+  // plan and rank 1 rejoins.  The completed world is {0,1,2,3,5} and the
+  // result matches a fresh run with only rank 4 removed.
+  const Topology topo = fabric(3, 2);
+  const size_t elems = 48;
+  ElasticOptions options;
+  options.reschedule_seconds = 0.5;
+
+  // Probe 1: when does attempt 2 start after rank 1 dies immediately?
+  simnet::FaultPlan probe1;
+  probe1.preempt(1, 1e-9);
+  probe1.set_detection_timeout(0.1);
+  const auto first = elastic_allreduce(topo, probe1, {}, elems, options, 0.0);
+  ASSERT_TRUE(first.completed);
+  const double retry_start = first.attempts.front().outcome.finish + 0.5;
+
+  // Probe 2: when does attempt 2 abort after rank 4 dies just past its
+  // start?  Attempt 3 then begins at that finish plus the reschedule cost.
+  simnet::FaultPlan probe2;
+  probe2.preempt(1, 1e-9);
+  probe2.preempt(4, retry_start + 1e-9);
+  probe2.set_detection_timeout(0.1);
+  const auto second = elastic_allreduce(topo, probe2, {}, elems, options, 0.0);
+  ASSERT_TRUE(second.completed);
+  ASSERT_EQ(second.attempts.size(), 3u);
+  const double abort_finish = second.attempts[1].outcome.finish;
+  ASSERT_GT(abort_finish, retry_start);
+
+  // Real plan: rank 1's outage window is [1e-9, abort_finish) — it is dead
+  // for all of attempt 2 but alive again when attempt 3 re-derives.
+  simnet::FaultPlan plan;
+  plan.preempt(1, 1e-9, abort_finish);
+  plan.preempt(4, retry_start + 1e-9);
+  plan.set_detection_timeout(0.1);
+  std::vector<Tensor> buffers = random_buffers(topo.world_size(), elems, 902);
+  const auto result =
+      elastic_allreduce(topo, plan, spans_of(buffers), elems, options, 0.0);
+  ASSERT_TRUE(result.completed);
+  ASSERT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.surviving_world, 5);
+  EXPECT_EQ(result.survivors, (std::vector<int>{0, 1, 2, 3, 5}));
+  EXPECT_EQ(result.rescales, 2);  // attempt 2 dropped 1; attempt 3 dropped 4
+  EXPECT_EQ(result.regrows, 1);   // ... and regained 1
+  EXPECT_GE(result.finish, abort_finish);
+
+  // Aborted attempts never run the data pass, so the rejoined rank's input
+  // is pristine and the final buffers match a fresh run without rank 4.
+  const SurvivorWorld survivor = shrink_topology(topo, {4});
+  std::vector<Tensor> fresh = random_buffers(topo.world_size(), elems, 902);
+  RankData fresh_data;
+  for (const int old_rank : survivor.old_rank) {
+    fresh_data.push_back(fresh[static_cast<size_t>(old_rank)].span());
+  }
+  run_fresh(ElasticAlgorithm::kRing, survivor.topology, fresh_data, elems);
+  for (const int old_rank : survivor.old_rank) {
+    const auto r = static_cast<size_t>(old_rank);
+    ASSERT_EQ(
+        std::memcmp(buffers[r].data(), fresh[r].data(), elems * sizeof(float)),
+        0)
+        << "old rank " << old_rank;
+  }
+}
+
 TEST(ElasticRescale, ShrinkTopologyMapsSurvivorsDensely) {
   const Topology topo = fabric(3, 2);  // ranks {0,1} {2,3} {4,5}
   const SurvivorWorld w = shrink_topology(topo, {1, 4});

@@ -32,8 +32,9 @@ int main() {
     options.gpu = &gpu;
     const auto b = coll::hitopk_comm(cluster, {}, 25'000'000, options, 0.0);
     const double dense_bytes = 25'000'000.0 * 2;
-    const double sparse_bytes =
-        density * 25'000'000.0 * (2 + 4) * topo.nodes() / topo.gpus_per_node();
+    const double sparse_bytes = density * 25'000'000.0 * (2 + 4) *
+                                topo.nodes() * topo.nodes() /
+                                topo.world_size();
     comm_table.add_row({TablePrinter::fmt(density, 4),
                         TablePrinter::fmt(b.total, 4),
                         TablePrinter::fmt_percent(b.inter_allgather / b.total),

@@ -38,6 +38,7 @@
 #include "collectives/hier_allreduce.h"
 #include "collectives/hitopkcomm.h"
 #include "collectives/naive_allgather.h"
+#include "collectives/planner.h"
 #include "collectives/ring.h"
 #include "collectives/schedule.h"
 #include "collectives/torus2d.h"
@@ -176,6 +177,53 @@ std::vector<UnevenRow> run_uneven_panel(std::span<const size_t> sizes) {
   return rows;
 }
 
+// ---- planner panel ------------------------------------------------------
+
+struct PlannerRow {
+  std::string topology;
+  size_t elems;
+  double flat_ring, planned;
+  std::string chosen;
+  double speedup;
+};
+
+// Panel (e): the cost-model-driven planner (collectives/planner.h) against
+// the fixed flat ring, across the gated topologies and the
+// latency->bandwidth size range.  32K elements is the latency-bound
+// small-message row (recursive halving-doubling territory); 64M is the
+// bandwidth-bound regime where the hierarchy-aligned decompositions win.
+// The planner never loses to the flat ring by construction; the refs pin
+// *which* schedule it picks and by how much.
+std::vector<PlannerRow> run_planner_panel() {
+  struct Scenario {
+    const char* name;
+    Topology topo;
+  };
+  const double nic_beta = 1.0 / (25.0 / 8 * 1e9 * 0.55);
+  const std::vector<Scenario> scenarios = {
+      {"tencent_16x8", Topology::tencent_cloud(16, 8)},
+      {"fat_tree_4to1", cloud_fabric(16, 8, 4.0, 4)},
+      {"fat_tree_8to1", cloud_fabric(16, 8, 8.0, 4)},
+      {"uneven_8_8_4_4",
+       Topology(std::vector<int>{8, 8, 4, 4}, LinkParams{6e-6, 1.0 / 45e9},
+                LinkParams{25e-6, 1.0 / 1.2e9}, nic_beta)},
+  };
+  const size_t sizes[] = {32u << 10, 1u << 20, 16u << 20, 64u << 20};
+  PlannerOptions options;
+  options.wire_bytes = 2;
+  std::vector<PlannerRow> rows;
+  for (const Scenario& s : scenarios) {
+    Planner planner(options);
+    for (size_t elems : sizes) {
+      const PlanChoice choice = planner.plan(s.topo, elems);
+      rows.push_back({s.name, elems, choice.flat_ring_seconds,
+                      choice.predicted_seconds, choice.name,
+                      choice.speedup()});
+    }
+  }
+  return rows;
+}
+
 // ---- functional wall-time panel -----------------------------------------
 
 struct FunctionalRow {
@@ -263,6 +311,7 @@ void write_json(const std::string& path, const std::vector<SimRow>& small,
                 const std::vector<SimRow>& large,
                 const std::vector<FatTreeRow>& fat_tree,
                 const std::vector<UnevenRow>& uneven,
+                const std::vector<PlannerRow>& planner,
                 const std::vector<FunctionalRow>& functional, size_t elems,
                 int reps) {
   std::FILE* json = std::fopen(path.c_str(), "w");
@@ -302,6 +351,17 @@ void write_json(const std::string& path, const std::vector<SimRow>& small,
                  "\"gtopk\": %.9g}%s\n",
                  r.elems >> 20, r.hier, r.naive, r.gtopk,
                  i + 1 < uneven.size() ? "," : "");
+  }
+  std::fprintf(json, "    ],\n    \"planner\": [\n");
+  for (size_t i = 0; i < planner.size(); ++i) {
+    const PlannerRow& r = planner[i];
+    std::fprintf(json,
+                 "      {\"topology\": \"%s\", \"elems\": %zu, "
+                 "\"flat_ring\": %.9g, \"planned\": %.9g, \"chosen\": "
+                 "\"%s\", \"speedup\": %.3f}%s\n",
+                 r.topology.c_str(), r.elems, r.flat_ring, r.planned,
+                 r.chosen.c_str(), r.speedup,
+                 i + 1 < planner.size() ? "," : "");
   }
   std::fprintf(json, "    ]\n");
   std::fprintf(json,
@@ -393,6 +453,24 @@ int main(int argc, char** argv) {
   std::cout << "\ngTop-k folds the 24-rank world into a 16-rank hypercube "
                "(fold + 4 + unfold rounds).\n\n";
 
+  std::cout << "=== Planner (e): cost-model-driven schedule choice vs the "
+               "fixed flat ring (FP16) ===\n\n";
+  const auto planner_rows = run_planner_panel();
+  TablePrinter planner_table(
+      {"Topology", "Elements", "FlatRing", "Planned", "Chosen", "speedup"});
+  for (const PlannerRow& r : planner_rows) {
+    planner_table.add_row(
+        {r.topology,
+         r.elems >= (1u << 20) ? std::to_string(r.elems >> 20) + "M"
+                               : std::to_string(r.elems >> 10) + "K",
+         TablePrinter::fmt(r.flat_ring, 4), TablePrinter::fmt(r.planned, 4),
+         r.chosen, TablePrinter::fmt(r.speedup, 2) + "x"});
+  }
+  planner_table.print(std::cout);
+  std::cout << "\nThe planner scores every candidate schedule on the "
+               "simulated clock and never\nloses to the flat ring; the refs "
+               "pin which schedule wins each regime.\n\n";
+
   std::cout << "=== Functional data path (4x4 cluster, "
             << (functional_elems >> 20) << "M elements, wall time) ===\n\n";
   const auto functional = run_functional_panel(functional_elems, reps);
@@ -410,7 +488,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     write_json(json_path, small_rows, large_rows, fat_rows, uneven_rows,
-               functional, functional_elems, reps);
+               planner_rows, functional, functional_elems, reps);
   }
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "collectives/common.h"
 
+#include <algorithm>
+
 namespace hitopk::coll {
 
 Group node_group(const simnet::Topology& topology, int node) {
@@ -26,6 +28,21 @@ Group world_group(const simnet::Topology& topology) {
   group.reserve(static_cast<size_t>(topology.world_size()));
   for (int rank = 0; rank < topology.world_size(); ++rank) group.push_back(rank);
   return group;
+}
+
+Group locality_sorted_group(const simnet::Topology& topology,
+                            const Group& group) {
+  Group sorted = group;
+  std::stable_sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+    const int node_a = topology.node_of(a);
+    const int node_b = topology.node_of(b);
+    const int pod_a = topology.pod_of(node_a);
+    const int pod_b = topology.pod_of(node_b);
+    if (pod_a != pod_b) return pod_a < pod_b;
+    if (node_a != node_b) return node_a < node_b;
+    return a < b;
+  });
+  return sorted;
 }
 
 }  // namespace hitopk::coll

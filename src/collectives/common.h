@@ -50,6 +50,15 @@ Group cross_node_group(const simnet::Topology& topology, int local_rank);
 // All world ranks in rank order.
 Group world_group(const simnet::Topology& topology);
 
+// Pod-aware ring-membership reordering: the group's ranks stably sorted by
+// (pod, node, rank).  A ring over the sorted order crosses each pod
+// boundary once per direction instead of scattering hops across the
+// oversubscribed core — for an arbitrarily-permuted membership (elastic
+// survivor sets, shuffled placements) this recovers the locality a
+// rank-ordered world gets for free.  Identity on already-sorted groups.
+Group locality_sorted_group(const simnet::Topology& topology,
+                            const Group& group);
+
 // Validates a functional data vector against a group.  Throws the
 // recoverable ConfigError: buffer/group shape mismatches arrive from
 // callers' runtime configuration (world size, payload layout), not from

@@ -69,17 +69,18 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
   return out;
 }
 
+}  // namespace
+
 // ============================= engine path =============================
 // One schedule: leader fan-in step, collapse sync, leaders' ring
 // Reduce-Scatter + collapse + resolved All-Gather, collapse sync, broadcast
 // step with resolved leader->local copies.
-HierArBreakdown schedule_hier(simnet::Cluster& cluster, const RankData& data,
-                              size_t elems, size_t wire_bytes, double start) {
-  const simnet::Topology& topo = cluster.topology();
+void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
+                          const RankData& data, size_t elems,
+                          size_t wire_bytes) {
   const int m = topo.nodes();
   const bool functional = !data.empty();
 
-  Schedule sched;
   const uint32_t rank_slot0 =
       sched.add_slots(static_cast<uint32_t>(topo.world_size()));
   auto rank_slot = [&](int rank) {
@@ -147,7 +148,16 @@ HierArBreakdown schedule_hier(simnet::Cluster& cluster, const RankData& data,
       }
     }
   }
+}
 
+HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
+                               size_t elems, size_t wire_bytes, double start) {
+  check_data(world_group(cluster.topology()), data, elems);
+  if (collective_path() == CollectivePath::kLegacy) {
+    return legacy_hier(cluster, data, elems, wire_bytes, start);
+  }
+  Schedule sched;
+  build_hier_allreduce(sched, cluster.topology(), data, elems, wire_bytes);
   const Schedule::TimingResult timing = sched.run_timing(cluster, start);
   sched.run_data();
 
@@ -159,17 +169,6 @@ HierArBreakdown schedule_hier(simnet::Cluster& cluster, const RankData& data,
   out.intra_broadcast = timing.finish - t2;
   out.total = timing.finish - start;
   return out;
-}
-
-}  // namespace
-
-HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
-                               size_t elems, size_t wire_bytes, double start) {
-  check_data(world_group(cluster.topology()), data, elems);
-  if (collective_path() == CollectivePath::kLegacy) {
-    return legacy_hier(cluster, data, elems, wire_bytes, start);
-  }
-  return schedule_hier(cluster, data, elems, wire_bytes, start);
 }
 
 }  // namespace hitopk::coll

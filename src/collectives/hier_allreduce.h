@@ -11,6 +11,7 @@
 #pragma once
 
 #include "collectives/common.h"
+#include "collectives/schedule.h"
 
 namespace hitopk::coll {
 
@@ -23,5 +24,14 @@ struct HierArBreakdown {
 
 HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
                                size_t elems, size_t wire_bytes, double start);
+
+// Records the whole collective (leader fan-in, leaders' ring All-Reduce,
+// leader broadcast, with collapse syncs at the phase boundaries:
+// sync_times[0] ends phase 1, sync_times[2] ends phase 2) into a
+// caller-owned schedule.  Works on uneven topologies.  Exposed for the
+// planner (collectives/planner.h).
+void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
+                          const RankData& data, size_t elems,
+                          size_t wire_bytes);
 
 }  // namespace hitopk::coll

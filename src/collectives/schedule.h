@@ -108,6 +108,32 @@ struct ScheduleOutcome {
 
 class Schedule {
  public:
+  // Recorded primitives, exposed read-only through sends()/moves()/syncs()
+  // so static checkers (collectives/validator.h) can audit a schedule
+  // without replaying it.
+  struct Send {
+    uint32_t step;
+    int src;
+    int dst;
+    uint32_t src_slot;
+    uint32_t dst_slot;
+    size_t bytes;
+    double extra_seconds;
+  };
+  struct Move {
+    uint32_t step;
+    TransferOp op;
+    uint32_t src_buf;
+    uint32_t dst_buf;
+    uint32_t bucket;
+    size_t begin;
+    size_t count;
+  };
+  struct Sync {
+    uint32_t step;
+    bool collapse;
+  };
+
   // ---- recording ------------------------------------------------------
   // Allocates `n` readiness slots, returns the first id.  Slots start at
   // the run_timing start time.
@@ -180,30 +206,14 @@ class Schedule {
   size_t num_sends() const { return sends_.size(); }
   size_t num_moves() const { return moves_.size(); }
 
- private:
-  struct Send {
-    uint32_t step;
-    int src;
-    int dst;
-    uint32_t src_slot;
-    uint32_t dst_slot;
-    size_t bytes;
-    double extra_seconds;
-  };
-  struct Move {
-    uint32_t step;
-    TransferOp op;
-    uint32_t src_buf;
-    uint32_t dst_buf;
-    uint32_t bucket;
-    size_t begin;
-    size_t count;
-  };
-  struct Sync {
-    uint32_t step;
-    bool collapse;
-  };
+  // ---- introspection (read-only, for validators / planners) -----------
+  const std::vector<Send>& sends() const { return sends_; }
+  const std::vector<Move>& moves() const { return moves_; }
+  const std::vector<Sync>& syncs() const { return syncs_; }
+  const std::vector<RankSpan>& buffers() const { return buffers_; }
+  uint32_t num_slots() const { return num_slots_; }
 
+ private:
   uint32_t step_ = 0;
   uint32_t num_slots_ = 0;
   std::vector<RankSpan> buffers_;

@@ -196,6 +196,65 @@ Torus2dBreakdown schedule_torus2d(simnet::Cluster& cluster,
 
 }  // namespace
 
+void build_torus2d(Schedule& sched, const simnet::Topology& topo,
+                   const RankData& data, size_t elems, size_t wire_bytes) {
+  HITOPK_VALIDATE(topo.uniform())
+      << "torus2d's node-major grid needs a uniform topology";
+  check_data(world_group(topo), data, elems);
+  const int m = topo.nodes();
+  const int n = topo.gpus_per_node();
+  const bool functional = !data.empty();
+
+  std::vector<Group> node_groups;
+  std::vector<RankData> node_data;
+  for (int node = 0; node < m; ++node) {
+    node_groups.push_back(node_group(topo, node));
+    if (functional) {
+      RankData nd;
+      for (int rank : node_groups.back()) {
+        nd.push_back(data[static_cast<size_t>(rank)]);
+      }
+      node_data.push_back(std::move(nd));
+    }
+  }
+
+  // Phase 2 operates on full rank buffers through per-stream extents
+  // (stream `local` owns chunk `local` of the node partition), so ragged
+  // shard sizes are exact and the whole collective stays one schedule.
+  std::vector<Group> stream_groups;
+  std::vector<RankData> stream_data;
+  std::vector<ChunkRange> stream_extents;
+  for (int local = 0; local < n; ++local) {
+    const ChunkRange shard =
+        chunk_range(elems, static_cast<size_t>(n), static_cast<size_t>(local));
+    if (shard.count == 0) continue;
+    stream_groups.push_back(cross_node_group(topo, local));
+    stream_extents.push_back(shard);
+    if (functional) {
+      RankData shard_data;
+      for (int rank : stream_groups.back()) {
+        shard_data.push_back(data[static_cast<size_t>(rank)]);
+      }
+      stream_data.push_back(std::move(shard_data));
+    }
+  }
+
+  const RingGrid node_grid = ring_grid(sched, node_groups, node_data);
+  build_ring_reduce_scatter(sched, node_groups, node_grid, elems, wire_bytes,
+                            /*fused_chains=*/true);
+  sched.sync(/*collapse=*/true);  // phase 1 done
+  if (!stream_groups.empty()) {
+    const RingGrid stream_grid = ring_grid(sched, stream_groups, stream_data);
+    build_ring_reduce_scatter(sched, stream_groups, stream_grid,
+                              stream_extents, wire_bytes,
+                              /*fused_chains=*/true);
+    build_ring_allgather(sched, stream_groups, stream_grid, stream_extents,
+                         wire_bytes);
+  }
+  sched.sync(/*collapse=*/true);  // phase 2 done
+  build_ring_allgather(sched, node_groups, node_grid, elems, wire_bytes);
+}
+
 Torus2dBreakdown torus2d_allreduce(simnet::Cluster& cluster,
                                    const RankData& data, size_t elems,
                                    size_t wire_bytes, double start) {

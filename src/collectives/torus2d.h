@@ -11,6 +11,7 @@
 #pragma once
 
 #include "collectives/common.h"
+#include "collectives/schedule.h"
 
 namespace hitopk::coll {
 
@@ -26,5 +27,15 @@ struct Torus2dBreakdown {
 Torus2dBreakdown torus2d_allreduce(simnet::Cluster& cluster,
                                    const RankData& data, size_t elems,
                                    size_t wire_bytes, double start);
+
+// Records the whole collective into a caller-owned schedule, with collapse
+// syncs at the two phase boundaries.  Phase 2 uses per-stream extents over
+// the full rank buffers, so — unlike torus2d_allreduce's engine path, which
+// mirrors the legacy multi-schedule issue order — ragged shards (n does not
+// divide elems) stay inside the single schedule with exact per-stream
+// sizes.  Requires a uniform topology.  Exposed for the planner
+// (collectives/planner.h).
+void build_torus2d(Schedule& sched, const simnet::Topology& topo,
+                   const RankData& data, size_t elems, size_t wire_bytes);
 
 }  // namespace hitopk::coll

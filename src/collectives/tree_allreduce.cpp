@@ -161,13 +161,12 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
 // port-clock identical to the node-major legacy issue order).  The reduce
 // moves keep the legacy per-destination order; the phase C+D broadcast is
 // resolved to one copy per rank from the root leader's fully-reduced half.
-double run_tree_schedule(simnet::Cluster& cluster, const RankData& data,
-                         size_t half_begin, size_t half_elems,
-                         const TreeOptions& options, double start, int tree) {
-  const simnet::Topology& topo = cluster.topology();
+void build_one_tree(Schedule& sched, const simnet::Topology& topo,
+                    const RankData& data, size_t half_begin, size_t half_elems,
+                    const TreeOptions& options, int tree) {
   const int m = topo.nodes();
   const int n = topo.gpus_per_node();
-  if (half_elems == 0 || topo.world_size() <= 1) return start;
+  if (half_elems == 0 || topo.world_size() <= 1) return;
 
   const TreeShape shape = tree_shape(topo, tree);
   const size_t chunk_elems =
@@ -184,7 +183,6 @@ double run_tree_schedule(simnet::Cluster& cluster, const RankData& data,
     return topo.rank_of(shape.node_perm[p], shape.leader_local);
   };
 
-  Schedule sched;
   // slot(node, c): the pipeline clock of chunk c in node `node` — the chain
   // wavefront in phases A/D, the leader's subtree readiness in B/C.
   const uint32_t slot0 = sched.add_slots(
@@ -278,7 +276,16 @@ double run_tree_schedule(simnet::Cluster& cluster, const RankData& data,
     }
     sched.end_step();
   }
+}
 
+double run_tree_schedule(simnet::Cluster& cluster, const RankData& data,
+                         size_t half_begin, size_t half_elems,
+                         const TreeOptions& options, double start, int tree) {
+  Schedule sched;
+  build_one_tree(sched, cluster.topology(), data, half_begin, half_elems,
+                 options, tree);
+  // An empty record (degenerate half or world) replays to `start` exactly
+  // like the legacy early return.
   const double finish = sched.run_timing(cluster, start).finish;
   sched.run_data();
   return finish;
@@ -296,6 +303,20 @@ double run_tree(simnet::Cluster& cluster, const RankData& data,
 }
 
 }  // namespace
+
+void build_tree_allreduce(Schedule& sched, const simnet::Topology& topo,
+                          const RankData& data, size_t elems,
+                          const TreeOptions& options) {
+  HITOPK_VALIDATE(topo.uniform())
+      << "tree_allreduce's leader layout needs a uniform topology";
+  check_data(world_group(topo), data, elems);
+  const size_t half = elems / 2;
+  // Tree 1's record follows tree 0's at strictly later steps, so the replay
+  // issues tree 0's sends first against fresh slots for both — the same
+  // port-clock sequence as the entry point's two sequential schedules.
+  build_one_tree(sched, topo, data, 0, half, options, 0);
+  build_one_tree(sched, topo, data, half, elems - half, options, 1);
+}
 
 double tree_allreduce(simnet::Cluster& cluster, const Group& group,
                       const RankData& data, size_t elems,

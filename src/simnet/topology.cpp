@@ -1,6 +1,7 @@
 #include "simnet/topology.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 
 namespace hitopk::simnet {
@@ -116,6 +117,35 @@ int Topology::pod_of(int node) const {
 
 const LinkParams& Topology::link_between(int a, int b) const {
   return same_node(a, b) ? intra_ : inter_;
+}
+
+uint64_t Topology::fingerprint() const {
+  // FNV-1a over the structural fields.  Doubles hash by bit pattern — the
+  // cache this feeds only needs "same parameters -> same key", not
+  // tolerance-based equality.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&](double d) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(static_cast<uint64_t>(gpus_.size()));
+  for (int n : gpus_) mix(static_cast<uint64_t>(n));
+  mix_double(intra_.alpha);
+  mix_double(intra_.beta);
+  mix_double(inter_.alpha);
+  mix_double(inter_.beta);
+  mix_double(nic_beta_);
+  mix_double(oversubscription_);
+  mix(static_cast<uint64_t>(nodes_per_pod_));
+  return h;
 }
 
 std::string Topology::describe() const {

@@ -120,6 +120,13 @@ class Topology {
 
   std::string describe() const;
 
+  // Structural hash of everything the timing model sees: the per-node GPU
+  // vector, both link parameter pairs, the NIC capacity, the
+  // oversubscription factor, and the pod tiling.  Two topologies with equal
+  // fingerprints replay any schedule to the same clock, so planner caches
+  // key on it.  Stable within a process run; not a persistence format.
+  uint64_t fingerprint() const;
+
  private:
   std::vector<int> gpus_;        // GPUs per node
   std::vector<int> node_base_;   // first world rank of each node, + world end

@@ -69,7 +69,7 @@ DawnbenchReport simulate_dawnbench(const simnet::Topology& topology,
     const size_t iterations_per_epoch =
         (dataset.num_samples + global_batch - 1) / global_batch;
     const size_t node_batch = static_cast<size_t>(phase.local_batch) *
-                              static_cast<size_t>(topology.gpus_per_node());
+                              static_cast<size_t>(topology.gpus_on_node(0));
 
     PhaseReport phase_report;
     phase_report.phase = phase;

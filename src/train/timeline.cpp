@@ -42,8 +42,9 @@ double TrainingSimulator::raw_io_seconds() {
   config.use_ssd_cache = options_.use_datacache;
   data::DataCache cache(config);
 
-  // One node fetches gpus_per_node * local_batch samples per iteration.
-  const size_t node_batch = static_cast<size_t>(topology_.gpus_per_node()) *
+  // One node fetches gpus * local_batch samples per iteration; on an uneven
+  // fleet the busiest node bounds the IO wait.
+  const size_t node_batch = static_cast<size_t>(topology_.max_gpus_per_node()) *
                             static_cast<size_t>(options_.local_batch);
   std::vector<uint64_t> ids(node_batch);
   std::iota(ids.begin(), ids.end(), uint64_t{0});

@@ -99,6 +99,35 @@ TEST(Topology, UniformVectorCollapsesToUniform) {
   EXPECT_EQ(t.gpus_per_node(), 2);
 }
 
+TEST(Topology, FingerprintCoversEveryTimingParameter) {
+  // The planner cache keys on the fingerprint: equal fingerprints must mean
+  // "any schedule replays to the same clock", so every parameter the timing
+  // model reads has to move the hash.
+  const Topology base = tiny();
+  EXPECT_EQ(base.fingerprint(), tiny().fingerprint());
+
+  const LinkParams intra{1e-6, 1e-9};
+  const LinkParams inter{1e-5, 1e-8};
+  EXPECT_NE(base.fingerprint(),
+            Topology(2, 2, LinkParams{2e-6, 1e-9}, inter).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            Topology(2, 2, intra, LinkParams{1e-5, 2e-8}).fingerprint());
+  // Same world size, different node shape.
+  EXPECT_NE(base.fingerprint(), Topology(4, 1, intra, inter).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            Topology(std::vector<int>{3, 1}, intra, inter).fingerprint());
+  // NIC capacity, fat-tree oversubscription, pod tiling.
+  EXPECT_NE(base.fingerprint(),
+            Topology(2, 2, intra, inter, 0.5e-8).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            Topology(2, 2, intra, inter, 0.0, 2.0).fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            Topology(2, 2, intra, inter, 0.0, 1.0, 1).fingerprint());
+  // The nic_beta <= 0 default resolves to the per-flow rate before hashing.
+  EXPECT_EQ(base.fingerprint(),
+            Topology(2, 2, intra, inter, 1e-8).fingerprint());
+}
+
 TEST(Cluster, UnevenNodesShareTheirOwnNic) {
   // Node 0 has two GPUs whose inter-node flows share node 0's NIC; the
   // single-GPU node 1 is unaffected.

@@ -131,6 +131,21 @@ TEST(Timeline, TopkCompressionExposedLikeFig1) {
   EXPECT_LT(it.compression, 0.35);
 }
 
+TEST(Timeline, UnevenClusterSimulates) {
+  // Regression: raw_io_seconds() sized the node fetch with the uniform-only
+  // gpus_per_node() and aborted on heterogeneous fleets; the busiest node
+  // now bounds the IO wait instead.
+  const Topology topo(std::vector<int>{8, 8, 4, 4},
+                      simnet::LinkParams{1e-6, 1e-9},
+                      simnet::LinkParams{25e-6, 1e-8});
+  TrainingSimulator sim(topo, base_options(Algorithm::kTopkNaiveAg));
+  const auto it = sim.simulate_iteration();
+  EXPECT_GT(it.throughput, 0.0);
+  EXPECT_NEAR(it.io + it.ffbp + it.compression + it.communication + it.lars +
+                  it.overhead,
+              it.total, 1e-9);
+}
+
 TEST(Timeline, DenseCommunicationDominatesAtLowResolution) {
   // Fig. 1 / §2.2: at 96^2 the compute shrinks but communication does not.
   TrainingSimulator sim(Topology::tencent_cloud(16, 8),

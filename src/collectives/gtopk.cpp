@@ -69,7 +69,10 @@ double legacy_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
     std::vector<double> next = ready;
     for (int r = 0; r < rem; ++r) {
       const double done =
-          cluster.send(q + r, r, payload, ready[static_cast<size_t>(q + r)]);
+          cluster
+              .submit({simnet::kDefaultJob, q + r, r, payload,
+                       ready[static_cast<size_t>(q + r)]})
+              .time;
       next[static_cast<size_t>(r)] =
           std::max(next[static_cast<size_t>(r)], done);
     }
@@ -91,8 +94,11 @@ double legacy_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
     for (int r = 0; r < q; ++r) {
       const int partner = r ^ gap;
       // Full-duplex pairwise exchange; both directions are issued.
-      const double done = cluster.send(r, partner, payload,
-                                       ready[static_cast<size_t>(r)]);
+      const double done =
+          cluster
+              .submit({simnet::kDefaultJob, r, partner, payload,
+                       ready[static_cast<size_t>(r)]})
+              .time;
       next[static_cast<size_t>(partner)] =
           std::max(next[static_cast<size_t>(partner)], done);
     }
@@ -117,7 +123,10 @@ double legacy_gtopk(simnet::Cluster& cluster, const GtopkShape& shape,
     std::vector<double> next = ready;
     for (int r = 0; r < rem; ++r) {
       const double done =
-          cluster.send(r, q + r, payload, ready[static_cast<size_t>(r)]);
+          cluster
+              .submit({simnet::kDefaultJob, r, q + r, payload,
+                       ready[static_cast<size_t>(r)]})
+              .time;
       next[static_cast<size_t>(q + r)] =
           std::max(next[static_cast<size_t>(q + r)], done);
     }

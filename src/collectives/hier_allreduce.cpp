@@ -27,7 +27,10 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
     for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int src = topo.rank_of(node, local);
       const double done =
-          cluster.send(src, leader, elems * wire_bytes, start);
+          cluster
+              .submit({simnet::kDefaultJob, src, leader, elems * wire_bytes,
+                       start})
+              .time;
       t1 = std::max(t1, done);
       if (functional) {
         auto dst = data[static_cast<size_t>(leader)];
@@ -55,7 +58,11 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
     const int leader = topo.rank_of(node, 0);
     for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int dst = topo.rank_of(node, local);
-      const double done = cluster.send(leader, dst, elems * wire_bytes, t2);
+      const double done =
+          cluster
+              .submit({simnet::kDefaultJob, leader, dst, elems * wire_bytes,
+                       t2})
+              .time;
       t3 = std::max(t3, done);
       if (functional) {
         auto src_span = data[static_cast<size_t>(leader)];

@@ -29,8 +29,11 @@ ParamServerResult legacy_param_server(simnet::Cluster& cluster,
     if (shard.count == 0) continue;
     for (int worker = 0; worker < topo.world_size(); ++worker) {
       if (worker == server_rank(s)) continue;  // server's own shard is local
-      const double done = cluster.send(worker, server_rank(s),
-                                       shard.count * wire_bytes, start);
+      const double done =
+          cluster
+              .submit({simnet::kDefaultJob, worker, server_rank(s),
+                       shard.count * wire_bytes, start})
+              .time;
       shard_ready[static_cast<size_t>(s)] =
           std::max(shard_ready[static_cast<size_t>(s)], done);
     }
@@ -58,8 +61,11 @@ ParamServerResult legacy_param_server(simnet::Cluster& cluster,
     for (int worker = 0; worker < topo.world_size(); ++worker) {
       if (worker == server_rank(s)) continue;
       const double done =
-          cluster.send(server_rank(s), worker, shard.count * wire_bytes,
-                       shard_ready[static_cast<size_t>(s)]);
+          cluster
+              .submit({simnet::kDefaultJob, server_rank(s), worker,
+                       shard.count * wire_bytes,
+                       shard_ready[static_cast<size_t>(s)]})
+              .time;
       pull_done = std::max(pull_done, done);
     }
     if (functional) {

@@ -320,10 +320,108 @@ PlanChoice Planner::plan_impl(const simnet::Topology& topo, const Group& group,
   return choice;
 }
 
+double Planner::score_live(const simnet::Cluster& cluster,
+                           const Candidate& cand, const Group& group,
+                           size_t elems, double density, int job,
+                           double start) const {
+  // What-if replay on a copy of the live reservation state: the score is
+  // the candidate's duration amid the traffic other tenants already hold.
+  // Scoring must never observe scripted faults (it is a hypothetical, not a
+  // fault replay), so the copy drops the plan.
+  simnet::Cluster replica = cluster;
+  replica.set_fault_plan(nullptr);
+  if (cand.algorithm == PlanAlgorithm::kGtopk) {
+    GtopkOptions gopts;
+    gopts.density = density;
+    gopts.value_wire_bytes = options_.wire_bytes;
+    return gtopk_comm(replica, {}, elems, gopts, start).total;
+  }
+  Schedule sched;
+  build_candidate(sched, cluster.topology(), cand, group, {}, elems);
+  if (options_.validate) {
+    ValidatorOptions vopts;
+    vopts.world_size = cluster.topology().world_size();
+    ScheduleValidator(vopts).validate(sched);
+  }
+  return sched.run_timing(replica, start, job).finish - start;
+}
+
+PlanChoice Planner::plan_live(const simnet::Cluster& cluster,
+                              const Group& group, bool full_world,
+                              size_t elems, double density, int job,
+                              double start) {
+  HITOPK_VALIDATE(density > 0.0 && density <= 1.0)
+      << "density" << density << "outside (0, 1]";
+  for (int rank : group) {
+    HITOPK_VALIDATE(rank >= 0 && rank < cluster.world_size())
+        << "group rank" << rank << "outside world of" << cluster.world_size();
+  }
+
+  PlanChoice choice;
+  choice.ring_order = group;
+  if (group.size() <= 1) {
+    choice.name = "ring";
+    choice.candidates_scored = 1;
+    return choice;
+  }
+
+  // No cache: the winner depends on the cluster's transient load, which the
+  // topology-keyed cache must never memoize.
+  const std::vector<Candidate> cands =
+      enumerate(cluster.topology(), group, full_world, density);
+  double ring_t = 0.0;
+  double best_t = std::numeric_limits<double>::infinity();
+  size_t best = 0;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    const double t =
+        score_live(cluster, cands[i], group, elems, density, job, start);
+    if (i == 0) ring_t = t;
+    if (t < best_t) {  // strict: ties keep the earliest (the flat ring)
+      best_t = t;
+      best = i;
+    }
+  }
+  choice.algorithm = cands[best].algorithm;
+  choice.name = cands[best].name;
+  choice.factors = cands[best].factors;
+  choice.ring_order = cands[best].ring_order;
+  choice.predicted_seconds = best_t;
+  choice.flat_ring_seconds = ring_t;
+  choice.candidates_scored = static_cast<int>(cands.size());
+  choice.exact_sum = cands[best].exact_sum;
+  return choice;
+}
+
 PlanChoice Planner::plan(const simnet::Topology& topo, size_t elems,
                          double density) {
   return plan_impl(topo, world_group(topo), /*full_world=*/true, elems,
                    density);
+}
+
+PlanChoice Planner::plan(const simnet::Cluster& cluster, size_t elems,
+                         double density, int job, double start) {
+  return plan_group(cluster, world_group(cluster.topology()), elems, density,
+                    job, start);
+}
+
+PlanChoice Planner::plan_group(const simnet::Cluster& cluster,
+                               const Group& group, size_t elems,
+                               double density, int job, double start) {
+  // The idle-snapshot contract: an untouched cluster at start == 0 is
+  // indistinguishable from a fresh one, so delegate to the (cached)
+  // topology path and return its winners exactly.
+  if (cluster.idle() && start == 0.0) {
+    return plan_group(cluster.topology(), group, elems, density);
+  }
+  const bool full_world =
+      static_cast<int>(group.size()) == cluster.world_size() &&
+      [&] {
+        for (size_t i = 0; i < group.size(); ++i) {
+          if (group[i] != static_cast<int>(i)) return false;
+        }
+        return true;
+      }();
+  return plan_live(cluster, group, full_world, elems, density, job, start);
 }
 
 PlanChoice Planner::plan_group(const simnet::Topology& topo, const Group& group,

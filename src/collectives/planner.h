@@ -122,6 +122,23 @@ class Planner {
   PlanChoice plan_group(const simnet::Topology& topo, const Group& group,
                         size_t elems, double density = 1.0);
 
+  // Contention-aware overloads: plan against the *live* cluster instead of
+  // a fresh idle one.  Candidates are scored by replaying on a copy of the
+  // cluster — reservation timelines included — from `start` under `job`, so
+  // a candidate whose traffic pattern dodges the ports other tenants have
+  // loaded can win, and predicted_seconds/flat_ring_seconds report the
+  // *duration* under that load.  An idle cluster with start == 0 delegates
+  // to the topology overloads above and returns their winners exactly
+  // (pinned); loaded calls bypass the winner cache, because load is
+  // transient state, not a cacheable topology property.  The flat-ring
+  // never-lose guarantee holds in both regimes.
+  PlanChoice plan(const simnet::Cluster& cluster, size_t elems,
+                  double density = 1.0, int job = simnet::kDefaultJob,
+                  double start = 0.0);
+  PlanChoice plan_group(const simnet::Cluster& cluster, const Group& group,
+                        size_t elems, double density = 1.0,
+                        int job = simnet::kDefaultJob, double start = 0.0);
+
   // Plans (cache-backed), rebuilds the winner as a functional schedule,
   // validates it with full chunk coverage, and executes both passes on
   // `cluster`.  data is indexed by group position (world rank order for the
@@ -158,8 +175,14 @@ class Planner {
                        const RankData& data, size_t elems) const;
   double score(const simnet::Topology& topo, const Candidate& cand,
                const Group& group, size_t elems, double density) const;
+  double score_live(const simnet::Cluster& cluster, const Candidate& cand,
+                    const Group& group, size_t elems, double density, int job,
+                    double start) const;
   PlanChoice plan_impl(const simnet::Topology& topo, const Group& group,
                        bool full_world, size_t elems, double density);
+  PlanChoice plan_live(const simnet::Cluster& cluster, const Group& group,
+                       bool full_world, size_t elems, double density, int job,
+                       double start);
 
   PlannerOptions options_;
   std::unordered_map<std::string, Candidate> cache_;

@@ -44,8 +44,10 @@ void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
         const size_t chunk = rs_send_chunk(i, s, g);
         const ChunkRange range = chunk_range(elems, g, chunk);
         const double done =
-            cluster.send(group[i], group[peer], range.count * wire_bytes,
-                         ready[q][i]);
+            cluster
+                .submit({simnet::kDefaultJob, group[i], group[peer],
+                         range.count * wire_bytes, ready[q][i]})
+                .time;
         next[q][peer] = std::max(next[q][peer], done);
       }
     }
@@ -88,8 +90,10 @@ void ag_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
         const size_t chunk = ag_send_chunk(i, s, g);
         const ChunkRange range = chunk_range(elems, g, chunk);
         const double done =
-            cluster.send(group[i], group[peer], range.count * wire_bytes,
-                         ready[q][i]);
+            cluster
+                .submit({simnet::kDefaultJob, group[i], group[peer],
+                         range.count * wire_bytes, ready[q][i]})
+                .time;
         next[q][peer] = std::max(next[q][peer], done);
       }
     }
@@ -143,8 +147,10 @@ double legacy_allgather_bytes_multi(
         // At step s, rank i forwards the block originating at (i - s) mod G.
         const size_t origin = (i + 2 * g - s) % g;
         const double done =
-            cluster.send(group[i], group[peer], payload_bytes[q][origin],
-                         ready[q][i], step_overhead);
+            cluster
+                .submit({simnet::kDefaultJob, group[i], group[peer],
+                         payload_bytes[q][origin], ready[q][i], step_overhead})
+                .time;
         next[q][peer] = std::max(next[q][peer], done);
       }
     }

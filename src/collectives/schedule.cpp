@@ -56,7 +56,7 @@ void Schedule::end_step() { ++step_; }
 void Schedule::sync(bool collapse) { syncs_.push_back({step_, collapse}); }
 
 Schedule::TimingResult Schedule::run_timing(simnet::Cluster& cluster,
-                                            double start) const {
+                                            double start, int job) const {
   TimingResult result;
   result.sync_times.reserve(syncs_.size());
   // clock = slot readiness at the last step boundary; next = in-progress
@@ -98,9 +98,13 @@ Schedule::TimingResult Schedule::run_timing(simnet::Cluster& cluster,
     std::copy(clock.begin(), clock.end(), next.begin());
     for (; i < sends_.size() && sends_[i].step == step; ++i) {
       const Send& t = sends_[i];
-      const double done = cluster.send(t.src, t.dst, t.bytes,
-                                       clock[t.src_slot], t.extra_seconds);
-      next[t.dst_slot] = std::max(next[t.dst_slot], done);
+      const simnet::FlowOutcome sent = cluster.submit(
+          {job, t.src, t.dst, t.bytes, clock[t.src_slot], t.extra_seconds});
+      HITOPK_CHECK(sent.delivered)
+          << "run_timing touched preempted rank" << sent.dead_rank
+          << "at t=" << sent.time
+          << "(use run_timing_abortable on fault-injected runs)";
+      next[t.dst_slot] = std::max(next[t.dst_slot], sent.time);
     }
     std::swap(clock, next);
   }
@@ -109,7 +113,7 @@ Schedule::TimingResult Schedule::run_timing(simnet::Cluster& cluster,
 }
 
 ScheduleOutcome Schedule::run_timing_abortable(simnet::Cluster& cluster,
-                                               double start) const {
+                                               double start, int job) const {
   ScheduleOutcome out;
   out.sync_times.reserve(syncs_.size());
   // Same replay loop as run_timing; see the comments there.  The only
@@ -151,8 +155,8 @@ ScheduleOutcome Schedule::run_timing_abortable(simnet::Cluster& cluster,
     std::copy(clock.begin(), clock.end(), next.begin());
     for (; i < sends_.size() && sends_[i].step == step; ++i) {
       const Send& t = sends_[i];
-      const simnet::SendOutcome sent = cluster.try_send(
-          t.src, t.dst, t.bytes, clock[t.src_slot], t.extra_seconds);
+      const simnet::FlowOutcome sent = cluster.submit(
+          {job, t.src, t.dst, t.bytes, clock[t.src_slot], t.extra_seconds});
       if (!sent.delivered) {
         // Abort: everything already in flight this step (the partials in
         // `next`, which started >= the step-boundary clock) drains, the

@@ -187,17 +187,22 @@ class Schedule {
     std::vector<double> sync_times;   // one entry per recorded sync()
   };
 
-  // Serial timing replay.  Does not touch data buffers.
-  TimingResult run_timing(simnet::Cluster& cluster, double start) const;
+  // Serial timing replay.  Does not touch data buffers.  `job` is the
+  // tenant context the recorded sends are submitted under: on a shared
+  // multi-tenant cluster the replay's flows processor-share contended ports
+  // with other jobs' reservations, while on an idle cluster every job id
+  // replays to identical clocks (the single-tenant compatibility pin).
+  TimingResult run_timing(simnet::Cluster& cluster, double start,
+                          int job = simnet::kDefaultJob) const;
 
-  // Fault-aware timing replay via Cluster::try_send.  With no fault plan on
+  // Fault-aware timing replay via Cluster::submit.  With no fault plan on
   // the cluster (or an empty one) the finish and sync times are bit-identical
   // to run_timing.  On a dead-rank hit it stops issuing, charges the plan's
   // detection timeout, and reports the abort step — it never throws for
   // faults scripted in the plan.  Does not touch data buffers; callers skip
   // run_data when the outcome is aborted.
-  ScheduleOutcome run_timing_abortable(simnet::Cluster& cluster,
-                                       double start) const;
+  ScheduleOutcome run_timing_abortable(simnet::Cluster& cluster, double start,
+                                       int job = simnet::kDefaultJob) const;
 
   // Functional data pass (no clocks).  No-op for timing-only schedules.
   void run_data() const;

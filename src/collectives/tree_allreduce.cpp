@@ -67,7 +67,11 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
       const int src = chain_rank(node, pos);
       const int dst = chain_rank(node, pos + 1);
       for (size_t c = 0; c < n_chunks; ++c) {
-        ready[c] = cluster.send(src, dst, chunk_bytes(c), ready[c]);
+        ready[c] =
+            cluster
+                .submit({simnet::kDefaultJob, src, dst, chunk_bytes(c),
+                         ready[c]})
+                .time;
       }
       if (!data.empty()) {
         auto d = data[static_cast<size_t>(dst)].subspan(half_begin, half_elems);
@@ -92,8 +96,11 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
     for (size_t c = 0; c < n_chunks; ++c) {
       for (size_t child : {2 * p + 1, 2 * p + 2}) {
         if (child >= static_cast<size_t>(m)) continue;
-        const double done = cluster.send(leader_rank(child), leader_rank(p),
-                                         chunk_bytes(c), tree_ready[child][c]);
+        const double done =
+            cluster
+                .submit({simnet::kDefaultJob, leader_rank(child),
+                         leader_rank(p), chunk_bytes(c), tree_ready[child][c]})
+                .time;
         tree_ready[p][c] = std::max(tree_ready[p][c], done);
       }
     }
@@ -115,8 +122,11 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
     for (size_t c = 0; c < n_chunks; ++c) {
       for (size_t child : {2 * p + 1, 2 * p + 2}) {
         if (child >= static_cast<size_t>(m)) continue;
-        down[child][c] = cluster.send(leader_rank(p), leader_rank(child),
-                                      chunk_bytes(c), down[p][c]);
+        down[child][c] =
+            cluster
+                .submit({simnet::kDefaultJob, leader_rank(p),
+                         leader_rank(child), chunk_bytes(c), down[p][c]})
+                .time;
       }
     }
     if (!data.empty()) {
@@ -140,7 +150,11 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
       const int src = chain_rank(node, pos);
       const int dst = chain_rank(node, pos - 1);
       for (size_t c = 0; c < n_chunks; ++c) {
-        ready[c] = cluster.send(src, dst, chunk_bytes(c), ready[c]);
+        ready[c] =
+            cluster
+                .submit({simnet::kDefaultJob, src, dst, chunk_bytes(c),
+                         ready[c]})
+                .time;
       }
       if (!data.empty()) {
         auto s = data[static_cast<size_t>(src)].subspan(half_begin, half_elems);

@@ -1,0 +1,52 @@
+#include "train/tenant.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "collectives/ring.h"
+#include "models/perf_model.h"
+
+namespace hitopk::train {
+
+simnet::JobBody make_tenant_body(const TenantWorkload& workload) {
+  // One recorded schedule per distinct gang: the recording depends only on
+  // the (sorted) rank set and payload, not on the clock or the job id, so a
+  // job replays the same schedule every iteration and jobs that happen to
+  // get the same gang shape share nothing (gangs are disjoint while alive).
+  struct State {
+    TenantWorkload workload;
+    std::map<std::pair<std::vector<int>, size_t>, coll::Schedule> schedules;
+  };
+  auto state = std::make_shared<State>();
+  state->workload = workload;
+
+  return [state](simnet::Cluster& cluster, const simnet::JobSpec& spec,
+                 const std::vector<int>& ranks,
+                 double start) -> simnet::JobIteration {
+    const TenantWorkload& w = state->workload;
+    const double compute = simnet::Cluster::compute(
+        start, models::PerfModel::ffbp_seconds(w.model, w.resolution,
+                                               w.local_batch));
+    if (ranks.size() <= 1 || spec.bytes == 0) return {compute, false};
+
+    const size_t elems = (spec.bytes + w.wire_bytes - 1) / w.wire_bytes;
+    coll::Schedule& sched = state->schedules[{ranks, spec.bytes}];
+    if (sched.empty()) {
+      const coll::Group group =
+          coll::locality_sorted_group(cluster.topology(), ranks);
+      const std::vector<coll::Group> groups{group};
+      const coll::RingGrid grid = coll::ring_grid(sched, groups, {});
+      coll::build_ring_reduce_scatter(sched, groups, grid, elems,
+                                      w.wire_bytes, /*fused_chains=*/true);
+      sched.sync(/*collapse=*/true);
+      coll::build_ring_allgather(sched, groups, grid, elems, w.wire_bytes);
+    }
+    const coll::ScheduleOutcome out =
+        sched.run_timing_abortable(cluster, compute, spec.id);
+    return {out.finish, out.aborted()};
+  };
+}
+
+}  // namespace hitopk::train

@@ -1,0 +1,45 @@
+// Tenant job bodies for the multi-tenant JobScheduler.
+//
+// simnet::JobScheduler (simnet/job_scheduler.h) is collective-agnostic: it
+// places gangs and interleaves per-iteration callbacks.  This is the train
+// layer's hook that turns a JobSpec into a real synchronous data-parallel
+// training iteration:
+//
+//   compute — one forward/backward pass priced by models::PerfModel for the
+//     workload's model/resolution/batch (no ports occupied, every rank in
+//     parallel), then
+//   communicate — a bandwidth-optimal ring All-Reduce of the job's gradient
+//     payload over its placed gang, recorded once per distinct rank set by
+//     the schedule engine and replayed under the job's id via
+//     run_timing_abortable, so concurrent tenants processor-share NICs and
+//     uplinks and a preemption scripted on the cluster's FaultPlan aborts
+//     exactly the jobs placed on the dead rank.
+//
+// The gang is locality-sorted before the ring is built (pod, node, rank),
+// so a spread placement still crosses each pod boundary a minimal number of
+// times — placement policy decides *where* the ranks are, the collective
+// layer keeps the ring sane over them.
+#pragma once
+
+#include <string>
+
+#include "simnet/job_scheduler.h"
+
+namespace hitopk::train {
+
+// Per-job workload shape shared by every job of a replay (the per-job gang
+// size, payload, and iteration count live in JobSpec).
+struct TenantWorkload {
+  std::string model = "resnet50";
+  int resolution = 224;
+  int local_batch = 64;
+  size_t wire_bytes = 4;  // bytes per gradient element on the wire
+};
+
+// Builds a JobBody running compute + ring All-Reduce iterations.  The
+// returned callable caches one recorded Schedule per distinct gang, is
+// deterministic, and must only be used from one thread (the scheduler's
+// event loop is single-threaded by design).
+simnet::JobBody make_tenant_body(const TenantWorkload& workload);
+
+}  // namespace hitopk::train

@@ -1067,5 +1067,60 @@ TEST(ElasticRescale, ShrinkTopologyMapsSurvivorsDensely) {
 
 }  // namespace elastic_sweep
 
+// ---------------------------------------------------------------------------
+// Multi-tenant backward compatibility: a single job on an idle cluster must
+// replay to the exact pre-refactor clocks whatever its job id — across the
+// same seven cluster shapes the builder-validation suite sweeps.
+// ---------------------------------------------------------------------------
+namespace job_invariance {
+
+class JobIdInvarianceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, size_t>> {};
+
+TEST_P(JobIdInvarianceTest, SingleJobClocksIndependentOfJobId) {
+  const auto [m, n, elems] = GetParam();
+  const Topology topo = fabric(m, n);
+  const Group world = world_group(topo);
+  std::vector<Group> groups{world};
+
+  Schedule sched;
+  const RingGrid grid = ring_grid(sched, groups, {});
+  build_ring_reduce_scatter(sched, groups, grid, elems, 4,
+                            /*fused_chains=*/true);
+  sched.sync(/*collapse=*/true);
+  build_ring_allgather(sched, groups, grid, elems, 4);
+
+  Cluster as_default(topo);
+  Cluster as_tenant(topo);
+  const auto a = sched.run_timing(as_default, 0.25);
+  const auto b = sched.run_timing(as_tenant, 0.25, /*job=*/9);
+  EXPECT_DOUBLE_EQ(a.finish, b.finish);
+  ASSERT_EQ(a.sync_times.size(), b.sync_times.size());
+  for (size_t i = 0; i < a.sync_times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sync_times[i], b.sync_times[i]);
+  }
+  EXPECT_DOUBLE_EQ(as_default.quiescent_time(), as_tenant.quiescent_time());
+  EXPECT_EQ(as_default.inter_node_bytes(), as_tenant.inter_node_bytes());
+  EXPECT_EQ(as_default.intra_node_bytes(), as_tenant.intra_node_bytes());
+
+  // The abortable replay takes the same arithmetic path fault-free.
+  Cluster abortable(topo);
+  const ScheduleOutcome out = sched.run_timing_abortable(abortable, 0.25, 9);
+  EXPECT_EQ(out.status, ScheduleStatus::kCompleted);
+  EXPECT_DOUBLE_EQ(out.finish, a.finish);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, JobIdInvarianceTest,
+    ::testing::Values(std::tuple<int, int, size_t>{1, 1, 16},
+                      std::tuple<int, int, size_t>{1, 4, 64},
+                      std::tuple<int, int, size_t>{2, 2, 37},
+                      std::tuple<int, int, size_t>{3, 2, 96},
+                      std::tuple<int, int, size_t>{2, 3, 41},
+                      std::tuple<int, int, size_t>{4, 4, 256},
+                      std::tuple<int, int, size_t>{5, 3, 128}));
+
+}  // namespace job_invariance
+
 }  // namespace
 }  // namespace hitopk::coll

@@ -30,19 +30,19 @@ int main() {
             .total;
     Cluster c_tree(topo);
     TreeOptions tree_options;
-    tree_options.wire_bytes = fp16;
+    tree_options.wire = WireDtype::kFp16;
     const double tree =
         tree_allreduce(c_tree, world_group(topo), {}, elems, tree_options, 0.0);
     Cluster c_torus(topo);
-    const double torus = torus2d_allreduce(c_torus, {}, elems, fp16, 0.0).total;
+    const double torus = torus2d_allreduce(c_torus, {}, elems, WireDtype::kFp16, 0.0).total;
     Cluster c_hier(topo);
-    const double hier = hier_allreduce(c_hier, {}, elems, fp16, 0.0).total;
+    const double hier = hier_allreduce(c_hier, {}, elems, WireDtype::kFp16, 0.0).total;
     Cluster c_ps(topo);
-    const double ps = param_server_allreduce(c_ps, {}, elems, fp16, 0.0).total;
+    const double ps = param_server_allreduce(c_ps, {}, elems, WireDtype::kFp16, 0.0).total;
     Cluster c_hitopk(topo);
     HiTopKOptions options;
     options.density = density;
-    options.value_wire_bytes = fp16;
+    options.value_wire = WireDtype::kFp16;
     const double hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
     return std::array<double, 6>{naive, tree, torus, hier, ps, hitopk};
   };

@@ -28,7 +28,7 @@ int main() {
     simnet::Cluster cluster(topo);
     coll::HiTopKOptions options;
     options.density = density;
-    options.value_wire_bytes = 2;
+    options.value_wire = coll::WireDtype::kFp16;
     options.gpu = &gpu;
     const auto b = coll::hitopk_comm(cluster, {}, 25'000'000, options, 0.0);
     const double dense_bytes = 25'000'000.0 * 2;

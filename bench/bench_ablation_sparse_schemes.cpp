@@ -34,7 +34,7 @@ int main() {
     simnet::Cluster c_hitopk(topo);
     coll::HiTopKOptions hitopk_options;
     hitopk_options.density = 0.01;
-    hitopk_options.value_wire_bytes = 2;
+    hitopk_options.value_wire = coll::WireDtype::kFp16;
     const double hitopk =
         coll::hitopk_comm(c_hitopk, {}, elems, hitopk_options, 0.0).total;
     comm_table.add_row({std::to_string(elems >> 20) + "M",

@@ -78,15 +78,15 @@ std::vector<SimRow> run_sim_panel(const Topology& topo,
             .total;
     Cluster c_tree(topo);
     TreeOptions tree_options;
-    tree_options.wire_bytes = fp16;
+    tree_options.wire = WireDtype::kFp16;
     row.tree = tree_allreduce(c_tree, world_group(topo), {}, elems,
                               tree_options, 0.0);
     Cluster c_torus(topo);
-    row.torus = torus2d_allreduce(c_torus, {}, elems, fp16, 0.0).total;
+    row.torus = torus2d_allreduce(c_torus, {}, elems, WireDtype::kFp16, 0.0).total;
     Cluster c_hitopk(topo);
     HiTopKOptions options;
     options.density = density;
-    options.value_wire_bytes = fp16;
+    options.value_wire = WireDtype::kFp16;
     row.hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
     rows.push_back(row);
   }
@@ -123,19 +123,19 @@ std::vector<FatTreeRow> run_fat_tree_panel(std::span<const size_t> sizes) {
     row.elems = elems;
     Cluster c_ring(topo);
     row.flat_ring =
-        ring_allreduce(c_ring, world_group(topo), {}, elems, 2, 0.0);
+        ring_allreduce(c_ring, world_group(topo), {}, elems, WireDtype::kFp16, 0.0);
     Cluster c_bc(topo);
     BlueConnectOptions bc;  // auto {gpus_per_node, nodes}
-    bc.wire_bytes = 2;
+    bc.wire = WireDtype::kFp16;
     row.blueconnect = blueconnect_allreduce(c_bc, {}, elems, bc, 0.0).total;
     Cluster c_rack(topo);
     BlueConnectOptions rack;
     rack.factors = {8, 4, 4};  // {gpus, nodes-per-pod, pods}
-    rack.wire_bytes = 2;
+    rack.wire = WireDtype::kFp16;
     row.blueconnect_rack =
         blueconnect_allreduce(c_rack, {}, elems, rack, 0.0).total;
     Cluster c_torus(topo);
-    row.torus = torus2d_allreduce(c_torus, {}, elems, 2, 0.0).total;
+    row.torus = torus2d_allreduce(c_torus, {}, elems, WireDtype::kFp16, 0.0).total;
     rows.push_back(row);
   }
   return rows;
@@ -160,7 +160,7 @@ std::vector<UnevenRow> run_uneven_panel(std::span<const size_t> sizes) {
     UnevenRow row;
     row.elems = elems;
     Cluster c_hier(topo);
-    row.hier = hier_allreduce(c_hier, {}, elems, 2, 0.0).total;
+    row.hier = hier_allreduce(c_hier, {}, elems, WireDtype::kFp16, 0.0).total;
     Cluster c_naive(topo);
     row.naive = naive_sparse_allgather_time(
                     c_naive,
@@ -210,7 +210,7 @@ std::vector<PlannerRow> run_planner_panel() {
   };
   const size_t sizes[] = {32u << 10, 1u << 20, 16u << 20, 64u << 20};
   PlannerOptions options;
-  options.wire_bytes = 2;
+  options.wire = WireDtype::kFp16;
   std::vector<PlannerRow> rows;
   for (const Scenario& s : scenarios) {
     Planner planner(options);
@@ -292,16 +292,27 @@ std::vector<FunctionalRow> run_functional_panel(size_t elems, int reps) {
       }));
   rows.push_back(measure_functional(
       "2DTAR", topo, elems, reps, [&](Cluster& c, const RankData& data) {
-        torus2d_allreduce(c, data, elems, 4, 0.0);
+        torus2d_allreduce(c, data, elems, WireDtype::kFp32, 0.0);
       }));
   rows.push_back(measure_functional(
       "HierAR", topo, elems, reps, [&](Cluster& c, const RankData& data) {
-        hier_allreduce(c, data, elems, 4, 0.0);
+        hier_allreduce(c, data, elems, WireDtype::kFp32, 0.0);
       }));
   rows.push_back(measure_functional(
       "HiTopKComm", topo, elems, reps, [&](Cluster& c, const RankData& data) {
         HiTopKOptions options;
         options.density = 0.01;
+        hitopk_comm(c, data, elems, options, 0.0);
+      }));
+  // Quantized column: the same hierarchical aggregation with the sparse
+  // values crossing an fp16 wire (dense step-1 leg included).  The perf
+  // gate pins this speedup alongside the fp32 row.
+  rows.push_back(measure_functional(
+      "HiTopKComm_fp16", topo, elems, reps,
+      [&](Cluster& c, const RankData& data) {
+        HiTopKOptions options;
+        options.density = 0.01;
+        options.value_wire = WireDtype::kFp16;
         hitopk_comm(c, data, elems, options, 0.0);
       }));
   return rows;

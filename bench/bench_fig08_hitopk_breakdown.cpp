@@ -34,7 +34,7 @@ int main() {
       Cluster cluster(topo);
       HiTopKOptions options;
       options.density = density;
-      options.value_wire_bytes = 4;  // FP32 per the figure
+      options.value_wire = WireDtype::kFp32;
       options.gpu = &gpu;
       const auto b = hitopk_comm(cluster, {}, w.params, options, 0.0);
       table.add_row({w.label, TablePrinter::fmt(density, 3),
@@ -48,5 +48,34 @@ int main() {
   table.print(std::cout);
   std::cout << "\nExpected: Inter-AllGather dominates and grows with "
                "density; MSTopK stays negligible.\n";
+
+  // Quantized wire panel: the same breakdown at density 0.01 with the
+  // selected values crossing fp16 / int8 wires.  The AllGather legs carry
+  // (index, value) pairs, so shrinking the value payload compresses only
+  // part of each pair — the step times shrink, but less than 2x / 4x.
+  std::cout << "\n=== Quantized value wire (density 0.01) ===\n\n";
+  TablePrinter qtable({"Model", "Wire", "ReduceScatter", "MSTopK",
+                       "Inter-AllGather", "Intra-AllGather", "Total (s)"});
+  for (const Workload w : {Workload{"(a) ResNet-50", 25'000'000},
+                           Workload{"(b) Transformer", 110'000'000}}) {
+    for (const WireDtype wire :
+         {WireDtype::kFp32, WireDtype::kFp16, WireDtype::kInt8}) {
+      Cluster cluster(topo);
+      HiTopKOptions options;
+      options.density = 0.01;
+      options.value_wire = wire;
+      options.gpu = &gpu;
+      const auto b = hitopk_comm(cluster, {}, w.params, options, 0.0);
+      qtable.add_row({w.label, wire_dtype_name(wire),
+                      TablePrinter::fmt(b.reduce_scatter, 4),
+                      TablePrinter::fmt(b.mstopk, 4),
+                      TablePrinter::fmt(b.inter_allgather, 4),
+                      TablePrinter::fmt(b.intra_allgather, 4),
+                      TablePrinter::fmt(b.total, 4)});
+    }
+  }
+  qtable.print(std::cout);
+  std::cout << "\nValues are half the pair on the wire, so fp16 trims the "
+               "AllGather legs by ~25%.\n";
   return 0;
 }

@@ -73,7 +73,7 @@ int main() {
   simnet::Cluster big(simnet::Topology::tencent_cloud(16, 8));
   coll::HiTopKOptions paper;
   paper.density = 0.01;
-  paper.value_wire_bytes = 2;  // FP16
+  paper.value_wire = coll::WireDtype::kFp16;
   const auto timing = coll::hitopk_comm(big, {}, 25'000'000, paper, 0.0);
   std::cout << "On 16 nodes x 8 V100s over 25GbE, aggregating a 25M-param "
                "gradient takes "

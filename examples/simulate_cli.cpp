@@ -97,10 +97,10 @@ int main(int argc, char** argv) {
     if (options.algorithm == train::Algorithm::kMstopkHitopk) {
       coll::HiTopKOptions hi;
       hi.density = options.density;
-      hi.value_wire_bytes = 2;
+      hi.value_wire = coll::WireDtype::kFp16;
       coll::hitopk_comm(cluster, {}, params, hi, 0.0);
     } else {
-      coll::torus2d_allreduce(cluster, {}, params, 2, 0.0);
+      coll::torus2d_allreduce(cluster, {}, params, coll::WireDtype::kFp16, 0.0);
     }
     std::ofstream out(flags.get("trace"));
     cluster.write_chrome_trace(out, train::algorithm_name(options.algorithm));

@@ -77,12 +77,12 @@ size_t build_blueconnect(Schedule& sched, const simnet::Topology& topo,
       }
       groups.push_back(std::move(group));
     }
-    grids[s] = ring_grid(sched, groups, group_data);
+    grids[s] = ring_grid(sched, groups, group_data, options.wire);
     // Fused chains are valid at every stage: the non-owned chunks a stage's
     // Reduce-Scatter skips are exactly what its All-Gather counterpart
     // overwrites with resolved copies on the way back up.
     build_ring_reduce_scatter(sched, groups, grids[s], stage_extents[s],
-                              options.wire_bytes, /*fused_chains=*/true);
+                              options.wire, /*fused_chains=*/true);
     sched.sync(/*collapse=*/true);
     // Narrow every rank's extent by its stage digit.
     for (int r = 0; r < p; ++r) {
@@ -99,7 +99,7 @@ size_t build_blueconnect(Schedule& sched, const simnet::Topology& topo,
   // so the resolved copies feed from the owner chunks in place.
   for (size_t s = S; s-- > 0;) {
     build_ring_allgather(sched, stage_groups[s], grids[s], stage_extents[s],
-                         options.wire_bytes);
+                         options.wire);
     if (s > 0) sched.sync(/*collapse=*/true);
   }
   return S;

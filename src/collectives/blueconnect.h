@@ -31,7 +31,7 @@ struct BlueConnectOptions {
   // dimension is 1.  Extra inter-node factors ({n, m1, m2} with
   // m = m1 * m2) express rack/pod hierarchies inside the fat tree.
   std::vector<int> factors;
-  size_t wire_bytes = 4;
+  WireDtype wire = WireDtype::kFp32;
 };
 
 struct BlueConnectBreakdown {

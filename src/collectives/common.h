@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "compress/wire_codec.h"
 #include "core/check.h"
 #include "simnet/cluster.h"
 
@@ -20,6 +21,18 @@ namespace hitopk::coll {
 
 using RankSpan = std::span<float>;
 using RankData = std::vector<RankSpan>;
+
+// Typed transfer payloads (compress/wire_codec.h): every collective takes
+// the wire dtype its bytes travel in.  fp32 is the bitwise-identity
+// baseline; fp16/int8 shrink the simulated bytes *and* round the functional
+// values through the codec at each shard boundary, exactly as the legacy
+// hop-by-hop loops would.
+using compress::WireDtype;
+using compress::wire_dtype_name;
+using compress::wire_elem_bytes;
+using compress::wire_payload_bytes;
+using compress::wire_round_trip;
+using compress::wire_scale_bytes;
 
 // Balanced partition of `total` elements into `parts` chunks: the first
 // (total % parts) chunks get one extra element.

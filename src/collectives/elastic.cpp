@@ -11,16 +11,16 @@ namespace {
 // fused-chain Reduce-Scatter, collapse sync, resolved All-Gather.
 void build_ring_allreduce(Schedule& sched, const Group& group,
                           const RankData& data, size_t elems,
-                          size_t wire_bytes) {
+                          WireDtype wire) {
   if (group.size() <= 1) return;
   std::vector<Group> groups{group};
   std::vector<RankData> group_data;
   if (!data.empty()) group_data.push_back(data);
-  const RingGrid grid = ring_grid(sched, groups, group_data);
-  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes,
+  const RingGrid grid = ring_grid(sched, groups, group_data, wire);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire,
                             /*fused_chains=*/true);
   sched.sync(/*collapse=*/true);
-  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+  build_ring_allgather(sched, groups, grid, elems, wire);
 }
 
 }  // namespace
@@ -141,7 +141,7 @@ ElasticResult elastic_allreduce(const simnet::Topology& topology,
       case ElasticAlgorithm::kRing: {
         Schedule sched;
         build_ring_allreduce(sched, world_group(world.topology), attempt_data,
-                             elems, options.wire_bytes);
+                             elems, options.wire);
         outcome = sched.run_timing_abortable(cluster, now);
         if (outcome.completed()) sched.run_data();
         break;

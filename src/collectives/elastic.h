@@ -50,7 +50,7 @@ enum class ElasticAlgorithm { kRing, kBlueConnect, kGtopk };
 
 struct ElasticOptions {
   ElasticAlgorithm algorithm = ElasticAlgorithm::kRing;
-  size_t wire_bytes = 4;  // ring path
+  WireDtype wire = WireDtype::kFp32;  // ring path
   // BlueConnect path: factors apply to the original world; once a rescale
   // invalidates them the stage factorization is re-derived from the shrunk
   // topology (auto when it stays uniform, a flat ring otherwise).

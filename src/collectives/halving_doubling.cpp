@@ -32,7 +32,7 @@ std::pair<size_t, size_t> kept_chunks(size_t p, int t, size_t q) {
 
 void build_halving_doubling(Schedule& sched, const Group& group,
                             const RankData& data, size_t elems,
-                            size_t wire_bytes) {
+                            WireDtype wire) {
   check_data(group, data, elems);
   const size_t P = group.size();
   if (P <= 1) return;
@@ -48,7 +48,9 @@ void build_halving_doubling(Schedule& sched, const Group& group,
   std::vector<uint32_t> bufs;
   if (!data.empty()) {
     bufs.reserve(P);
-    for (const RankSpan& span : data) bufs.push_back(sched.add_buffer(span));
+    for (const RankSpan& span : data) {
+      bufs.push_back(sched.add_buffer(span, wire));
+    }
   }
   auto slot = [&](size_t p) { return slot0 + static_cast<uint32_t>(p); };
 
@@ -56,8 +58,8 @@ void build_halving_doubling(Schedule& sched, const Group& group,
   // 0..r-1, then sit out the hypercube.
   if (r > 0) {
     for (size_t j = 0; j < r; ++j) {
-      sched.send(group[q + j], group[j], elems * wire_bytes, slot(q + j),
-                 slot(j));
+      sched.send(group[q + j], group[j], wire_payload_bytes(wire, elems),
+                 slot(q + j), slot(j));
       if (!bufs.empty()) sched.reduce(bufs[q + j], bufs[j], 0, elems);
     }
     sched.end_step();
@@ -73,8 +75,8 @@ void build_halving_doubling(Schedule& sched, const Group& group,
       const auto [k0, k1] = kept_chunks(p, t, q);
       const auto [s0, s1] = kept_chunks(partner, t, q);
       const ChunkRange sent = chunks_span(elems, q, s0, s1);
-      sched.send(group[p], group[partner], sent.count * wire_bytes, slot(p),
-                 slot(partner));
+      sched.send(group[p], group[partner],
+                 wire_payload_bytes(wire, sent.count), slot(p), slot(partner));
       if (!bufs.empty()) {
         const ChunkRange kept = chunks_span(elems, q, k0, k1);
         sched.reduce(bufs[partner], bufs[p], kept.begin, kept.count);
@@ -93,7 +95,8 @@ void build_halving_doubling(Schedule& sched, const Group& group,
       const auto [v0, v1] = kept_chunks(p, t, q);
       const auto [r0, r1] = kept_chunks(partner, t, q);
       const ChunkRange valid = chunks_span(elems, q, v0, v1);
-      sched.send(group[p], group[partner], valid.count * wire_bytes, slot(p),
+      sched.send(group[p], group[partner],
+                 wire_payload_bytes(wire, valid.count), slot(p),
                  slot(partner));
       if (!bufs.empty()) {
         const ChunkRange recv = chunks_span(elems, q, r0, r1);
@@ -106,8 +109,8 @@ void build_halving_doubling(Schedule& sched, const Group& group,
   // Unfold: finished results stream back to the folded ranks.
   if (r > 0) {
     for (size_t j = 0; j < r; ++j) {
-      sched.send(group[j], group[q + j], elems * wire_bytes, slot(j),
-                 slot(q + j));
+      sched.send(group[j], group[q + j], wire_payload_bytes(wire, elems),
+                 slot(j), slot(q + j));
       if (!bufs.empty()) sched.copy(bufs[j], bufs[q + j], 0, elems);
     }
     sched.end_step();
@@ -116,11 +119,11 @@ void build_halving_doubling(Schedule& sched, const Group& group,
 
 double halving_doubling_allreduce(simnet::Cluster& cluster, const Group& group,
                                   const RankData& data, size_t elems,
-                                  size_t wire_bytes, double start) {
+                                  WireDtype wire, double start) {
   check_data(group, data, elems);
   if (group.size() <= 1) return start;
   Schedule sched;
-  build_halving_doubling(sched, group, data, elems, wire_bytes);
+  build_halving_doubling(sched, group, data, elems, wire);
   const double done = sched.run_timing(cluster, start).finish;
   sched.run_data();
   return done;

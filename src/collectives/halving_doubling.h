@@ -40,11 +40,11 @@ namespace hitopk::coll {
 // (timing-only) or hold one span of `elems` floats per group rank.
 void build_halving_doubling(Schedule& sched, const Group& group,
                             const RankData& data, size_t elems,
-                            size_t wire_bytes);
+                            WireDtype wire);
 
 // Standalone entry point: build, replay the clock, run the data pass.
 double halving_doubling_allreduce(simnet::Cluster& cluster, const Group& group,
                                   const RankData& data, size_t elems,
-                                  size_t wire_bytes, double start);
+                                  WireDtype wire, double start);
 
 }  // namespace hitopk::coll

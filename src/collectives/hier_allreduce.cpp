@@ -7,9 +7,16 @@
 namespace hitopk::coll {
 namespace {
 
+// Legacy-path wire staging: a quantized hop delivers the codec-rounded
+// buffer (dst += rt(src) on the fan-in, dst = rt(src) on the broadcast).
+std::vector<float>& hier_staging() {
+  thread_local std::vector<float> tmp;
+  return tmp;
+}
+
 // ===================== legacy path (validation reference) =====================
 HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
-                            size_t elems, size_t wire_bytes, double start) {
+                            size_t elems, WireDtype wire, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const bool functional = !data.empty();
@@ -28,14 +35,22 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
       const int src = topo.rank_of(node, local);
       const double done =
           cluster
-              .submit({simnet::kDefaultJob, src, leader, elems * wire_bytes,
-                       start})
+              .submit({simnet::kDefaultJob, src, leader,
+                       wire_payload_bytes(wire, elems), start})
               .time;
       t1 = std::max(t1, done);
       if (functional) {
         auto dst = data[static_cast<size_t>(leader)];
         auto src_span = data[static_cast<size_t>(src)];
-        for (size_t e = 0; e < elems; ++e) dst[e] += src_span[e];
+        if (wire == WireDtype::kFp32) {
+          for (size_t e = 0; e < elems; ++e) dst[e] += src_span[e];
+        } else {
+          auto& tmp = hier_staging();
+          tmp.assign(src_span.begin(), src_span.end());
+          std::span<float> staged(tmp.data(), elems);
+          wire_round_trip(wire, staged);
+          for (size_t e = 0; e < elems; ++e) dst[e] += staged[e];
+        }
       }
     }
   }
@@ -49,7 +64,7 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
     for (int rank : leaders) leader_data.push_back(data[static_cast<size_t>(rank)]);
   }
   const double t2 =
-      ring_allreduce(cluster, leaders, leader_data, elems, wire_bytes, t1);
+      ring_allreduce(cluster, leaders, leader_data, elems, wire, t1);
   out.inter_allreduce = t2 - t1;
 
   // Phase 3: leaders broadcast the result inside their node.
@@ -60,14 +75,15 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
       const int dst = topo.rank_of(node, local);
       const double done =
           cluster
-              .submit({simnet::kDefaultJob, leader, dst, elems * wire_bytes,
-                       t2})
+              .submit({simnet::kDefaultJob, leader, dst,
+                       wire_payload_bytes(wire, elems), t2})
               .time;
       t3 = std::max(t3, done);
       if (functional) {
         auto src_span = data[static_cast<size_t>(leader)];
         auto dst_span = data[static_cast<size_t>(dst)];
         std::copy(src_span.begin(), src_span.end(), dst_span.begin());
+        wire_round_trip(wire, dst_span);
       }
     }
   }
@@ -83,8 +99,7 @@ HierArBreakdown legacy_hier(simnet::Cluster& cluster, const RankData& data,
 // Reduce-Scatter + collapse + resolved All-Gather, collapse sync, broadcast
 // step with resolved leader->local copies.
 void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
-                          const RankData& data, size_t elems,
-                          size_t wire_bytes) {
+                          const RankData& data, size_t elems, WireDtype wire) {
   const int m = topo.nodes();
   const bool functional = !data.empty();
 
@@ -95,7 +110,7 @@ void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
   };
   std::vector<uint32_t> bufs;
   if (functional) {
-    for (const auto& span : data) bufs.push_back(sched.add_buffer(span));
+    for (const auto& span : data) bufs.push_back(sched.add_buffer(span, wire));
   }
 
   // Phase 1: fan-in to the leaders.  The leader's recv port serializes the
@@ -105,7 +120,7 @@ void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
     const int leader = topo.rank_of(node, 0);
     for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int src = topo.rank_of(node, local);
-      sched.send(src, leader, elems * wire_bytes, rank_slot(src),
+      sched.send(src, leader, wire_payload_bytes(wire, elems), rank_slot(src),
                  rank_slot(leader));
       if (functional) {
         sched.reduce(bufs[static_cast<size_t>(src)],
@@ -131,11 +146,11 @@ void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
     }
     leader_data.push_back(std::move(ld));
   }
-  const RingGrid grid = ring_grid(sched, leader_groups, leader_data);
-  build_ring_reduce_scatter(sched, leader_groups, grid, elems, wire_bytes,
+  const RingGrid grid = ring_grid(sched, leader_groups, leader_data, wire);
+  build_ring_reduce_scatter(sched, leader_groups, grid, elems, wire,
                             /*fused_chains=*/true);
   sched.sync(/*collapse=*/true);  // ring mid-point
-  build_ring_allgather(sched, leader_groups, grid, elems, wire_bytes);
+  build_ring_allgather(sched, leader_groups, grid, elems, wire);
   sched.sync(/*collapse=*/true);  // phase 2 done
 
   // Phase 3: leaders broadcast inside their node (resolved copies).
@@ -143,8 +158,8 @@ void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
     const int leader = topo.rank_of(node, 0);
     for (int local = 1; local < topo.gpus_on_node(node); ++local) {
       const int dst = topo.rank_of(node, local);
-      sched.send(leader, dst, elems * wire_bytes, rank_slot(leader),
-                 rank_slot(dst));
+      sched.send(leader, dst, wire_payload_bytes(wire, elems),
+                 rank_slot(leader), rank_slot(dst));
       if (functional) {
         // Source-major bucket: the leader's buffer streams hot to its
         // node's destinations (one bucket per node, so nodes still run
@@ -158,13 +173,13 @@ void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
 }
 
 HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
-                               size_t elems, size_t wire_bytes, double start) {
+                               size_t elems, WireDtype wire, double start) {
   check_data(world_group(cluster.topology()), data, elems);
   if (collective_path() == CollectivePath::kLegacy) {
-    return legacy_hier(cluster, data, elems, wire_bytes, start);
+    return legacy_hier(cluster, data, elems, wire, start);
   }
   Schedule sched;
-  build_hier_allreduce(sched, cluster.topology(), data, elems, wire_bytes);
+  build_hier_allreduce(sched, cluster.topology(), data, elems, wire);
   const Schedule::TimingResult timing = sched.run_timing(cluster, start);
   sched.run_data();
 

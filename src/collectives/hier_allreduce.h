@@ -23,7 +23,7 @@ struct HierArBreakdown {
 };
 
 HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
-                               size_t elems, size_t wire_bytes, double start);
+                               size_t elems, WireDtype wire, double start);
 
 // Records the whole collective (leader fan-in, leaders' ring All-Reduce,
 // leader broadcast, with collapse syncs at the phase boundaries:
@@ -31,7 +31,6 @@ HierArBreakdown hier_allreduce(simnet::Cluster& cluster, const RankData& data,
 // caller-owned schedule.  Works on uneven topologies.  Exposed for the
 // planner (collectives/planner.h).
 void build_hier_allreduce(Schedule& sched, const simnet::Topology& topo,
-                          const RankData& data, size_t elems,
-                          size_t wire_bytes);
+                          const RankData& data, size_t elems, WireDtype wire);
 
 }  // namespace hitopk::coll

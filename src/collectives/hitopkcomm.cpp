@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <numeric>
 
 #include "collectives/ring.h"
 #include "compress/mstopk.h"
@@ -18,19 +20,156 @@ size_t shard_k(double density, size_t shard_elems) {
       1, static_cast<size_t>(std::llround(density * static_cast<double>(shard_elems))));
 }
 
-}  // namespace
+// Wire bytes of one sparse (values, indices) block: values at the value
+// wire dtype (plus its per-block scale record), 4-byte indices.
+size_t sparse_payload_bytes(WireDtype wire, size_t nnz) {
+  return wire_payload_bytes(wire, nnz) + nnz * 4;
+}
 
-HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
-                            size_t elems, const HiTopKOptions& options,
-                            double start) {
+// Scratch for staging a shard through the wire codec on the fan-in path.
+std::vector<float>& fanin_staging() {
+  thread_local std::vector<float> staging;
+  return staging;
+}
+
+// One stream's aggregated sparse result: globally-indexed, ascending,
+// compact (exact zeros already dropped).  The inter-node all-gather legs
+// quote indices.size() as the stream's nonzero count, and step 4's rebuild
+// scatters the pairs directly — the engine path never materialises the
+// dense accumulation buffer the legacy path scatter-adds into.
+struct CompactStream {
+  std::vector<uint32_t> indices;
+  std::vector<float> values;
+};
+
+// Stable index-sort of a block whose indices arrive out of order.  MSTopK
+// always emits ascending indices, so this is cold; it exists so
+// merge_accumulate stays correct for arbitrary SparseTensor inputs
+// (duplicates within a block keep their storage order, matching the
+// scatter-add sequence).
+const compress::SparseTensor* sorted_block(
+    const compress::SparseTensor* sp,
+    std::vector<compress::SparseTensor>& storage) {
+  std::vector<uint32_t> perm(sp->nnz());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
+    return sp->indices[a] < sp->indices[b];
+  });
+  compress::SparseTensor sorted;
+  sorted.dense_size = sp->dense_size;
+  sorted.indices.reserve(perm.size());
+  sorted.values.reserve(perm.size());
+  for (const uint32_t i : perm) {
+    sorted.indices.push_back(sp->indices[i]);
+    sorted.values.push_back(sp->values[i]);
+  }
+  storage.push_back(std::move(sorted));
+  return &storage.back();
+}
+
+// Merge-accumulates one stream's m sorted sparse blocks into a compact
+// (index, value) stream.  Each output index sums its occurrences in block
+// order starting from a literal 0.0f, which is float-for-float the sequence
+// the legacy path's scatter-add into a zeroed dense buffer performs — the
+// result is bitwise identical, including signed-zero and NaN propagation.
+// Touching only the k-way frontier costs O(nnz * m) instead of the legacy
+// dense memset + full-shard nonzero rescan.
+void merge_accumulate(std::span<const compress::SparseTensor* const> blocks,
+                      size_t shard_begin, CompactStream& out) {
+  struct Cursor {
+    const uint32_t* idx;
+    const uint32_t* end;
+    const float* val;
+  };
+  std::vector<compress::SparseTensor> sorted_storage;
+  sorted_storage.reserve(blocks.size());
+  std::vector<Cursor> cursors;
+  cursors.reserve(blocks.size());
+  size_t total = 0;
+  for (const compress::SparseTensor* sp : blocks) {
+    const compress::SparseTensor* use = sp;
+    if (!std::is_sorted(sp->indices.begin(), sp->indices.end())) {
+      use = sorted_block(sp, sorted_storage);
+    }
+    if (!use->indices.empty()) {
+      cursors.push_back({use->indices.data(),
+                         use->indices.data() + use->indices.size(),
+                         use->values.data()});
+      total += use->indices.size();
+    }
+  }
+  out.indices.clear();
+  out.values.clear();
+  out.indices.reserve(total);
+  out.values.reserve(total);
+  while (!cursors.empty()) {
+    uint32_t lo = *cursors.front().idx;
+    for (size_t c = 1; c < cursors.size(); ++c) {
+      lo = std::min(lo, *cursors[c].idx);
+    }
+    // Blocks stay in storage order, so duplicate indices accumulate in the
+    // same order the legacy scatter-add applies them.
+    float sum = 0.0f;
+    for (Cursor& cur : cursors) {
+      while (cur.idx != cur.end && *cur.idx == lo) {
+        sum += *cur.val;
+        ++cur.idx;
+        ++cur.val;
+      }
+    }
+    cursors.erase(std::remove_if(cursors.begin(), cursors.end(),
+                                 [](const Cursor& c) { return c.idx == c.end; }),
+                  cursors.end());
+    if (sum != 0.0f) {
+      out.indices.push_back(static_cast<uint32_t>(shard_begin + lo));
+      out.values.push_back(sum);
+    }
+  }
+}
+
+// Rebuilds the full aggregated gradient on every rank from the compact
+// streams.  The streams are in shard order and each is ascending, so the
+// concatenation is globally sorted: one forward pass per rank zero-fills
+// L1-sized tiles with memset and scatters the tile's survivors while its
+// lines are still cache-resident.  That writes each output element exactly
+// once at streaming-store speed, where the legacy full-buffer copy also
+// *reads* every element — roughly halving step 4's memory traffic.
+void rebuild_from_compact(const RankData& data,
+                          const std::vector<CompactStream>& streams) {
+  constexpr size_t kTileElems = 8 * 1024;  // 32 KiB of floats.
+  parallel_for(0, data.size(), [&](size_t r) {
+    float* out = data[r].data();
+    const size_t elems = data[r].size();
+    size_t s = 0;
+    size_t cur = 0;
+    for (size_t begin = 0; begin < elems; begin += kTileElems) {
+      const size_t end = std::min(elems, begin + kTileElems);
+      std::memset(out + begin, 0, (end - begin) * sizeof(float));
+      while (s < streams.size()) {
+        const CompactStream& st = streams[s];
+        while (cur < st.indices.size() && st.indices[cur] < end) {
+          out[st.indices[cur]] = st.values[cur];
+          ++cur;
+        }
+        if (cur < st.indices.size()) break;
+        ++s;
+        cur = 0;
+      }
+    }
+  });
+}
+
+// ======================= uniform fleets (n GPUs everywhere) ==============
+HiTopKBreakdown hitopk_uniform(simnet::Cluster& cluster, const RankData& data,
+                               size_t elems, const HiTopKOptions& options,
+                               double start) {
   const simnet::Topology& topo = cluster.topology();
-  HITOPK_VALIDATE(topo.uniform())
-      << "hitopk_comm's owned-shard layout needs a uniform topology";
   const int m = topo.nodes();
   const int n = topo.gpus_per_node();
   const int world = topo.world_size();
   const bool functional = !data.empty();
-  check_data(world_group(topo), data, elems);
+  const bool legacy = collective_path() == CollectivePath::kLegacy;
+  const WireDtype wire = options.value_wire;
 
   HiTopKBreakdown out;
 
@@ -43,7 +182,7 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
 
   // ---- Step 1: intra-node reduce-scatter (dense, Alg. 2 lines 2-4).
   double t1 = start;
-  if (collective_path() == CollectivePath::kLegacy) {
+  if (legacy) {
     for (int node = 0; node < m; ++node) {
       const Group group = node_group(topo, node);
       RankData node_data;
@@ -51,7 +190,7 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
         for (int rank : group) node_data.push_back(data[static_cast<size_t>(rank)]);
       }
       t1 = std::max(t1, ring_reduce_scatter(cluster, group, node_data, elems,
-                                            options.value_wire_bytes, start));
+                                            wire, start));
     }
   } else {
     // Engine path: the m per-node rings are one multi-group schedule — same
@@ -70,9 +209,8 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
       }
     }
     Schedule sched;
-    const RingGrid grid = ring_grid(sched, node_groups, node_data);
-    build_ring_reduce_scatter(sched, node_groups, grid, elems,
-                              options.value_wire_bytes,
+    const RingGrid grid = ring_grid(sched, node_groups, node_data, wire);
+    build_ring_reduce_scatter(sched, node_groups, grid, elems, wire,
                               /*fused_chains=*/true);
     t1 = sched.run_timing(cluster, start).finish;
     sched.run_data();
@@ -133,6 +271,11 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
         options.error_feedback->apply_priming(ef_keys[r], shard_span);
       }
       selected[r] = mstopk.compress(shard_span, k);
+      // Typed payloads: the values cross the wire in the selected dtype, so
+      // round them through the codec *before* error feedback absorbs the
+      // send — the residual then keeps the quantization error alongside the
+      // unselected coordinates.  A no-op for fp32.
+      wire_round_trip(wire, std::span<float>(selected[r].values));
       if (options.error_feedback != nullptr) {
         options.error_feedback->absorb_primed(ef_keys[r], selected[r]);
       }
@@ -148,11 +291,18 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
   // of the stream's m sparse blocks, so it is computed once per stream (not
   // once per rank), directly into the stream's shard slice of one flat
   // dense buffer.  The owned shards tile [0, elems), so the flat buffer IS
-  // the aggregated gradient — step 4's rebuild becomes a straight copy per
-  // rank instead of materialising per-shard SparseTensors and scatter-adding
-  // them n times per rank.  stream_nnz keeps the per-stream nonzero counts
-  // the step-4 wire payloads need.
-  Scratch<float> stream_dense(functional ? elems : 0, /*zeroed=*/true);
+  // the aggregated gradient.  stream_nnz keeps the per-stream nonzero
+  // counts the step-4 wire payloads need.
+  //
+  // The legacy branch zeroes the flat buffer, scatter-adds, and scans each
+  // shard for nonzeros; the engine branch merge-accumulates the sorted
+  // blocks into compact streams (see merge_accumulate), which needs no
+  // dense buffer, no memset, and no full-shard rescan — the streams then
+  // feed step 4's tiled scatter rebuild.
+  Scratch<float> stream_dense(functional && legacy ? elems : 0,
+                              /*zeroed=*/true);
+  std::vector<CompactStream> streams(
+      functional && !legacy ? static_cast<size_t>(n) : 0);
   std::vector<size_t> stream_nnz(static_cast<size_t>(n), 0);
   std::vector<Group> stream_groups;
   std::vector<std::vector<size_t>> stream_payloads;
@@ -166,7 +316,7 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
       const size_t nnz = functional
                              ? selected[static_cast<size_t>(group[i])].nnz()
                              : shard_k(options.density, shard.count);
-      payload[i] = nnz * (options.value_wire_bytes + 4);
+      payload[i] = sparse_payload_bytes(wire, nnz);
     }
     stream_payloads.push_back(std::move(payload));
     stream_groups.push_back(std::move(group));
@@ -180,13 +330,24 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
       // Disjoint shard slices: every stream worker owns its own range of
       // the flat buffer, so the parallel accumulation is race-free and
       // bitwise-identical to the serial loop.
-      auto acc = stream_dense.span().subspan(shard.begin, shard.count);
-      for (int peer : group) {
-        selected[static_cast<size_t>(peer)].scatter_add_into(acc);
+      if (legacy) {
+        auto acc = stream_dense.span().subspan(shard.begin, shard.count);
+        for (int peer : group) {
+          selected[static_cast<size_t>(peer)].scatter_add_into(acc);
+        }
+        size_t nnz = 0;
+        for (const float v : acc) nnz += v != 0.0f ? 1 : 0;
+        stream_nnz[static_cast<size_t>(local)] = nnz;
+      } else {
+        std::vector<const compress::SparseTensor*> blocks;
+        blocks.reserve(group.size());
+        for (int peer : group) {
+          blocks.push_back(&selected[static_cast<size_t>(peer)]);
+        }
+        CompactStream& stream = streams[static_cast<size_t>(local)];
+        merge_accumulate(blocks, shard.begin, stream);
+        stream_nnz[static_cast<size_t>(local)] = stream.indices.size();
       }
-      size_t nnz = 0;
-      for (const float v : acc) nnz += v != 0.0f ? 1 : 0;
-      stream_nnz[static_cast<size_t>(local)] = nnz;
     });
   }
   // The n streams run concurrently (Alg. 2 line 11: "for j in [n] in
@@ -222,7 +383,7 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
                            shard_k(options.density, shard.count),
                        shard.count);
       }
-      payload[i] = nnz * (options.value_wire_bytes + 4);
+      payload[i] = sparse_payload_bytes(wire, nnz);
     }
     t4_comm = std::max(t4_comm,
                        ring_allgather_bytes(cluster, group, payload, t3));
@@ -239,15 +400,269 @@ HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
 
   if (functional) {
     // Rebuild the full aggregated gradient on every rank.  The owned shards
-    // tile [0, elems) and each stream already accumulated into its slice,
-    // so the flat buffer is the complete aggregate — one contiguous copy
-    // per rank replaces the old zero-fill plus n sparse scatter-adds.
-    parallel_for(0, static_cast<size_t>(world), [&](size_t r) {
-      std::copy(stream_dense.span().begin(), stream_dense.span().end(),
-                data[r].begin());
-    });
+    // tile [0, elems), so the legacy flat buffer (or the concatenated
+    // compact streams) is the complete aggregate.  The legacy branch copies
+    // the whole buffer per rank; the engine branch runs the tiled
+    // zero-and-scatter pass.
+    if (legacy) {
+      parallel_for(0, static_cast<size_t>(world), [&](size_t r) {
+        std::copy(stream_dense.span().begin(), stream_dense.span().end(),
+                  data[r].begin());
+      });
+    } else {
+      rebuild_from_compact(data, streams);
+    }
   }
   return out;
+}
+
+// ==================== uneven fleets (per-node GPU counts) ================
+//
+// L = max gpus-per-node shards tile the gradient; on a node with g GPUs,
+// GPU j owns every shard s with s % g == j.  Step 1 aggregates each shard
+// by direct fan-in to its owner (a per-node ring reduce-scatter needs one
+// chunk per member, which the L-shard grid of a small node does not
+// provide); steps 2-4 are the uniform pipeline run per (shard, node) unit.
+// One implementation serves both collective paths — there is no legacy
+// inline loop to validate against, so the engine-style merge accumulation
+// and tiled scatter rebuild run unconditionally.
+HiTopKBreakdown hitopk_uneven(simnet::Cluster& cluster, const RankData& data,
+                              size_t elems, const HiTopKOptions& options,
+                              double start) {
+  const simnet::Topology& topo = cluster.topology();
+  const int m = topo.nodes();
+  const int world = topo.world_size();
+  const bool functional = !data.empty();
+  const WireDtype wire = options.value_wire;
+
+  int L = 0;
+  for (int node = 0; node < m; ++node) {
+    L = std::max(L, topo.gpus_on_node(node));
+  }
+  HITOPK_CHECK_GT(L, 0);
+
+  HiTopKBreakdown out;
+  std::vector<ChunkRange> shards(static_cast<size_t>(L));
+  for (int s = 0; s < L; ++s) {
+    shards[static_cast<size_t>(s)] =
+        chunk_range(elems, static_cast<size_t>(L), static_cast<size_t>(s));
+  }
+  const auto owner_of = [&](int node, int s) {
+    return topo.rank_of(node, s % topo.gpus_on_node(node));
+  };
+
+  // ---- Step 1: per-(node, shard) dense fan-in to the shard's owner.
+  double t1 = start;
+  for (int node = 0; node < m; ++node) {
+    const int g = topo.gpus_on_node(node);
+    for (int s = 0; s < L; ++s) {
+      const ChunkRange& shard = shards[static_cast<size_t>(s)];
+      if (shard.count == 0) continue;
+      const int owner = owner_of(node, s);
+      for (int local = 0; local < g; ++local) {
+        const int rank = topo.rank_of(node, local);
+        if (rank == owner) continue;
+        const double done =
+            cluster
+                .submit({simnet::kDefaultJob, rank, owner,
+                         wire_payload_bytes(wire, shard.count), start})
+                .time;
+        t1 = std::max(t1, done);
+      }
+      if (functional) {
+        auto acc = data[static_cast<size_t>(owner)].subspan(shard.begin,
+                                                            shard.count);
+        for (int local = 0; local < g; ++local) {
+          const int rank = topo.rank_of(node, local);
+          if (rank == owner) continue;
+          auto src =
+              data[static_cast<size_t>(rank)].subspan(shard.begin, shard.count);
+          if (wire == WireDtype::kFp32) {
+            tensor_ops::add_into(acc, src);
+          } else {
+            // The peer's slice crosses the wire before the owner adds it.
+            auto& staging = fanin_staging();
+            staging.assign(src.begin(), src.end());
+            wire_round_trip(wire, std::span<float>(staging));
+            tensor_ops::add_into(acc, std::span<const float>(staging));
+          }
+        }
+      }
+    }
+  }
+  out.reduce_scatter = t1 - start;
+
+  // ---- Step 2: MSTopK per (shard, node) unit.  A small node's GPU owns
+  // several shards, so units — not ranks — are the parallel grain, and the
+  // error-feedback keys carry the shard: "<prefix>:<rank>:s<shard>".
+  struct Unit {
+    int s;
+    int node;
+  };
+  std::vector<Unit> units;
+  size_t max_k = 0;
+  double mstopk_seconds = 0.0;
+  for (int s = 0; s < L; ++s) {
+    const ChunkRange& shard = shards[static_cast<size_t>(s)];
+    if (shard.count == 0) continue;
+    const size_t k = shard_k(options.density, shard.count);
+    max_k = std::max(max_k, k);
+    if (options.gpu != nullptr) {
+      mstopk_seconds = std::max(
+          mstopk_seconds, options.gpu->mstopk_seconds(shard.count, k,
+                                                      options.mstopk_samplings));
+    }
+    for (int node = 0; node < m; ++node) units.push_back({s, node});
+  }
+  // sel[s * m + node]: the block node `node` contributes to shard s's stream.
+  std::vector<compress::SparseTensor> sel(static_cast<size_t>(L * m));
+  if (functional) {
+    std::vector<std::string> ef_keys;
+    if (options.error_feedback != nullptr) {
+      ef_keys.resize(units.size());
+      for (size_t u = 0; u < units.size(); ++u) {
+        const int rank = owner_of(units[u].node, units[u].s);
+        ef_keys[u] = options.ef_key_prefix + ":" + std::to_string(rank) +
+                     ":s" + std::to_string(units[u].s);
+        options.error_feedback->ensure(
+            ef_keys[u], shards[static_cast<size_t>(units[u].s)].count);
+      }
+    }
+    const compress::MsTopKMode mode = options.mstopk_histogram
+                                          ? compress::MsTopKMode::kHistogram
+                                          : compress::MsTopKMode::kMultiPass;
+    parallel_for(0, units.size(), [&](size_t u) {
+      const int s = units[u].s;
+      const int rank = owner_of(units[u].node, s);
+      const ChunkRange& shard = shards[static_cast<size_t>(s)];
+      const size_t k = shard_k(options.density, shard.count);
+      auto shard_span =
+          data[static_cast<size_t>(rank)].subspan(shard.begin, shard.count);
+      // Per-unit seed: a rank owning several shards runs one independent
+      // selection stream per shard.
+      compress::MsTopK mstopk(
+          options.mstopk_samplings,
+          options.seed + static_cast<uint64_t>(rank) *
+                             static_cast<uint64_t>(L) +
+              static_cast<uint64_t>(s),
+          mode);
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->apply_priming(ef_keys[u], shard_span);
+      }
+      compress::SparseTensor& block =
+          sel[static_cast<size_t>(s * m + units[u].node)];
+      block = mstopk.compress(shard_span, k);
+      wire_round_trip(wire, std::span<float>(block.values));
+      if (options.error_feedback != nullptr) {
+        options.error_feedback->absorb_primed(ef_keys[u], block);
+      }
+    });
+  }
+  out.selected_per_shard = max_k;
+  const double t2 = simnet::Cluster::compute(t1, mstopk_seconds);
+  out.mstopk = t2 - t1;
+
+  // ---- Step 3: L concurrent inter-node all-gathers, one per shard, among
+  // the shard's per-node owners.  Two shards of a small node share their
+  // owner's NIC; the port clocks serialize them.
+  std::vector<CompactStream> streams(functional ? static_cast<size_t>(L) : 0);
+  std::vector<size_t> stream_nnz(static_cast<size_t>(L), 0);
+  std::vector<Group> stream_groups;
+  std::vector<std::vector<size_t>> stream_payloads;
+  std::vector<int> stream_shards;
+  for (int s = 0; s < L; ++s) {
+    const ChunkRange& shard = shards[static_cast<size_t>(s)];
+    if (shard.count == 0) continue;
+    Group group;
+    std::vector<size_t> payload;
+    for (int node = 0; node < m; ++node) {
+      group.push_back(owner_of(node, s));
+      const size_t nnz = functional
+                             ? sel[static_cast<size_t>(s * m + node)].nnz()
+                             : shard_k(options.density, shard.count);
+      payload.push_back(sparse_payload_bytes(wire, nnz));
+    }
+    stream_groups.push_back(std::move(group));
+    stream_payloads.push_back(std::move(payload));
+    stream_shards.push_back(s);
+  }
+  if (functional) {
+    parallel_for(0, stream_shards.size(), [&](size_t i) {
+      const int s = stream_shards[i];
+      const ChunkRange& shard = shards[static_cast<size_t>(s)];
+      std::vector<const compress::SparseTensor*> blocks;
+      blocks.reserve(static_cast<size_t>(m));
+      for (int node = 0; node < m; ++node) {
+        blocks.push_back(&sel[static_cast<size_t>(s * m + node)]);
+      }
+      CompactStream& stream = streams[static_cast<size_t>(s)];
+      merge_accumulate(blocks, shard.begin, stream);
+      stream_nnz[static_cast<size_t>(s)] = stream.indices.size();
+    });
+  }
+  double t3_comm = t2;
+  if (!stream_groups.empty()) {
+    t3_comm = ring_allgather_bytes_multi(cluster, stream_groups,
+                                         stream_payloads, t2);
+  }
+  double accumulate_seconds = 0.0;
+  if (options.gpu != nullptr) {
+    accumulate_seconds = options.gpu->scatter_add_seconds(
+        static_cast<size_t>(m) * max_k);
+  }
+  const double t3 = simnet::Cluster::compute(t3_comm, accumulate_seconds);
+  out.inter_allgather = t3 - t2;
+
+  // ---- Step 4: intra-node all-gather; each GPU contributes every shard it
+  // owns (at most m*k~ nonzeros per shard).
+  double t4_comm = t3;
+  for (int node = 0; node < m; ++node) {
+    const Group group = node_group(topo, node);
+    const int g = topo.gpus_on_node(node);
+    std::vector<size_t> payload(group.size(), 0);
+    for (int s = 0; s < L; ++s) {
+      const ChunkRange& shard = shards[static_cast<size_t>(s)];
+      if (shard.count == 0) continue;
+      size_t nnz;
+      if (functional) {
+        nnz = stream_nnz[static_cast<size_t>(s)];
+      } else {
+        nnz = std::min(
+            static_cast<size_t>(m) * shard_k(options.density, shard.count),
+            shard.count);
+      }
+      payload[static_cast<size_t>(s % g)] += sparse_payload_bytes(wire, nnz);
+    }
+    t4_comm = std::max(t4_comm,
+                       ring_allgather_bytes(cluster, group, payload, t3));
+  }
+  double rebuild_seconds = 0.0;
+  if (options.gpu != nullptr) {
+    rebuild_seconds = options.gpu->scatter_add_seconds(
+        std::min(static_cast<size_t>(m) * max_k * static_cast<size_t>(L),
+                 elems));
+  }
+  const double t4 = simnet::Cluster::compute(t4_comm, rebuild_seconds);
+  out.intra_allgather = t4 - t3;
+  out.total = t4 - start;
+
+  if (functional) {
+    rebuild_from_compact(data, streams);
+  }
+  (void)world;
+  return out;
+}
+
+}  // namespace
+
+HiTopKBreakdown hitopk_comm(simnet::Cluster& cluster, const RankData& data,
+                            size_t elems, const HiTopKOptions& options,
+                            double start) {
+  check_data(world_group(cluster.topology()), data, elems);
+  if (cluster.topology().uniform()) {
+    return hitopk_uniform(cluster, data, elems, options, start);
+  }
+  return hitopk_uneven(cluster, data, elems, options, start);
 }
 
 }  // namespace hitopk::coll

@@ -15,6 +15,14 @@
 // Because step 1 aggregates densely inside the node, only cross-node
 // information is sparsified — the property that makes MSTopK-SGD converge
 // slightly better than plain TopK-SGD (Table 2).
+//
+// Uneven fleets: nodes may carry different GPU counts ({8, 8, 4, 4}-style
+// spot fleets).  The gradient is partitioned into L = max gpus-per-node
+// shards; on a node with g GPUs, GPU j owns every shard s with s % g == j,
+// so each node still covers the whole gradient and shard s's inter-node
+// stream runs among its per-node owners.  Small nodes aggregate shards by
+// direct fan-in to the owner (a ring Reduce-Scatter needs one chunk per
+// member); uniform fleets keep the ring path bit-for-bit.
 #pragma once
 
 #include <string>
@@ -28,8 +36,13 @@ namespace hitopk::coll {
 struct HiTopKOptions {
   // rho: fraction of the full gradient selected overall.
   double density = 0.01;
-  // Bytes per value on the wire (2 = FP16, 4 = FP32); indices are 4 bytes.
-  size_t value_wire_bytes = 4;
+  // Wire dtype of the transferred gradient values (compress/wire_codec.h).
+  // The dense step-1 leg travels at this dtype, and the sparse legs' values
+  // are rounded through the codec right after selection — before error
+  // feedback absorbs the send, so the residual keeps the quantization error
+  // (EF-SGD with compressed messages).  Indices are always 4 bytes.  kFp32
+  // keeps the whole pipeline bitwise-exact.
+  WireDtype value_wire = WireDtype::kFp32;
   // N of Algorithm 1.  The device timing model always scales with N; the
   // functional selection consumes it only in legacy multi-pass mode.
   int mstopk_samplings = 30;
@@ -43,7 +56,9 @@ struct HiTopKOptions {
   const simgpu::GpuCostModel* gpu = nullptr;
   // Optional shard-level error feedback (functional mode only): residuals
   // are added to each GPU's owned shard before selection and the unsent
-  // remainder is stored back.  Keys are "<ef_key_prefix>:<rank>".
+  // remainder is stored back.  Keys are "<ef_key_prefix>:<rank>" on uniform
+  // fleets (one shard per GPU) and "<ef_key_prefix>:<rank>:s<shard>" on
+  // uneven ones (a GPU owns several shards).
   compress::ErrorFeedback* error_feedback = nullptr;
   std::string ef_key_prefix = "grad";
 };

@@ -1,6 +1,7 @@
 #include "collectives/param_server.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "collectives/schedule.h"
 #include "core/tensor.h"
@@ -8,10 +9,16 @@
 namespace hitopk::coll {
 namespace {
 
+// Scratch for staging a shard through the wire codec on the legacy path.
+std::vector<float>& ps_staging() {
+  thread_local std::vector<float> staging;
+  return staging;
+}
+
 // ===================== legacy path (validation reference) =====================
 ParamServerResult legacy_param_server(simnet::Cluster& cluster,
                                       const RankData& data, size_t elems,
-                                      size_t wire_bytes, double start) {
+                                      WireDtype wire, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const bool functional = !data.empty();
@@ -32,7 +39,7 @@ ParamServerResult legacy_param_server(simnet::Cluster& cluster,
       const double done =
           cluster
               .submit({simnet::kDefaultJob, worker, server_rank(s),
-                       shard.count * wire_bytes, start})
+                       wire_payload_bytes(wire, shard.count), start})
               .time;
       shard_ready[static_cast<size_t>(s)] =
           std::max(shard_ready[static_cast<size_t>(s)], done);
@@ -44,7 +51,15 @@ ParamServerResult legacy_param_server(simnet::Cluster& cluster,
         if (worker == server_rank(s)) continue;
         auto src = data[static_cast<size_t>(worker)].subspan(shard.begin,
                                                              shard.count);
-        for (size_t e = 0; e < shard.count; ++e) acc[e] += src[e];
+        if (wire == WireDtype::kFp32) {
+          for (size_t e = 0; e < shard.count; ++e) acc[e] += src[e];
+        } else {
+          // The worker's shard crosses the wire before the server adds it.
+          auto& staging = ps_staging();
+          staging.assign(src.begin(), src.end());
+          wire_round_trip(wire, std::span<float>(staging));
+          for (size_t e = 0; e < shard.count; ++e) acc[e] += staging[e];
+        }
       }
     }
   }
@@ -63,7 +78,7 @@ ParamServerResult legacy_param_server(simnet::Cluster& cluster,
       const double done =
           cluster
               .submit({simnet::kDefaultJob, server_rank(s), worker,
-                       shard.count * wire_bytes,
+                       wire_payload_bytes(wire, shard.count),
                        shard_ready[static_cast<size_t>(s)]})
               .time;
       pull_done = std::max(pull_done, done);
@@ -76,6 +91,7 @@ ParamServerResult legacy_param_server(simnet::Cluster& cluster,
         auto dst = data[static_cast<size_t>(worker)].subspan(shard.begin,
                                                              shard.count);
         std::copy(src.begin(), src.end(), dst.begin());
+        wire_round_trip(wire, dst);  // the pulled copy crossed the wire
       }
     }
   }
@@ -92,7 +108,7 @@ ParamServerResult legacy_param_server(simnet::Cluster& cluster,
 // that only records push_done for the breakdown.
 ParamServerResult schedule_param_server(simnet::Cluster& cluster,
                                         const RankData& data, size_t elems,
-                                        size_t wire_bytes, double start) {
+                                        WireDtype wire, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const int world = topo.world_size();
@@ -104,7 +120,7 @@ ParamServerResult schedule_param_server(simnet::Cluster& cluster,
   const uint32_t shard_slot0 = sched.add_slots(static_cast<uint32_t>(m));
   std::vector<uint32_t> bufs;
   if (functional) {
-    for (const auto& span : data) bufs.push_back(sched.add_buffer(span));
+    for (const auto& span : data) bufs.push_back(sched.add_buffer(span, wire));
   }
 
   // ---- Push.
@@ -114,7 +130,7 @@ ParamServerResult schedule_param_server(simnet::Cluster& cluster,
     if (shard.count == 0) continue;
     for (int worker = 0; worker < world; ++worker) {
       if (worker == server_rank(s)) continue;  // server's own shard is local
-      sched.send(worker, server_rank(s), shard.count * wire_bytes,
+      sched.send(worker, server_rank(s), wire_payload_bytes(wire, shard.count),
                  worker_slot0 + static_cast<uint32_t>(worker),
                  shard_slot0 + static_cast<uint32_t>(s));
       if (functional) {
@@ -134,7 +150,7 @@ ParamServerResult schedule_param_server(simnet::Cluster& cluster,
     if (shard.count == 0) continue;
     for (int worker = 0; worker < world; ++worker) {
       if (worker == server_rank(s)) continue;
-      sched.send(server_rank(s), worker, shard.count * wire_bytes,
+      sched.send(server_rank(s), worker, wire_payload_bytes(wire, shard.count),
                  shard_slot0 + static_cast<uint32_t>(s),
                  worker_slot0 + static_cast<uint32_t>(worker));
       if (functional) {
@@ -163,12 +179,12 @@ ParamServerResult schedule_param_server(simnet::Cluster& cluster,
 
 ParamServerResult param_server_allreduce(simnet::Cluster& cluster,
                                          const RankData& data, size_t elems,
-                                         size_t wire_bytes, double start) {
+                                         WireDtype wire, double start) {
   check_data(world_group(cluster.topology()), data, elems);
   if (collective_path() == CollectivePath::kLegacy) {
-    return legacy_param_server(cluster, data, elems, wire_bytes, start);
+    return legacy_param_server(cluster, data, elems, wire, start);
   }
-  return schedule_param_server(cluster, data, elems, wire_bytes, start);
+  return schedule_param_server(cluster, data, elems, wire, start);
 }
 
 }  // namespace hitopk::coll

@@ -26,6 +26,6 @@ struct ParamServerResult {
 // empty.
 ParamServerResult param_server_allreduce(simnet::Cluster& cluster,
                                          const RankData& data, size_t elems,
-                                         size_t wire_bytes, double start);
+                                         WireDtype wire, double start);
 
 }  // namespace hitopk::coll

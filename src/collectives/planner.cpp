@@ -91,7 +91,6 @@ const char* plan_algorithm_name(PlanAlgorithm algorithm) {
 }
 
 Planner::Planner(PlannerOptions options) : options_(std::move(options)) {
-  HITOPK_VALIDATE(options_.wire_bytes > 0) << "wire_bytes must be positive";
   HITOPK_VALIDATE(options_.dense_density > 0.0)
       << "dense_density must be positive";
 }
@@ -99,34 +98,55 @@ Planner::Planner(PlannerOptions options) : options_(std::move(options)) {
 std::vector<Planner::Candidate> Planner::enumerate(
     const simnet::Topology& topo, const Group& group, bool full_world,
     double density) const {
+  const WireDtype w = options_.wire;
   std::vector<Candidate> cands;
   // The flat ring is always candidate 0: it is the baseline the planner
   // must never lose to, and scoring keeps ties on the earliest candidate.
-  cands.push_back({PlanAlgorithm::kFlatRing, "ring", {}, group, true});
+  cands.push_back({PlanAlgorithm::kFlatRing, "ring", {}, group, true, w});
 
   const Group sorted = locality_sorted_group(topo, group);
   if (sorted != group) {
     cands.push_back(
-        {PlanAlgorithm::kReorderedRing, "ring+podsort", {}, sorted, true});
+        {PlanAlgorithm::kReorderedRing, "ring+podsort", {}, sorted, true, w});
   }
-  cands.push_back({PlanAlgorithm::kHalvingDoubling, "hd", {}, group, true});
+  cands.push_back({PlanAlgorithm::kHalvingDoubling, "hd", {}, group, true, w});
   if (sorted != group) {
     cands.push_back(
-        {PlanAlgorithm::kHalvingDoubling, "hd+podsort", {}, sorted, true});
+        {PlanAlgorithm::kHalvingDoubling, "hd+podsort", {}, sorted, true, w});
   }
-  if (!full_world) return cands;
+  // Quantization axis: score a "+fp16" twin of every exact-sum candidate
+  // enumerated so far (and below, via the append at the end).  Twins halve
+  // the wire bytes and drop the exact-sum mark.
+  auto append_fp16_twins = [&](size_t from) {
+    if (!options_.quantized_candidates || w != WireDtype::kFp32) return;
+    const size_t upto = cands.size();
+    for (size_t i = from; i < upto; ++i) {
+      if (!cands[i].exact_sum) continue;
+      Candidate q = cands[i];
+      q.name += "+fp16";
+      q.exact_sum = false;
+      q.wire = WireDtype::kFp16;
+      cands.push_back(std::move(q));
+    }
+  };
+  if (!full_world) {
+    append_fp16_twins(0);
+    return cands;
+  }
 
   // Whole-world hierarchical candidates.
   const int m = topo.nodes();
   const int n = topo.uniform() ? topo.gpus_per_node() : 0;
   if (topo.uniform() && topo.world_size() > 1) {
-    cands.push_back({PlanAlgorithm::kTreeAllReduce, "tree", {}, group, true});
+    cands.push_back(
+        {PlanAlgorithm::kTreeAllReduce, "tree", {}, group, true, w});
   }
   if (m > 1) {
-    cands.push_back({PlanAlgorithm::kHierAllReduce, "hier", {}, group, true});
+    cands.push_back(
+        {PlanAlgorithm::kHierAllReduce, "hier", {}, group, true, w});
   }
   if (topo.uniform() && m > 1 && n > 1) {
-    cands.push_back({PlanAlgorithm::kTorus2d, "torus2d", {}, group, true});
+    cands.push_back({PlanAlgorithm::kTorus2d, "torus2d", {}, group, true, w});
   }
   if (topo.uniform() && topo.world_size() > 1) {
     // BlueConnect stage factorizations, pruned to the hierarchy-aligned
@@ -163,19 +183,20 @@ std::vector<Planner::Candidate> Planner::enumerate(
     }
     for (std::vector<int>& f : splits) {
       cands.push_back({PlanAlgorithm::kBlueConnect, factors_name(f),
-                       std::move(f), group, true});
+                       std::move(f), group, true, w});
     }
   }
   if (density < options_.dense_density && topo.world_size() > 1) {
-    cands.push_back({PlanAlgorithm::kGtopk, "gtopk", {}, group, false});
+    cands.push_back({PlanAlgorithm::kGtopk, "gtopk", {}, group, false, w});
   }
+  append_fp16_twins(0);
   return cands;
 }
 
 bool Planner::build_candidate(Schedule& sched, const simnet::Topology& topo,
                               const Candidate& cand, const Group& group,
                               const RankData& data, size_t elems) const {
-  const size_t wire = options_.wire_bytes;
+  const WireDtype wire = cand.wire;
   switch (cand.algorithm) {
     case PlanAlgorithm::kFlatRing:
     case PlanAlgorithm::kReorderedRing: {
@@ -184,7 +205,7 @@ bool Planner::build_candidate(Schedule& sched, const simnet::Topology& topo,
       std::vector<Group> groups{cand.ring_order};
       std::vector<RankData> group_data{
           permute_data(group, cand.ring_order, data)};
-      const RingGrid grid = ring_grid(sched, groups, group_data);
+      const RingGrid grid = ring_grid(sched, groups, group_data, wire);
       build_ring_reduce_scatter(sched, groups, grid, elems, wire,
                                 /*fused_chains=*/true);
       sched.sync(/*collapse=*/true);
@@ -198,7 +219,7 @@ bool Planner::build_candidate(Schedule& sched, const simnet::Topology& topo,
       return true;
     case PlanAlgorithm::kTreeAllReduce: {
       TreeOptions tree = options_.tree;
-      tree.wire_bytes = wire;
+      tree.wire = wire;
       build_tree_allreduce(sched, topo, data, elems, tree);
       return true;
     }
@@ -211,7 +232,7 @@ bool Planner::build_candidate(Schedule& sched, const simnet::Topology& topo,
     case PlanAlgorithm::kBlueConnect: {
       BlueConnectOptions bc;
       bc.factors = cand.factors;
-      bc.wire_bytes = wire;
+      bc.wire = wire;
       build_blueconnect(sched, topo, data, elems, bc);
       return true;
     }
@@ -230,7 +251,7 @@ double Planner::score(const simnet::Topology& topo, const Candidate& cand,
   if (cand.algorithm == PlanAlgorithm::kGtopk) {
     GtopkOptions gopts;
     gopts.density = density;
-    gopts.value_wire_bytes = options_.wire_bytes;
+    gopts.value_wire_bytes = wire_elem_bytes(options_.wire);
     return gtopk_comm(fresh, {}, elems, gopts, 0.0).total;
   }
   Schedule sched;
@@ -272,6 +293,7 @@ PlanChoice Planner::plan_impl(const simnet::Topology& topo, const Group& group,
     choice.candidates_scored = scored;
     choice.cache_hit = hit;
     choice.exact_sum = winner.exact_sum;
+    choice.wire = winner.wire;
   };
 
   const std::string key =
@@ -283,7 +305,8 @@ PlanChoice Planner::plan_impl(const simnet::Topology& topo, const Group& group,
     // the never-lose guarantee must hold at the requested size, not the
     // size that populated the bucket — so re-score the cached winner
     // against the flat ring here and take the min.
-    const Candidate ring{PlanAlgorithm::kFlatRing, "ring", {}, group, true};
+    const Candidate ring{PlanAlgorithm::kFlatRing, "ring", {}, group, true,
+                         options_.wire};
     const double ring_t = score(topo, ring, group, elems, density);
     int scored = 1;
     const Candidate& cached = it->second;
@@ -333,7 +356,7 @@ double Planner::score_live(const simnet::Cluster& cluster,
   if (cand.algorithm == PlanAlgorithm::kGtopk) {
     GtopkOptions gopts;
     gopts.density = density;
-    gopts.value_wire_bytes = options_.wire_bytes;
+    gopts.value_wire_bytes = wire_elem_bytes(options_.wire);
     return gtopk_comm(replica, {}, elems, gopts, start).total;
   }
   Schedule sched;
@@ -389,6 +412,7 @@ PlanChoice Planner::plan_live(const simnet::Cluster& cluster,
   choice.flat_ring_seconds = ring_t;
   choice.candidates_scored = static_cast<int>(cands.size());
   choice.exact_sum = cands[best].exact_sum;
+  choice.wire = cands[best].wire;
   return choice;
 }
 
@@ -454,7 +478,7 @@ double Planner::execute(simnet::Cluster& cluster, const Group& group,
   if (choice.algorithm == PlanAlgorithm::kGtopk) {
     GtopkOptions gopts;
     gopts.density = density;
-    gopts.value_wire_bytes = options_.wire_bytes;
+    gopts.value_wire_bytes = wire_elem_bytes(options_.wire);
     return start + gtopk_comm(cluster, data, elems, gopts, start).total;
   }
 
@@ -462,7 +486,7 @@ double Planner::execute(simnet::Cluster& cluster, const Group& group,
   // record identical sends with or without functional data), so on a fresh
   // cluster with start == 0 the finish below equals predicted_seconds.
   const Candidate cand{choice.algorithm, choice.name, choice.factors,
-                       choice.ring_order, choice.exact_sum};
+                       choice.ring_order, choice.exact_sum, choice.wire};
   Schedule sched;
   build_candidate(sched, topo, cand, group, data, elems);
   if (options_.validate) {

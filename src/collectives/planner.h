@@ -65,7 +65,16 @@ enum class PlanAlgorithm {
 const char* plan_algorithm_name(PlanAlgorithm algorithm);
 
 struct PlannerOptions {
-  size_t wire_bytes = 4;
+  // Wire dtype every candidate's transfers travel in (typed payloads,
+  // compress/wire_codec.h).  fp32 keeps plans exact-sum.
+  WireDtype wire = WireDtype::kFp32;
+  // Quantization axis: when true (and `wire` is fp32), every exact-sum
+  // candidate is additionally scored as a "+fp16" variant that halves the
+  // wire bytes.  fp16 variants are marked exact_sum = false (the result is
+  // rounded at shard boundaries), so callers that require the bitwise
+  // All-Reduce can filter on PlanChoice::exact_sum.  The flat fp32 ring
+  // remains candidate 0, so the never-lose guarantee is unchanged.
+  bool quantized_candidates = false;
   // Cap on BlueConnect stage factorizations scored per plan; the pruning
   // heuristic keeps the hierarchy-aligned splits ({gpus, nodes}, the
   // pod-aligned three-stage split, then balanced divisor splits of the node
@@ -93,6 +102,9 @@ struct PlanChoice {
   double flat_ring_seconds = 0.0;
   int candidates_scored = 0;
   bool cache_hit = false;
+  // Wire dtype of the winning schedule (PlannerOptions::wire, or kFp16 when
+  // a quantized variant won the score).
+  WireDtype wire = WireDtype::kFp32;
   // False only for the gTop-k plan, whose result is the shared global
   // top-k *approximation* of the sum; every other plan is an exact-sum
   // All-Reduce, bitwise-comparable against the flat-ring oracle on inputs
@@ -163,6 +175,7 @@ class Planner {
     std::vector<int> factors;
     Group ring_order;
     bool exact_sum = true;
+    WireDtype wire = WireDtype::kFp32;
   };
 
   std::vector<Candidate> enumerate(const simnet::Topology& topo,

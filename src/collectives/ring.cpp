@@ -26,9 +26,16 @@ using Ready = std::vector<double>;
 // One interleaved reduce-scatter pass over all groups.  All groups must have
 // the same size; steps are issued round-robin across groups so concurrent
 // streams share NIC capacity in the port model.
+// Worker-local staging for the legacy loops' quantized hops: the receiver
+// adds/stores rt(sent chunk), so the sent chunk is rounded off to the side.
+std::vector<float>& legacy_staging() {
+  thread_local std::vector<float> tmp;
+  return tmp;
+}
+
 void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
-              const std::vector<RankData>& data, size_t elems,
-              size_t wire_bytes, std::vector<Ready>& ready) {
+              const std::vector<RankData>& data, size_t elems, WireDtype wire,
+              std::vector<Ready>& ready) {
   const size_t g = groups.empty() ? 0 : groups[0].size();
   if (g <= 1) return;
   const size_t nq = groups.size();
@@ -46,7 +53,7 @@ void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
         const double done =
             cluster
                 .submit({simnet::kDefaultJob, group[i], group[peer],
-                         range.count * wire_bytes, ready[q][i]})
+                         wire_payload_bytes(wire, range.count), ready[q][i]})
                 .time;
         next[q][peer] = std::max(next[q][peer], done);
       }
@@ -55,7 +62,8 @@ void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
     // Data movement: within one step every (group, rank) pair reduces into a
     // distinct (buffer, chunk) destination and reads a chunk no other pair
     // writes, so the pairs run concurrently and bitwise-match the serial
-    // loop.
+    // loop.  On a quantized wire the receiver adds the codec-rounded chunk:
+    // dst += rt(src), the hop-by-hop reference the engine is pinned to.
     if (!data.empty()) {
       parallel_for(0, g * nq, [&](size_t pair) {
         const size_t i = pair / nq;
@@ -67,15 +75,23 @@ void rs_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
         if (range.count == 0) return;
         auto src = data[q][i].subspan(range.begin, range.count);
         auto dst = data[q][peer].subspan(range.begin, range.count);
-        tensor_ops::add_into(dst, src);  // vectorized reduce
+        if (wire == WireDtype::kFp32) {
+          tensor_ops::add_into(dst, src);  // vectorized reduce
+        } else {
+          auto& tmp = legacy_staging();
+          tmp.assign(src.begin(), src.end());
+          std::span<float> staged(tmp.data(), range.count);
+          wire_round_trip(wire, staged);
+          tensor_ops::add_into(dst, staged);
+        }
       });
     }
   }
 }
 
 void ag_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
-              const std::vector<RankData>& data, size_t elems,
-              size_t wire_bytes, std::vector<Ready>& ready) {
+              const std::vector<RankData>& data, size_t elems, WireDtype wire,
+              std::vector<Ready>& ready) {
   const size_t g = groups.empty() ? 0 : groups[0].size();
   if (g <= 1) return;
   const size_t nq = groups.size();
@@ -92,12 +108,15 @@ void ag_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
         const double done =
             cluster
                 .submit({simnet::kDefaultJob, group[i], group[peer],
-                         range.count * wire_bytes, ready[q][i]})
+                         wire_payload_bytes(wire, range.count), ready[q][i]})
                 .time;
         next[q][peer] = std::max(next[q][peer], done);
       }
     }
     ready.swap(next);
+    // A quantized gather hop stores rt(src); forwarding is then a fixed
+    // point (the codec is idempotent), so every non-origin replica holds
+    // the identical rounded chunk.
     if (!data.empty()) {
       parallel_for(0, g * nq, [&](size_t pair) {
         const size_t i = pair / nq;
@@ -110,6 +129,7 @@ void ag_steps(simnet::Cluster& cluster, const std::vector<Group>& groups,
         auto src = data[q][i].subspan(range.begin, range.count);
         auto dst = data[q][peer].subspan(range.begin, range.count);
         std::copy(src.begin(), src.end(), dst.begin());
+        wire_round_trip(wire, dst);
       });
     }
   }
@@ -189,7 +209,7 @@ std::vector<RankData> single_data(const RankData& data) {
 }  // namespace
 
 RingGrid ring_grid(Schedule& sched, const std::vector<Group>& groups,
-                   const std::vector<RankData>& data) {
+                   const std::vector<RankData>& data, WireDtype wire) {
   RingGrid grid;
   grid.nq = groups.size();
   grid.g = groups.empty() ? 0 : groups[0].size();
@@ -199,7 +219,7 @@ RingGrid ring_grid(Schedule& sched, const std::vector<Group>& groups,
     for (size_t q = 0; q < grid.nq; ++q) {
       if (data[q].empty()) continue;  // timing-only group
       for (size_t i = 0; i < grid.g; ++i) {
-        grid.bufs[q * grid.g + i] = sched.add_buffer(data[q][i]);
+        grid.bufs[q * grid.g + i] = sched.add_buffer(data[q][i], wire);
       }
     }
   }
@@ -210,7 +230,7 @@ void build_ring_reduce_scatter(Schedule& sched,
                                const std::vector<Group>& groups,
                                const RingGrid& grid,
                                const std::vector<ChunkRange>& extents,
-                               size_t wire_bytes, bool fused_chains) {
+                               WireDtype wire, bool fused_chains) {
   const size_t g = grid.g;
   if (g <= 1) return;
   HITOPK_CHECK_EQ(extents.size(), grid.nq);
@@ -248,8 +268,9 @@ void build_ring_reduce_scatter(Schedule& sched,
         const size_t peer = (i + 1) % g;
         const size_t chunk = rs_send_chunk(i, s, g);
         const ChunkRange range = chunk_of(q, chunk);
-        sched.send(groups[q][i], groups[q][peer], range.count * wire_bytes,
-                   grid.slot(q, i), grid.slot(q, peer));
+        sched.send(groups[q][i], groups[q][peer],
+                   wire_payload_bytes(wire, range.count), grid.slot(q, i),
+                   grid.slot(q, peer));
         if (!fused_chains && !grid.bufs.empty() &&
             grid.buf(q, i) != RingGrid::kNoBuf) {
           sched.reduce(grid.buf(q, i), grid.buf(q, peer), range.begin,
@@ -264,16 +285,16 @@ void build_ring_reduce_scatter(Schedule& sched,
 void build_ring_reduce_scatter(Schedule& sched,
                                const std::vector<Group>& groups,
                                const RingGrid& grid, size_t elems,
-                               size_t wire_bytes, bool fused_chains) {
+                               WireDtype wire, bool fused_chains) {
   build_ring_reduce_scatter(sched, groups, grid,
                             std::vector<ChunkRange>(grid.nq, {0, elems}),
-                            wire_bytes, fused_chains);
+                            wire, fused_chains);
 }
 
 void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
                           const RingGrid& grid,
                           const std::vector<ChunkRange>& extents,
-                          size_t wire_bytes) {
+                          WireDtype wire) {
   const size_t g = grid.g;
   if (g <= 1) return;
   HITOPK_CHECK_EQ(extents.size(), grid.nq);
@@ -307,8 +328,9 @@ void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
         const size_t peer = (i + 1) % g;
         const size_t chunk = ag_send_chunk(i, s, g);
         const ChunkRange range = chunk_of(q, chunk);
-        sched.send(groups[q][i], groups[q][peer], range.count * wire_bytes,
-                   grid.slot(q, i), grid.slot(q, peer));
+        sched.send(groups[q][i], groups[q][peer],
+                   wire_payload_bytes(wire, range.count), grid.slot(q, i),
+                   grid.slot(q, peer));
       }
     }
     sched.end_step();
@@ -316,11 +338,9 @@ void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
 }
 
 void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
-                          const RingGrid& grid, size_t elems,
-                          size_t wire_bytes) {
+                          const RingGrid& grid, size_t elems, WireDtype wire) {
   build_ring_allgather(sched, groups, grid,
-                       std::vector<ChunkRange>(grid.nq, {0, elems}),
-                       wire_bytes);
+                       std::vector<ChunkRange>(grid.nq, {0, elems}), wire);
 }
 
 void build_ring_allgather_bytes(
@@ -345,27 +365,27 @@ void build_ring_allgather_bytes(
 // ========================== public entry points ==========================
 
 double ring_reduce_scatter(simnet::Cluster& cluster, const Group& group,
-                           const RankData& data, size_t elems,
-                           size_t wire_bytes, double start) {
+                           const RankData& data, size_t elems, WireDtype wire,
+                           double start) {
   check_data(group, data, elems);
   if (group.size() <= 1) return start;
   std::vector<Group> groups{group};
   std::vector<RankData> group_data = single_data(data);
   if (collective_path() == CollectivePath::kLegacy) {
     auto ready = init_ready(groups, start);
-    rs_steps(cluster, groups, group_data, elems, wire_bytes, ready);
+    rs_steps(cluster, groups, group_data, elems, wire, ready);
     return max_ready(ready, start);
   }
   Schedule sched;
-  const RingGrid grid = ring_grid(sched, groups, group_data);
-  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes);
+  const RingGrid grid = ring_grid(sched, groups, group_data, wire);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire);
   const double done = sched.run_timing(cluster, start).finish;
   sched.run_data();
   return done;
 }
 
 double ring_allgather(simnet::Cluster& cluster, const Group& group,
-                      const RankData& data, size_t elems, size_t wire_bytes,
+                      const RankData& data, size_t elems, WireDtype wire,
                       double start) {
   check_data(group, data, elems);
   if (group.size() <= 1) return start;
@@ -373,38 +393,38 @@ double ring_allgather(simnet::Cluster& cluster, const Group& group,
   std::vector<RankData> group_data = single_data(data);
   if (collective_path() == CollectivePath::kLegacy) {
     auto ready = init_ready(groups, start);
-    ag_steps(cluster, groups, group_data, elems, wire_bytes, ready);
+    ag_steps(cluster, groups, group_data, elems, wire, ready);
     return max_ready(ready, start);
   }
   Schedule sched;
-  const RingGrid grid = ring_grid(sched, groups, group_data);
-  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+  const RingGrid grid = ring_grid(sched, groups, group_data, wire);
+  build_ring_allgather(sched, groups, grid, elems, wire);
   const double done = sched.run_timing(cluster, start).finish;
   sched.run_data();
   return done;
 }
 
 double ring_allreduce(simnet::Cluster& cluster, const Group& group,
-                      const RankData& data, size_t elems, size_t wire_bytes,
+                      const RankData& data, size_t elems, WireDtype wire,
                       double start) {
   if (collective_path() == CollectivePath::kLegacy) {
     const double mid =
-        ring_reduce_scatter(cluster, group, data, elems, wire_bytes, start);
-    return ring_allgather(cluster, group, data, elems, wire_bytes, mid);
+        ring_reduce_scatter(cluster, group, data, elems, wire, start);
+    return ring_allgather(cluster, group, data, elems, wire, mid);
   }
   check_data(group, data, elems);
   if (group.size() <= 1) return start;
   std::vector<Group> groups{group};
   std::vector<RankData> group_data = single_data(data);
   Schedule sched;
-  const RingGrid grid = ring_grid(sched, groups, group_data);
-  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes,
+  const RingGrid grid = ring_grid(sched, groups, group_data, wire);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire,
                             /*fused_chains=*/true);
   // The legacy path runs RS and AG as separate calls: the gather starts for
   // everyone at the RS completion maximum.  The gather then reuses the
   // reduce-scatter result in place (owner chunks feed the resolved copies).
   sched.sync(/*collapse=*/true);
-  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+  build_ring_allgather(sched, groups, grid, elems, wire);
   const double done = sched.run_timing(cluster, start).finish;
   sched.run_data();
   return done;
@@ -413,22 +433,22 @@ double ring_allreduce(simnet::Cluster& cluster, const Group& group,
 double ring_allreduce_multi(simnet::Cluster& cluster,
                             const std::vector<Group>& groups,
                             const std::vector<RankData>& data, size_t elems,
-                            size_t wire_bytes, double start) {
+                            WireDtype wire, double start) {
   check_groups(groups, data, elems);
   if (groups[0].size() <= 1) return start;
   if (collective_path() == CollectivePath::kLegacy) {
     auto ready = init_ready(groups, start);
     // No barrier between the phases: each group's all-gather steps chain off
     // its own reduce-scatter readiness.
-    rs_steps(cluster, groups, data, elems, wire_bytes, ready);
-    ag_steps(cluster, groups, data, elems, wire_bytes, ready);
+    rs_steps(cluster, groups, data, elems, wire, ready);
+    ag_steps(cluster, groups, data, elems, wire, ready);
     return max_ready(ready, start);
   }
   Schedule sched;
-  const RingGrid grid = ring_grid(sched, groups, data);
-  build_ring_reduce_scatter(sched, groups, grid, elems, wire_bytes);
+  const RingGrid grid = ring_grid(sched, groups, data, wire);
+  build_ring_reduce_scatter(sched, groups, grid, elems, wire);
   // No sync: each group's gather chains off its own reduce-scatter slots.
-  build_ring_allgather(sched, groups, grid, elems, wire_bytes);
+  build_ring_allgather(sched, groups, grid, elems, wire);
   const double done = sched.run_timing(cluster, start).finish;
   sched.run_data();
   return done;

@@ -1,9 +1,11 @@
 // Ring collectives (the NCCL-style building blocks).
 //
 // All three run over an arbitrary rank group on per-rank buffers of `elems`
-// floats, with `wire_bytes` bytes per element on the wire (4 = FP32,
-// 2 = FP16).  Data spans may be empty for timing-only simulation (see
-// common.h).  Every function takes a simulated start time (all group ranks
+// floats, transferred as typed payloads of `wire` dtype (fp32 / fp16 /
+// int8-quantized; compress/wire_codec.h).  The simulated bytes per hop are
+// wire_payload_bytes(wire, chunk) and the functional values are rounded
+// through the codec at every hop, exactly like a real mixed-precision ring.
+// Data spans may be empty for timing-only simulation (see common.h).  Every function takes a simulated start time (all group ranks
 // aligned — the training loop synchronizes per gradient bucket) and returns
 // the completion time of the slowest rank.
 #pragma once
@@ -16,19 +18,19 @@ namespace hitopk::coll {
 // (chunk_range(elems, G, i)) holds the sum over all group ranks; other
 // chunks hold partial sums.  Cost: (G-1) steps of elems/G elements.
 double ring_reduce_scatter(simnet::Cluster& cluster, const Group& group,
-                           const RankData& data, size_t elems,
-                           size_t wire_bytes, double start);
+                           const RankData& data, size_t elems, WireDtype wire,
+                           double start);
 
 // In-place ring All-Gather.  Requires group rank i's chunk i to be valid;
 // replicates every chunk to every rank.
 double ring_allgather(simnet::Cluster& cluster, const Group& group,
-                      const RankData& data, size_t elems, size_t wire_bytes,
+                      const RankData& data, size_t elems, WireDtype wire,
                       double start);
 
 // Reduce-Scatter followed by All-Gather: the classic bandwidth-optimal ring
 // All-Reduce.  After completion every rank holds the full sum.
 double ring_allreduce(simnet::Cluster& cluster, const Group& group,
-                      const RankData& data, size_t elems, size_t wire_bytes,
+                      const RankData& data, size_t elems, WireDtype wire,
                       double start);
 
 // All-Gather of variable-size opaque blocks: group rank i contributes
@@ -50,7 +52,7 @@ double ring_allgather_bytes(simnet::Cluster& cluster, const Group& group,
 double ring_allreduce_multi(simnet::Cluster& cluster,
                             const std::vector<Group>& groups,
                             const std::vector<RankData>& data, size_t elems,
-                            size_t wire_bytes, double start);
+                            WireDtype wire, double start);
 
 double ring_allgather_bytes_multi(
     simnet::Cluster& cluster, const std::vector<Group>& groups,
@@ -79,7 +81,8 @@ struct RingGrid {
 // data may be empty (all groups timing-only) or hold one RankData per group
 // (individually empty for timing-only groups, like the legacy multi loops).
 RingGrid ring_grid(Schedule& sched, const std::vector<Group>& groups,
-                   const std::vector<RankData>& data);
+                   const std::vector<RankData>& data,
+                   WireDtype wire = WireDtype::kFp32);
 
 // Range-aware leg builders: group q's ring operates on its own sub-range
 // extents[q] of the rank buffers, with chunk c = chunk_range(extents[q].count,
@@ -91,12 +94,12 @@ void build_ring_reduce_scatter(Schedule& sched,
                                const std::vector<Group>& groups,
                                const RingGrid& grid,
                                const std::vector<ChunkRange>& extents,
-                               size_t wire_bytes, bool fused_chains = false);
+                               WireDtype wire, bool fused_chains = false);
 
 void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
                           const RingGrid& grid,
                           const std::vector<ChunkRange>& extents,
-                          size_t wire_bytes);
+                          WireDtype wire);
 
 // Reduce-Scatter leg: G-1 snapshot steps.  With fused_chains=false the data
 // pass mirrors the wire per-step (kReduce moves, partial sums land in the
@@ -109,14 +112,13 @@ void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
 void build_ring_reduce_scatter(Schedule& sched,
                                const std::vector<Group>& groups,
                                const RingGrid& grid, size_t elems,
-                               size_t wire_bytes, bool fused_chains = false);
+                               WireDtype wire, bool fused_chains = false);
 
 // All-Gather leg: G-1 timed forwarding steps, but the data pass is
 // *resolved* — each destination chunk is copied once from its final origin
 // (group rank c's chunk c) instead of forwarded G-1 times.
 void build_ring_allgather(Schedule& sched, const std::vector<Group>& groups,
-                          const RingGrid& grid, size_t elems,
-                          size_t wire_bytes);
+                          const RingGrid& grid, size_t elems, WireDtype wire);
 
 // Variable-payload All-Gather leg (timing only; sparse payload data
 // movement is tracked by the caller).

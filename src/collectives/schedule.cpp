@@ -18,6 +18,43 @@ std::vector<float>& chain_acc() {
   return acc;
 }
 
+// Worker-local staging buffer for quantized kReduce moves: the wire carries
+// the codec-rounded source chunk, so the destination adds rt(src), never src.
+std::vector<float>& reduce_staging() {
+  thread_local std::vector<float> tmp;
+  return tmp;
+}
+
+// Single-pass execution of a whole fp32 reduction chain: per element the
+// partial sum lives in a register from the first source to the final
+// destination add, replacing the accumulator's (N+1) memory passes with one.
+// The float-add order is identical to the kChainFirst/Mid/Last sequence
+// (s0 + s1 + ... left-associated, destination last), so the result is
+// bitwise the same — this is purely a memory-traffic optimization, which is
+// why run_data may pick either form per chain.
+template <int N>
+void fused_chain_kernel(float* dst, const float* const* srcs, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    float t = srcs[0][i];
+    for (int k = 1; k < N; ++k) t += srcs[k][i];
+    dst[i] += t;
+  }
+}
+
+using FusedChainFn = void (*)(float*, const float* const*, size_t);
+
+// Chains longer than this fall back to the accumulator (the register
+// pressure and dispatch table stop paying off; the accumulator's relative
+// overhead also shrinks as chains grow).
+constexpr int kMaxFusedChain = 8;
+
+constexpr FusedChainFn kFusedChain[kMaxFusedChain + 1] = {
+    nullptr,
+    fused_chain_kernel<1>, fused_chain_kernel<2>, fused_chain_kernel<3>,
+    fused_chain_kernel<4>, fused_chain_kernel<5>, fused_chain_kernel<6>,
+    fused_chain_kernel<7>, fused_chain_kernel<8>,
+};
+
 }  // namespace
 
 CollectivePath collective_path() { return g_path; }
@@ -29,8 +66,9 @@ uint32_t Schedule::add_slots(uint32_t n) {
   return first;
 }
 
-uint32_t Schedule::add_buffer(RankSpan span) {
+uint32_t Schedule::add_buffer(RankSpan span, WireDtype wire) {
   buffers_.push_back(span);
+  buffer_wires_.push_back(wire);
   return static_cast<uint32_t>(buffers_.size() - 1);
 }
 
@@ -209,30 +247,94 @@ void Schedule::run_data() const {
       }
       buckets[bucket_of[key]].push_back(static_cast<uint32_t>(m));
     }
+    // Recognizes a whole fp32 chain recorded contiguously in this bucket
+    // (kChainFirst, kChainMid*, kChainLast over one range) and returns the
+    // number of moves it consumed after running it through the single-pass
+    // fused kernel; 0 means "not fusable, execute move-by-move".  Quantized
+    // chains always take the accumulator path: the codec needs the whole
+    // partial-sum shard (int8 derives its scale from the shard max) between
+    // links, which a per-element register pass cannot provide.
+    auto try_fused_chain = [&](const std::vector<uint32_t>& list,
+                               size_t pos) -> size_t {
+      const Move& first = moves_[list[pos]];
+      if (buffer_wires_[first.dst_buf] != WireDtype::kFp32) return 0;
+      const float* srcs[kMaxFusedChain];
+      srcs[0] = buffers_[first.src_buf].data() + first.begin;
+      int n = 1;
+      for (size_t j = pos + 1; j < list.size(); ++j) {
+        const Move& link = moves_[list[j]];
+        if (link.dst_buf != first.dst_buf || link.begin != first.begin ||
+            link.count != first.count) {
+          return 0;
+        }
+        if (link.op == TransferOp::kChainMid) {
+          if (n == kMaxFusedChain) return 0;
+          srcs[n++] = buffers_[link.src_buf].data() + link.begin;
+          continue;
+        }
+        if (link.op != TransferOp::kChainLast) return 0;
+        kFusedChain[n](buffers_[first.dst_buf].data() + first.begin, srcs,
+                       first.count);
+        return j - pos + 1;
+      }
+      return 0;
+    };
     parallel_for(0, n_buckets, [&](size_t b) {
-      for (const uint32_t m : buckets[b]) {
-        const Move& mv = moves_[m];
+      const std::vector<uint32_t>& list = buckets[b];
+      for (size_t pos = 0; pos < list.size(); ++pos) {
+        const Move& mv = moves_[list[pos]];
+        if (mv.op == TransferOp::kChainFirst) {
+          const size_t consumed = try_fused_chain(list, pos);
+          if (consumed != 0) {
+            pos += consumed - 1;
+            continue;
+          }
+        }
         auto src = buffers_[mv.src_buf].subspan(mv.begin, mv.count);
         auto dst = buffers_[mv.dst_buf].subspan(mv.begin, mv.count);
+        // The destination buffer's wire dtype governs the transfer (the
+        // validator pins src and dst to the same dtype): every value that
+        // crosses the wire is rounded through the codec exactly where the
+        // legacy hop-by-hop loop rounds it.  kFp32 round trips are no-ops
+        // and keep this pass bitwise identical to the untyped engine.
+        const WireDtype wire = buffer_wires_[mv.dst_buf];
         switch (mv.op) {
           case TransferOp::kCopy:
             std::copy(src.begin(), src.end(), dst.begin());
+            wire_round_trip(wire, dst);
             break;
           case TransferOp::kReduce:
-            tensor_ops::add_into(dst, src);
+            if (wire == WireDtype::kFp32) {
+              tensor_ops::add_into(dst, src);
+            } else {
+              auto& tmp = reduce_staging();
+              tmp.assign(src.begin(), src.end());
+              std::span<float> staged(tmp.data(), mv.count);
+              wire_round_trip(wire, staged);
+              tensor_ops::add_into(dst, staged);
+            }
             break;
           case TransferOp::kChainFirst:
             // The chain's remaining links run on this same worker (a chain
             // is recorded contiguously within its destination bucket), so
             // the accumulator is thread-local and keeps its capacity
-            // across chains and calls.
+            // across chains and calls.  Quantized chains round the
+            // accumulator after every link that the wire would forward:
+            // the next hop receives rt(partial), as in the legacy loop.
             chain_acc().assign(src.begin(), src.end());
+            wire_round_trip(wire,
+                            std::span<float>(chain_acc().data(), mv.count));
             break;
           case TransferOp::kChainMid:
             tensor_ops::add_into(
                 std::span<float>(chain_acc().data(), mv.count), src);
+            wire_round_trip(wire,
+                            std::span<float>(chain_acc().data(), mv.count));
             break;
           case TransferOp::kChainLast:
+            // The accumulator already carries the last hop's rounded
+            // payload; the owner adds its own (local, never-transferred)
+            // contribution at full precision.
             tensor_ops::add_into(
                 dst, std::span<const float>(chain_acc().data(), mv.count));
             break;

@@ -139,8 +139,15 @@ class Schedule {
   // the run_timing start time.
   uint32_t add_slots(uint32_t n = 1);
 
-  // Registers a functional buffer for the data pass, returns its id.
-  uint32_t add_buffer(RankSpan span);
+  // Registers a functional buffer for the data pass, returns its id.  The
+  // wire dtype is the representation the buffer's chunks travel in: every
+  // move whose destination is this buffer rounds the transferred range
+  // through the codec (compress/wire_codec.h) exactly where the legacy
+  // hop-by-hop loop would — see run_data.  kFp32 is the identity and keeps
+  // the data pass bitwise-unchanged.  Chained transfers must agree on the
+  // wire dtype end to end (collectives/validator.h enforces it).
+  uint32_t add_buffer(RankSpan span,
+                      WireDtype wire = WireDtype::kFp32);
 
   // Records one timed message of `bytes` from world rank src to dst.
   // extra_seconds is the per-message protocol overhead forwarded to
@@ -216,12 +223,14 @@ class Schedule {
   const std::vector<Move>& moves() const { return moves_; }
   const std::vector<Sync>& syncs() const { return syncs_; }
   const std::vector<RankSpan>& buffers() const { return buffers_; }
+  const std::vector<WireDtype>& buffer_wires() const { return buffer_wires_; }
   uint32_t num_slots() const { return num_slots_; }
 
  private:
   uint32_t step_ = 0;
   uint32_t num_slots_ = 0;
   std::vector<RankSpan> buffers_;
+  std::vector<WireDtype> buffer_wires_;
   std::vector<Send> sends_;
   std::vector<Move> moves_;
   std::vector<Sync> syncs_;

@@ -9,7 +9,7 @@ namespace {
 
 // ===================== legacy path (validation reference) =====================
 Torus2dBreakdown legacy_torus2d(simnet::Cluster& cluster, const RankData& data,
-                                size_t elems, size_t wire_bytes, double start) {
+                                size_t elems, WireDtype wire, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const int n = topo.gpus_per_node();
@@ -25,7 +25,7 @@ Torus2dBreakdown legacy_torus2d(simnet::Cluster& cluster, const RankData& data,
       for (int rank : group) node_data.push_back(data[static_cast<size_t>(rank)]);
     }
     phase1 = std::max(phase1, ring_reduce_scatter(cluster, group, node_data,
-                                                  elems, wire_bytes, start));
+                                                  elems, wire, start));
   }
   out.reduce_scatter = phase1 - start;
 
@@ -61,12 +61,12 @@ Torus2dBreakdown legacy_torus2d(simnet::Cluster& cluster, const RankData& data,
         const ChunkRange shard = chunk_range(elems, static_cast<size_t>(n), q);
         phase2 = std::max(
             phase2, ring_allreduce(cluster, stream_groups[q], stream_data[q],
-                                   shard.count, wire_bytes, phase1));
+                                   shard.count, wire, phase1));
       }
     } else {
       phase2 = std::max(
           phase2, ring_allreduce_multi(cluster, stream_groups, stream_data,
-                                       max_shard, wire_bytes, phase1));
+                                       max_shard, wire, phase1));
     }
   }
   out.inter_allreduce = phase2 - phase1;
@@ -80,7 +80,7 @@ Torus2dBreakdown legacy_torus2d(simnet::Cluster& cluster, const RankData& data,
       for (int rank : group) node_data.push_back(data[static_cast<size_t>(rank)]);
     }
     phase3 = std::max(phase3, ring_allgather(cluster, group, node_data, elems,
-                                             wire_bytes, phase2));
+                                             wire, phase2));
   }
   out.intra_allgather = phase3 - phase2;
   out.total = phase3 - start;
@@ -97,7 +97,7 @@ Torus2dBreakdown legacy_torus2d(simnet::Cluster& cluster, const RankData& data,
 // engine-backed) between two single-phase schedules.
 Torus2dBreakdown schedule_torus2d(simnet::Cluster& cluster,
                                   const RankData& data, size_t elems,
-                                  size_t wire_bytes, double start) {
+                                  WireDtype wire, double start) {
   const simnet::Topology& topo = cluster.topology();
   const int m = topo.nodes();
   const int n = topo.gpus_per_node();
@@ -141,19 +141,19 @@ Torus2dBreakdown schedule_torus2d(simnet::Cluster& cluster,
   Torus2dBreakdown out;
   if (!ragged_functional) {
     Schedule sched;
-    const RingGrid node_grid = ring_grid(sched, node_groups, node_data);
-    build_ring_reduce_scatter(sched, node_groups, node_grid, elems, wire_bytes,
+    const RingGrid node_grid = ring_grid(sched, node_groups, node_data, wire);
+    build_ring_reduce_scatter(sched, node_groups, node_grid, elems, wire,
                               /*fused_chains=*/true);
     sched.sync(/*collapse=*/true);  // phase 1 done
     if (!stream_groups.empty()) {
-      const RingGrid stream_grid = ring_grid(sched, stream_groups, stream_data);
+      const RingGrid stream_grid = ring_grid(sched, stream_groups, stream_data, wire);
       build_ring_reduce_scatter(sched, stream_groups, stream_grid, max_shard,
-                                wire_bytes, /*fused_chains=*/true);
+                                wire, /*fused_chains=*/true);
       build_ring_allgather(sched, stream_groups, stream_grid, max_shard,
-                           wire_bytes);
+                           wire);
     }
     sched.sync(/*collapse=*/true);  // phase 2 done
-    build_ring_allgather(sched, node_groups, node_grid, elems, wire_bytes);
+    build_ring_allgather(sched, node_groups, node_grid, elems, wire);
     const Schedule::TimingResult timing = sched.run_timing(cluster, start);
     sched.run_data();
     const double t1 = timing.sync_times[0];
@@ -167,9 +167,9 @@ Torus2dBreakdown schedule_torus2d(simnet::Cluster& cluster,
 
   // Ragged functional: phase 2 as sequential per-stream calls.
   Schedule phase1_sched;
-  const RingGrid node_grid1 = ring_grid(phase1_sched, node_groups, node_data);
+  const RingGrid node_grid1 = ring_grid(phase1_sched, node_groups, node_data, wire);
   build_ring_reduce_scatter(phase1_sched, node_groups, node_grid1, elems,
-                            wire_bytes, /*fused_chains=*/true);
+                            wire, /*fused_chains=*/true);
   const double phase1 = phase1_sched.run_timing(cluster, start).finish;
   phase1_sched.run_data();
   out.reduce_scatter = phase1 - start;
@@ -179,14 +179,14 @@ Torus2dBreakdown schedule_torus2d(simnet::Cluster& cluster,
     const ChunkRange shard = chunk_range(elems, static_cast<size_t>(n), q);
     phase2 = std::max(
         phase2, ring_allreduce(cluster, stream_groups[q], stream_data[q],
-                               shard.count, wire_bytes, phase1));
+                               shard.count, wire, phase1));
   }
   out.inter_allreduce = phase2 - phase1;
 
   Schedule phase3_sched;
-  const RingGrid node_grid3 = ring_grid(phase3_sched, node_groups, node_data);
+  const RingGrid node_grid3 = ring_grid(phase3_sched, node_groups, node_data, wire);
   build_ring_allgather(phase3_sched, node_groups, node_grid3, elems,
-                       wire_bytes);
+                       wire);
   const double phase3 = phase3_sched.run_timing(cluster, phase2).finish;
   phase3_sched.run_data();
   out.intra_allgather = phase3 - phase2;
@@ -197,7 +197,7 @@ Torus2dBreakdown schedule_torus2d(simnet::Cluster& cluster,
 }  // namespace
 
 void build_torus2d(Schedule& sched, const simnet::Topology& topo,
-                   const RankData& data, size_t elems, size_t wire_bytes) {
+                   const RankData& data, size_t elems, WireDtype wire) {
   HITOPK_VALIDATE(topo.uniform())
       << "torus2d's node-major grid needs a uniform topology";
   check_data(world_group(topo), data, elems);
@@ -239,25 +239,25 @@ void build_torus2d(Schedule& sched, const simnet::Topology& topo,
     }
   }
 
-  const RingGrid node_grid = ring_grid(sched, node_groups, node_data);
-  build_ring_reduce_scatter(sched, node_groups, node_grid, elems, wire_bytes,
+  const RingGrid node_grid = ring_grid(sched, node_groups, node_data, wire);
+  build_ring_reduce_scatter(sched, node_groups, node_grid, elems, wire,
                             /*fused_chains=*/true);
   sched.sync(/*collapse=*/true);  // phase 1 done
   if (!stream_groups.empty()) {
-    const RingGrid stream_grid = ring_grid(sched, stream_groups, stream_data);
+    const RingGrid stream_grid = ring_grid(sched, stream_groups, stream_data, wire);
     build_ring_reduce_scatter(sched, stream_groups, stream_grid,
-                              stream_extents, wire_bytes,
+                              stream_extents, wire,
                               /*fused_chains=*/true);
     build_ring_allgather(sched, stream_groups, stream_grid, stream_extents,
-                         wire_bytes);
+                         wire);
   }
   sched.sync(/*collapse=*/true);  // phase 2 done
-  build_ring_allgather(sched, node_groups, node_grid, elems, wire_bytes);
+  build_ring_allgather(sched, node_groups, node_grid, elems, wire);
 }
 
 Torus2dBreakdown torus2d_allreduce(simnet::Cluster& cluster,
                                    const RankData& data, size_t elems,
-                                   size_t wire_bytes, double start) {
+                                   WireDtype wire, double start) {
   const simnet::Topology& topo = cluster.topology();
   HITOPK_VALIDATE(topo.uniform())
       << "torus2d's node-major grid needs a uniform topology";
@@ -267,9 +267,9 @@ Torus2dBreakdown torus2d_allreduce(simnet::Cluster& cluster,
         << topo.world_size();
   }
   if (collective_path() == CollectivePath::kLegacy) {
-    return legacy_torus2d(cluster, data, elems, wire_bytes, start);
+    return legacy_torus2d(cluster, data, elems, wire, start);
   }
-  return schedule_torus2d(cluster, data, elems, wire_bytes, start);
+  return schedule_torus2d(cluster, data, elems, wire, start);
 }
 
 }  // namespace hitopk::coll

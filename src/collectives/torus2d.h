@@ -26,7 +26,7 @@ struct Torus2dBreakdown {
 // functional) holds one full-size buffer per world rank, in rank order.
 Torus2dBreakdown torus2d_allreduce(simnet::Cluster& cluster,
                                    const RankData& data, size_t elems,
-                                   size_t wire_bytes, double start);
+                                   WireDtype wire, double start);
 
 // Records the whole collective into a caller-owned schedule, with collapse
 // syncs at the two phase boundaries.  Phase 2 uses per-stream extents over
@@ -36,6 +36,6 @@ Torus2dBreakdown torus2d_allreduce(simnet::Cluster& cluster,
 // sizes.  Requires a uniform topology.  Exposed for the planner
 // (collectives/planner.h).
 void build_torus2d(Schedule& sched, const simnet::Topology& topo,
-                   const RankData& data, size_t elems, size_t wire_bytes);
+                   const RankData& data, size_t elems, WireDtype wire);
 
 }  // namespace hitopk::coll

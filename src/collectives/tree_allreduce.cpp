@@ -7,6 +7,37 @@
 namespace hitopk::coll {
 namespace {
 
+// Legacy-path wire hooks: a quantized hop delivers the codec-rounded range.
+std::vector<float>& tree_staging() {
+  thread_local std::vector<float> tmp;
+  return tmp;
+}
+
+void reduce_over_wire(std::span<float> dst, std::span<const float> src,
+                      WireDtype wire) {
+  if (wire == WireDtype::kFp32) {
+    for (size_t e = 0; e < dst.size(); ++e) dst[e] += src[e];
+    return;
+  }
+  auto& tmp = tree_staging();
+  tmp.assign(src.begin(), src.end());
+  std::span<float> staged(tmp.data(), tmp.size());
+  wire_round_trip(wire, staged);
+  for (size_t e = 0; e < dst.size(); ++e) dst[e] += staged[e];
+}
+
+void copy_over_wire(std::span<float> dst, std::span<const float> src,
+                    WireDtype wire) {
+  std::copy(src.begin(), src.end(), dst.begin());
+  wire_round_trip(wire, dst);
+}
+
+}  // namespace
+}  // namespace hitopk::coll
+
+namespace hitopk::coll {
+namespace {
+
 // NCCL's tree All-Reduce is hierarchical: inside each node a pipelined chain
 // over NVLink funnels data to a leader GPU, and the double binary tree runs
 // across the node leaders only.  Two complementary trees (one per half of
@@ -42,11 +73,12 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
   if (half_elems == 0 || topo.world_size() <= 1) return start;
 
   const TreeShape shape = tree_shape(topo, tree);
-  const size_t chunk_elems =
-      std::max<size_t>(1, options.chunk_bytes / options.wire_bytes);
+  const size_t chunk_elems = std::max<size_t>(
+      1, options.chunk_bytes / wire_elem_bytes(options.wire));
   const size_t n_chunks = (half_elems + chunk_elems - 1) / chunk_elems;
   auto chunk_bytes = [&](size_t c) {
-    return chunk_range(half_elems, n_chunks, c).count * options.wire_bytes;
+    return wire_payload_bytes(options.wire,
+                              chunk_range(half_elems, n_chunks, c).count);
   };
 
   // Chain order within a node: leader last.  For tree 0 the chain is
@@ -76,7 +108,7 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
       if (!data.empty()) {
         auto d = data[static_cast<size_t>(dst)].subspan(half_begin, half_elems);
         auto s = data[static_cast<size_t>(src)].subspan(half_begin, half_elems);
-        for (size_t e = 0; e < half_elems; ++e) d[e] += s[e];
+        reduce_over_wire(d, s, options.wire);
       }
     }
     up[static_cast<size_t>(node)] = ready;
@@ -111,7 +143,7 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
                                                                    half_elems);
         auto s = data[static_cast<size_t>(leader_rank(child))].subspan(
             half_begin, half_elems);
-        for (size_t e = 0; e < half_elems; ++e) d[e] += s[e];
+        reduce_over_wire(d, s, options.wire);
       }
     }
   }
@@ -136,7 +168,7 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
                                                                    half_elems);
         auto d = data[static_cast<size_t>(leader_rank(child))].subspan(
             half_begin, half_elems);
-        std::copy(s.begin(), s.end(), d.begin());
+        copy_over_wire(d, s, options.wire);
       }
     }
   }
@@ -159,7 +191,7 @@ double run_tree_legacy(simnet::Cluster& cluster, const RankData& data,
       if (!data.empty()) {
         auto s = data[static_cast<size_t>(src)].subspan(half_begin, half_elems);
         auto d = data[static_cast<size_t>(dst)].subspan(half_begin, half_elems);
-        std::copy(s.begin(), s.end(), d.begin());
+        copy_over_wire(d, s, options.wire);
       }
     }
     for (size_t c = 0; c < n_chunks; ++c) finish = std::max(finish, ready[c]);
@@ -183,11 +215,12 @@ void build_one_tree(Schedule& sched, const simnet::Topology& topo,
   if (half_elems == 0 || topo.world_size() <= 1) return;
 
   const TreeShape shape = tree_shape(topo, tree);
-  const size_t chunk_elems =
-      std::max<size_t>(1, options.chunk_bytes / options.wire_bytes);
+  const size_t chunk_elems = std::max<size_t>(
+      1, options.chunk_bytes / wire_elem_bytes(options.wire));
   const size_t n_chunks = (half_elems + chunk_elems - 1) / chunk_elems;
   auto chunk_bytes = [&](size_t c) {
-    return chunk_range(half_elems, n_chunks, c).count * options.wire_bytes;
+    return wire_payload_bytes(options.wire,
+                              chunk_range(half_elems, n_chunks, c).count);
   };
   auto chain_rank = [&](int node, int pos) {
     const int local = tree == 0 ? n - 1 - pos : pos;
@@ -211,7 +244,9 @@ void build_one_tree(Schedule& sched, const simnet::Topology& topo,
   std::vector<uint32_t> bufs;
   if (!data.empty()) {
     bufs.reserve(data.size());
-    for (const auto& span : data) bufs.push_back(sched.add_buffer(span));
+    for (const auto& span : data) {
+      bufs.push_back(sched.add_buffer(span, options.wire));
+    }
   }
   auto rank_buf = [&](int rank) { return bufs[static_cast<size_t>(rank)]; };
 

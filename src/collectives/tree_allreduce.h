@@ -16,7 +16,8 @@ namespace hitopk::coll {
 struct TreeOptions {
   // Pipelining granularity; NCCL uses fine-grained chunks.
   size_t chunk_bytes = 4 << 20;
-  size_t wire_bytes = 4;
+  // Wire dtype of every hop's payload (compress/wire_codec.h).
+  WireDtype wire = WireDtype::kFp32;
 };
 
 // In-place tree All-Reduce over `group`.  After completion every rank holds

@@ -56,6 +56,7 @@ struct ChainState {
   bool open = false;
   size_t begin = 0;
   size_t count = 0;
+  WireDtype wire = WireDtype::kFp32;
 };
 
 }  // namespace
@@ -102,6 +103,16 @@ void ScheduleValidator::validate(const ScheduleView& view) const {
         << "to" << view.syncs[i].step;
   }
 
+  // ---- buffer wires: one dtype per registered buffer --------------------
+  HITOPK_VALIDATE(view.buffer_wires.empty() ||
+                  view.buffer_wires.size() == view.buffers.size())
+      << "got" << view.buffer_wires.size() << "buffer wire dtypes for"
+      << view.buffers.size() << "buffers";
+  const auto wire_of = [&](uint32_t buf) {
+    return buf < view.buffer_wires.size() ? view.buffer_wires[buf]
+                                          : WireDtype::kFp32;
+  };
+
   // ---- moves: ids, ranges, step ordering -------------------------------
   for (size_t i = 0; i < view.moves.size(); ++i) {
     const Schedule::Move& m = view.moves[i];
@@ -116,6 +127,10 @@ void ScheduleValidator::validate(const ScheduleView& view) const {
     HITOPK_VALIDATE(m.bucket < nbufs)
         << "move" << i << "bucket" << m.bucket << "of" << nbufs;
     HITOPK_VALIDATE(m.count > 0) << "move" << i << "has zero count";
+    HITOPK_VALIDATE(wire_of(m.src_buf) == wire_of(m.dst_buf))
+        << "move" << i << "transfers" << wire_dtype_name(wire_of(m.src_buf))
+        << "buffer" << m.src_buf << "into" << wire_dtype_name(wire_of(m.dst_buf))
+        << "buffer" << m.dst_buf << "- wire dtype must not change mid-path";
     for (const uint32_t buf : {m.src_buf, m.dst_buf}) {
       const size_t size = view.buffers[buf].size();
       HITOPK_VALIDATE(m.count <= size && m.begin <= size - m.count)
@@ -160,7 +175,7 @@ void ScheduleValidator::validate(const ScheduleView& view) const {
           HITOPK_VALIDATE(!chain.open)
               << "move" << end << "starts a chain while bucket" << m.bucket
               << "has one open - chains must be contiguous";
-          chain = {true, m.begin, m.count};
+          chain = {true, m.begin, m.count, wire_of(m.dst_buf)};
           break;
         case TransferOp::kChainMid:
         case TransferOp::kChainLast:
@@ -171,6 +186,11 @@ void ScheduleValidator::validate(const ScheduleView& view) const {
               << "move" << end << "chain range [" << m.begin << ","
               << m.begin + m.count << ") disagrees with the chain head ["
               << chain.begin << "," << chain.begin + chain.count << ")";
+          HITOPK_VALIDATE(wire_of(m.dst_buf) == chain.wire)
+              << "move" << end << "chain link is"
+              << wire_dtype_name(wire_of(m.dst_buf)) << "but the chain head is"
+              << wire_dtype_name(chain.wire)
+              << "- a chain shares one accumulator, hence one wire dtype";
           if (m.op == TransferOp::kChainLast) chain.open = false;
           break;
         case TransferOp::kCopy:

@@ -25,6 +25,13 @@
 //              reduction chains) are contiguous within their bucket, agree
 //              on [begin, count), close before the step ends, and never
 //              start mid-chain — the thread-local accumulator contract.
+//   dtypes   — typed transfer payloads: a move's source and destination
+//              buffers agree on the wire dtype, and every link of a
+//              reduction chain shares the chain head's dtype.  The codec
+//              applies per hop at the destination's dtype; a dtype flip
+//              mid-path would re-encode an already-rounded shard at a
+//              different grid and break the idempotence that resolved
+//              multi-hop schedules rely on (compress/wire_codec.h).
 //   coverage — optionally (all-reduce schedules), the union of write ranges
 //              covers every element of every functional buffer: no rank is
 //              left holding a partial sum.
@@ -50,12 +57,15 @@ struct ScheduleView {
   std::span<const Schedule::Move> moves;
   std::span<const Schedule::Sync> syncs;
   std::span<const RankSpan> buffers;
+  // Wire dtype per buffer; empty means all-fp32 (hand-assembled views).
+  std::span<const WireDtype> buffer_wires;
   uint32_t num_slots = 0;
 };
 
 inline ScheduleView view_of(const Schedule& sched) {
-  return ScheduleView{sched.sends(), sched.moves(), sched.syncs(),
-                      sched.buffers(), sched.num_slots()};
+  return ScheduleView{sched.sends(),   sched.moves(),
+                      sched.syncs(),   sched.buffers(),
+                      sched.buffer_wires(), sched.num_slots()};
 }
 
 struct ValidatorOptions {

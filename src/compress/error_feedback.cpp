@@ -39,8 +39,11 @@ void ErrorFeedback::absorb(const std::string& key, std::span<const float> grad,
   }
   HITOPK_CHECK(sent.nnz() == 0 || max_index < residual.size())
       << "sent index out of range";
+  // Subtract the value actually sent: x - x == +0.0 for finite x, so exact
+  // sends still zero the coordinate bitwise; quantized sends leave the
+  // rounding error behind as the next step's feedback.
   float* r = residual.data();
-  for (size_t i = 0; i < sent.nnz(); ++i) r[sent.indices[i]] = 0.0f;
+  for (size_t i = 0; i < sent.nnz(); ++i) r[sent.indices[i]] -= sent.values[i];
 }
 
 void ErrorFeedback::apply_priming(const std::string& key,
@@ -62,7 +65,7 @@ void ErrorFeedback::absorb_primed(const std::string& key,
   HITOPK_CHECK(sent.nnz() == 0 || max_index < residual.size())
       << "sent index out of range";
   float* r = residual.data();
-  for (size_t i = 0; i < sent.nnz(); ++i) r[sent.indices[i]] = 0.0f;
+  for (size_t i = 0; i < sent.nnz(); ++i) r[sent.indices[i]] -= sent.values[i];
 }
 
 double ErrorFeedback::residual_sq_norm() const {

@@ -33,8 +33,13 @@ class ErrorFeedback {
   // grad += residual[key]; a zero residual is created on first use.
   void apply(const std::string& key, std::span<float> grad);
 
-  // residual[key] = grad with the communicated coordinates zeroed out.
-  // `sent.indices` must index into grad.
+  // residual[key] = grad - dense(sent): the uncommunicated remainder.  At
+  // coordinates not in `sent` this is grad itself; at sent coordinates it is
+  // grad[idx] - sent.values[i] — exactly zero (+0.0) when the sent value is
+  // the gradient value, and the *quantization error* when the value crossed
+  // a lossy wire codec first (compress/wire_codec.h).  Feeding that error
+  // back is what keeps quantized top-k unbiased in the EF sense
+  // (Karimireddy et al. 2019).  `sent.indices` must index into grad.
   void absorb(const std::string& key, std::span<const float> grad,
               const SparseTensor& sent);
 
@@ -48,9 +53,10 @@ class ErrorFeedback {
   // identical to apply() + absorb() under that contract.
   void apply_priming(const std::string& key, std::span<float> grad);
 
-  // Completes a apply_priming() exchange: zeroes sent.indices in the primed
-  // residual.  The residual must not have been re-primed for another
-  // gradient in between.
+  // Completes a apply_priming() exchange: subtracts sent.values from the
+  // primed residual at sent.indices (leaving +0.0 for exact sends, the
+  // quantization error for lossy ones).  The residual must not have been
+  // re-primed for another gradient in between.
   void absorb_primed(const std::string& key, const SparseTensor& sent);
 
   // Sum of squared residual magnitudes across all keys (a diagnostic the

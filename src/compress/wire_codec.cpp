@@ -1,0 +1,56 @@
+#include "compress/wire_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/half.h"
+
+namespace hitopk::compress {
+
+const char* wire_dtype_name(WireDtype dtype) {
+  switch (dtype) {
+    case WireDtype::kFp16: return "fp16";
+    case WireDtype::kInt8: return "int8";
+    case WireDtype::kFp32: default: return "fp32";
+  }
+}
+
+float int8_wire_scale(std::span<const float> values) {
+  float maxabs = 0.0f;
+  for (float v : values) {
+    const float a = std::fabs(v);
+    // NaN compares false, so it never becomes the max; Inf is rejected below.
+    if (std::isfinite(a) && a > maxabs) maxabs = a;
+  }
+  if (maxabs == 0.0f) return 0.0f;
+  int e = 0;
+  std::frexp(maxabs, &e);         // maxabs = m * 2^e, m in [0.5, 1)
+  return std::ldexp(1.0f, e - 7);  // quantized magnitudes land in [64, 127]
+}
+
+namespace {
+
+void int8_round_trip(std::span<float> values) {
+  const float scale = int8_wire_scale(values);
+  if (scale == 0.0f) return;  // all-zero / all-non-finite shard: pass through
+  const float inv = 1.0f / scale;  // exact: scale is a power of two
+  for (float& v : values) {
+    if (!std::isfinite(v)) continue;  // Inf/NaN pass through unchanged
+    // TF-style round-half-away-from-zero, saturating to the int8 range.
+    long q = std::lround(v * inv);
+    q = std::clamp(q, -127l, 127l);
+    v = static_cast<float>(q) * scale;
+  }
+}
+
+}  // namespace
+
+void wire_round_trip(WireDtype dtype, std::span<float> values) {
+  switch (dtype) {
+    case WireDtype::kFp32: return;
+    case WireDtype::kFp16: fp16_round_trip(values); return;
+    case WireDtype::kInt8: int8_round_trip(values); return;
+  }
+}
+
+}  // namespace hitopk::compress

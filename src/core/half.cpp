@@ -14,8 +14,12 @@ Half float_to_half(float value) {
   uint32_t mantissa = f & 0x7fffffu;
 
   if (exponent == 128) {  // Inf or NaN
-    // Preserve NaN-ness; quiet bit set so signalling NaNs stay NaN.
-    const uint16_t payload = mantissa ? 0x0200u | (mantissa >> 13) : 0u;
+    // Preserve the top payload bits (including the quiet bit) so every
+    // 16-bit NaN pattern survives a half -> float -> half round trip.  Only
+    // when the narrowed payload would be all-zero — which would turn the
+    // NaN into an infinity — substitute the quiet bit.
+    uint16_t payload = static_cast<uint16_t>(mantissa >> 13);
+    if (mantissa != 0 && payload == 0) payload = 0x0200u;
     return Half{static_cast<uint16_t>(sign | 0x7c00u | payload)};
   }
   if (exponent > 15) {  // Overflow -> infinity
@@ -83,7 +87,29 @@ void half_to_float(std::span<const Half> src, std::span<float> dst) {
 }
 
 void fp16_round_trip(std::span<float> values) {
-  for (auto& v : values) v = half_to_float(float_to_half(v));
+  // The round trip never materializes Half bits, so the normal-half range
+  // (float exponent 113..142) reduces to rounding the low 13 mantissa bits
+  // to nearest-even in the float encoding itself: add 0xfff plus the tie
+  // bit and truncate.  A mantissa carry bumps the exponent — that IS the
+  // correct rounding — and a carry past exponent 142 is the 65504 -> inf
+  // overflow.  Subnormal, zero, and non-finite inputs take the exact
+  // scalar pair.  Bitwise identical to half_to_float(float_to_half(v)) for
+  // every input (verified over all 2^32 patterns).
+  for (auto& v : values) {
+    const uint32_t f = std::bit_cast<uint32_t>(v);
+    const uint32_t e = (f >> 23) & 0xffu;
+    if (e - 113u <= 29u) [[likely]] {  // 113 <= e <= 142
+      uint32_t u = f + 0xfffu + ((f >> 13) & 1u);
+      if (((u >> 23) & 0xffu) > 142u) {
+        u = (f & 0x80000000u) | 0x7f800000u;
+      } else {
+        u &= ~0x1fffu;
+      }
+      v = std::bit_cast<float>(u);
+    } else {
+      v = half_to_float(float_to_half(v));
+    }
+  }
 }
 
 }  // namespace hitopk

@@ -311,8 +311,8 @@ void ConvergenceEngine::average_worker_params(simnet::Cluster& cluster) {
   const simnet::Topology& topo =
       active_count_ == world_ ? topology_ : shrunk_.topology;
   if (active_count_ > 1) {
-    coll::ring_allreduce(cluster, coll::world_group(topo), param_spans, d_, 4,
-                         0.0);
+    coll::ring_allreduce(cluster, coll::world_group(topo), param_spans, d_,
+                         coll::WireDtype::kFp32, 0.0);
   }
   for (int w : active_idx_) {
     worker_params_[static_cast<size_t>(w)] *=
@@ -326,7 +326,7 @@ void ConvergenceEngine::average_worker_params(simnet::Cluster& cluster) {
 void ConvergenceEngine::aggregate_dense(simnet::Cluster& cluster) {
   if (active_count_ == world_) {
     coll::ring_allreduce(cluster, coll::world_group(topology_), grad_spans_,
-                         d_, 4, 0.0);
+                         d_, coll::WireDtype::kFp32, 0.0);
     return;
   }
   coll::RankData spans;
@@ -334,7 +334,7 @@ void ConvergenceEngine::aggregate_dense(simnet::Cluster& cluster) {
     spans.push_back(worker_grads_[static_cast<size_t>(w)].span());
   }
   coll::ring_allreduce(cluster, coll::world_group(shrunk_.topology), spans, d_,
-                       4, 0.0);
+                       coll::WireDtype::kFp32, 0.0);
 }
 
 void ConvergenceEngine::aggregate_sparse_workers(simnet::Cluster& cluster,
@@ -493,9 +493,10 @@ void ConvergenceEngine::step() {
     return;
   }
 
-  if (options_.fp16_gradients) {
+  if (options_.gradient_wire != compress::WireDtype::kFp32) {
     for (int w : active_idx_) {
-      fp16_round_trip(worker_grads_[static_cast<size_t>(w)].span());
+      compress::wire_round_trip(options_.gradient_wire,
+                                worker_grads_[static_cast<size_t>(w)].span());
     }
   }
 

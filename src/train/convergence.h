@@ -72,10 +72,12 @@ struct ConvergenceOptions {
   // Synchronization period H for kLocalSgd (average parameters every H
   // iterations).
   int local_sgd_period = 4;
-  // Round every worker gradient through FP16 before aggregation (the
-  // mixed-precision wire of §5.3); validates that communication precision
-  // does not change the convergence story.
-  bool fp16_gradients = false;
+  // Round every worker gradient through this wire dtype before aggregation
+  // (the mixed-precision wire of §5.3, generalized to the typed-payload
+  // codecs of compress/wire_codec.h: kFp16 or the int8 quantizer);
+  // validates that communication precision does not change the convergence
+  // story.  kFp32 is the exact baseline.
+  compress::WireDtype gradient_wire = compress::WireDtype::kFp32;
   uint64_t seed = 42;
 
   int world() const { return nodes * gpus_per_node; }

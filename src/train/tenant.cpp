@@ -31,17 +31,19 @@ simnet::JobBody make_tenant_body(const TenantWorkload& workload) {
                                                w.local_batch));
     if (ranks.size() <= 1 || spec.bytes == 0) return {compute, false};
 
-    const size_t elems = (spec.bytes + w.wire_bytes - 1) / w.wire_bytes;
+    // JobSpec::bytes counts the fp32 gradient; the wire dtype decides how
+    // many bytes those elements occupy on the ports.
+    const size_t elems = (spec.bytes + 3) / 4;
     coll::Schedule& sched = state->schedules[{ranks, spec.bytes}];
     if (sched.empty()) {
       const coll::Group group =
           coll::locality_sorted_group(cluster.topology(), ranks);
       const std::vector<coll::Group> groups{group};
-      const coll::RingGrid grid = coll::ring_grid(sched, groups, {});
-      coll::build_ring_reduce_scatter(sched, groups, grid, elems,
-                                      w.wire_bytes, /*fused_chains=*/true);
+      const coll::RingGrid grid = coll::ring_grid(sched, groups, {}, w.wire);
+      coll::build_ring_reduce_scatter(sched, groups, grid, elems, w.wire,
+                                      /*fused_chains=*/true);
       sched.sync(/*collapse=*/true);
-      coll::build_ring_allgather(sched, groups, grid, elems, w.wire_bytes);
+      coll::build_ring_allgather(sched, groups, grid, elems, w.wire);
     }
     const coll::ScheduleOutcome out =
         sched.run_timing_abortable(cluster, compute, spec.id);

@@ -23,6 +23,7 @@
 
 #include <string>
 
+#include "collectives/common.h"
 #include "simnet/job_scheduler.h"
 
 namespace hitopk::train {
@@ -33,7 +34,10 @@ struct TenantWorkload {
   std::string model = "resnet50";
   int resolution = 224;
   int local_batch = 64;
-  size_t wire_bytes = 4;  // bytes per gradient element on the wire
+  // Wire dtype of the gradient transfers (compress/wire_codec.h).  The
+  // job's payload (JobSpec::bytes) counts fp32 gradient elements; fp16
+  // halves the bytes each iteration actually places on the ports.
+  coll::WireDtype wire = coll::WireDtype::kFp32;
 };
 
 // Builds a JobBody running compute + ring All-Reduce iterations.  The

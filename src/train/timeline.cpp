@@ -98,15 +98,14 @@ IterationBreakdown TrainingSimulator::simulate_with_io(
     switch (options_.algorithm) {
       case Algorithm::kDenseTree: {
         coll::TreeOptions tree;
-        tree.wire_bytes = options_.dense_wire_bytes;
+        tree.wire = options_.dense_wire;
         done = coll::tree_allreduce(cluster, world, {}, bucket.elems, tree,
                                     ready);
         break;
       }
       case Algorithm::kDense2dTorus: {
         done = ready + coll::torus2d_allreduce(cluster, {}, bucket.elems,
-                                               options_.sparse_value_bytes,
-                                               ready)
+                                               options_.dense_wire, ready)
                            .total;
         break;
       }
@@ -125,15 +124,16 @@ IterationBreakdown TrainingSimulator::simulate_with_io(
             static_cast<size_t>(topology_.world_size()) * k);
         done = compressed +
                coll::naive_sparse_allgather_time(
-                   cluster, k, options_.sparse_value_bytes, accumulate,
-                   compressed)
+                   cluster, k,
+                   coll::wire_elem_bytes(options_.sparse_value_wire),
+                   accumulate, compressed)
                    .total;
         break;
       }
       case Algorithm::kMstopkHitopk: {
         coll::HiTopKOptions hi;
         hi.density = options_.density;
-        hi.value_wire_bytes = options_.sparse_value_bytes;
+        hi.value_wire = options_.sparse_value_wire;
         hi.mstopk_samplings = options_.mstopk_samplings;
         hi.mstopk_histogram = options_.mstopk_histogram;
         hi.gpu = &gpu_;

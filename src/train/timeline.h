@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "collectives/common.h"
 #include "data/datacache.h"
 #include "simgpu/gpu_model.h"
 #include "simnet/cluster.h"
@@ -34,9 +35,11 @@ struct TrainerOptions {
   Algorithm algorithm = Algorithm::kMstopkHitopk;
   // Gradient density for the sparse algorithms.
   double density = 0.001;
-  // Wire width: FP16 gradients everywhere (mixed-precision training, §5.3).
-  size_t dense_wire_bytes = 2;
-  size_t sparse_value_bytes = 2;
+  // Wire dtypes: FP16 gradients everywhere (mixed-precision training,
+  // §5.3) — the dense collectives and the sparse legs' values both travel
+  // half-width by default (compress/wire_codec.h).
+  coll::WireDtype dense_wire = coll::WireDtype::kFp16;
+  coll::WireDtype sparse_value_wire = coll::WireDtype::kFp16;
   bool use_datacache = true;
   bool use_pto = true;
   bool overlap_io = true;    // prefetch pipeline hides I/O behind compute

@@ -100,7 +100,7 @@ TEST_P(RingGroupSizeTest, ReduceScatterOwnedChunksHoldSums) {
   const size_t elems = 67;  // not divisible by g: exercises ragged chunks
   Fixture f = make_fixture(g, elems, 100 + static_cast<uint64_t>(g));
   Group group = world_group(topo);
-  ring_reduce_scatter(cluster, group, f.spans, elems, 4, 0.0);
+  ring_reduce_scatter(cluster, group, f.spans, elems, WireDtype::kFp32, 0.0);
   for (int r = 0; r < g; ++r) {
     const ChunkRange range =
         chunk_range(elems, static_cast<size_t>(g), static_cast<size_t>(r));
@@ -117,7 +117,7 @@ TEST_P(RingGroupSizeTest, AllReduceMatchesReferenceEverywhere) {
   Cluster cluster(topo);
   const size_t elems = 129;
   Fixture f = make_fixture(g, elems, 200 + static_cast<uint64_t>(g));
-  ring_allreduce(cluster, world_group(topo), f.spans, elems, 4, 0.0);
+  ring_allreduce(cluster, world_group(topo), f.spans, elems, WireDtype::kFp32, 0.0);
   expect_all_equal_reference(f);
 }
 
@@ -142,7 +142,7 @@ TEST(RingAllGather, ReplicatesOwnedChunks) {
   }
   RankData spans;
   for (auto& b : buffers) spans.push_back(b.span());
-  ring_allgather(cluster, world_group(topo), spans, elems, 4, 0.0);
+  ring_allgather(cluster, world_group(topo), spans, elems, WireDtype::kFp32, 0.0);
   for (int r = 0; r < g; ++r) {
     for (int c = 0; c < g; ++c) {
       const ChunkRange range = chunk_range(elems, g, static_cast<size_t>(c));
@@ -160,7 +160,7 @@ TEST(RingTiming, HomogeneousRingMatchesAlphaBetaModel) {
   Cluster cluster(topo);
   const size_t elems = 4000;  // divisible by 4 -> uniform 1000-elem chunks
   const double done = ring_reduce_scatter(cluster, world_group(topo), {},
-                                          elems, 4, 0.0);
+                                          elems, WireDtype::kFp32, 0.0);
   const double expected = 3.0 * (1e-6 + 4000.0 * 1e-9);
   EXPECT_NEAR(done, expected, 1e-12);
 }
@@ -171,9 +171,9 @@ TEST(RingTiming, Fp16HalvesTransferTime) {
   const size_t elems = 40000;
   Cluster c32(topo), c16(topo);
   const double t32 =
-      ring_allreduce(c32, world_group(topo), {}, elems, 4, 0.0);
+      ring_allreduce(c32, world_group(topo), {}, elems, WireDtype::kFp32, 0.0);
   const double t16 =
-      ring_allreduce(c16, world_group(topo), {}, elems, 2, 0.0);
+      ring_allreduce(c16, world_group(topo), {}, elems, WireDtype::kFp16, 0.0);
   EXPECT_LT(t16, t32);
   EXPECT_GT(t16, 0.4 * t32);
 }
@@ -185,9 +185,9 @@ TEST(RingTiming, TimingOnlyMatchesFunctional) {
   Cluster ca(topo), cb(topo);
   Fixture f = make_fixture(g, elems, 300);
   const double functional =
-      ring_allreduce(ca, world_group(topo), f.spans, elems, 4, 0.0);
+      ring_allreduce(ca, world_group(topo), f.spans, elems, WireDtype::kFp32, 0.0);
   const double timing_only =
-      ring_allreduce(cb, world_group(topo), {}, elems, 4, 0.0);
+      ring_allreduce(cb, world_group(topo), {}, elems, WireDtype::kFp32, 0.0);
   EXPECT_DOUBLE_EQ(functional, timing_only);
 }
 
@@ -245,7 +245,7 @@ TEST_P(TorusShapeTest, AllReduceMatchesReference) {
   const size_t elems = 97;
   Fixture f = make_fixture(m * n, elems,
                            500 + static_cast<uint64_t>(m * 100 + n));
-  torus2d_allreduce(cluster, f.spans, elems, 4, 0.0);
+  torus2d_allreduce(cluster, f.spans, elems, WireDtype::kFp32, 0.0);
   expect_all_equal_reference(f);
 }
 
@@ -257,7 +257,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, TorusShapeTest,
 TEST(Torus2d, BreakdownSumsToTotal) {
   Topology topo = fabric(4, 4);
   Cluster cluster(topo);
-  const auto b = torus2d_allreduce(cluster, {}, 100000, 4, 0.0);
+  const auto b = torus2d_allreduce(cluster, {}, 100000, WireDtype::kFp32, 0.0);
   EXPECT_NEAR(b.reduce_scatter + b.inter_allreduce + b.intra_allgather,
               b.total, 1e-12);
   EXPECT_GT(b.inter_allreduce, b.reduce_scatter);  // slow NIC dominates
@@ -271,7 +271,7 @@ TEST(Torus2d, BeatsTreeOnCloudTopology) {
   Cluster ct(topo), c2(topo);
   const double tree =
       tree_allreduce(ct, world_group(topo), {}, elems, TreeOptions{}, 0.0);
-  const double torus = torus2d_allreduce(c2, {}, elems, 4, 0.0).total;
+  const double torus = torus2d_allreduce(c2, {}, elems, WireDtype::kFp32, 0.0).total;
   EXPECT_LT(torus, tree);
 }
 
@@ -281,7 +281,7 @@ TEST(HierAllReduce, MatchesReference) {
   Cluster cluster(topo);
   const size_t elems = 77;
   Fixture f = make_fixture(12, elems, 600);
-  hier_allreduce(cluster, f.spans, elems, 4, 0.0);
+  hier_allreduce(cluster, f.spans, elems, WireDtype::kFp32, 0.0);
   expect_all_equal_reference(f);
 }
 
@@ -290,8 +290,8 @@ TEST(HierAllReduce, SlowerThanTorusForWideNodes) {
   Topology topo = fabric(8, 8);
   const size_t elems = 1 << 20;
   Cluster ch(topo), c2(topo);
-  const double hier = hier_allreduce(ch, {}, elems, 4, 0.0).total;
-  const double torus = torus2d_allreduce(c2, {}, elems, 4, 0.0).total;
+  const double hier = hier_allreduce(ch, {}, elems, WireDtype::kFp32, 0.0).total;
+  const double torus = torus2d_allreduce(c2, {}, elems, WireDtype::kFp32, 0.0).total;
   EXPECT_LT(torus, hier);
 }
 
@@ -528,17 +528,17 @@ TEST(Fig7Ordering, HiTopKFastestOnCloudCluster) {
 
   Cluster c_tree(topo);
   TreeOptions tree_options;
-  tree_options.wire_bytes = fp16;
+  tree_options.wire = WireDtype::kFp16;
   const double tree = tree_allreduce(c_tree, world_group(topo), {}, elems,
                                      tree_options, 0.0);
 
   Cluster c_torus(topo);
-  const double torus = torus2d_allreduce(c_torus, {}, elems, fp16, 0.0).total;
+  const double torus = torus2d_allreduce(c_torus, {}, elems, WireDtype::kFp16, 0.0).total;
 
   Cluster c_hitopk(topo);
   HiTopKOptions options;
   options.density = density;
-  options.value_wire_bytes = fp16;
+  options.value_wire = WireDtype::kFp16;
   const double hitopk = hitopk_comm(c_hitopk, {}, elems, options, 0.0).total;
 
   EXPECT_LT(hitopk, torus);

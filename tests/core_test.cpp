@@ -262,6 +262,41 @@ TEST(Half, UnderflowToZero) {
   EXPECT_EQ(half_to_float(float_to_half(1e-30f)), 0.0f);
 }
 
+TEST(Half, RoundToNearestEvenTies) {
+  // Half spacing in [1, 2) is 2^-10; a float exactly halfway between two
+  // representable halves must round to the even mantissa.
+  EXPECT_EQ(half_to_float(float_to_half(1.0f + 0x1.0p-11f)), 1.0f);
+  EXPECT_EQ(half_to_float(float_to_half(1.0f + 3 * 0x1.0p-11f)),
+            1.0f + 0x1.0p-9f);
+  // Not-quite-halfway rounds to nearest, not to even.
+  EXPECT_EQ(half_to_float(float_to_half(1.0f + 0x1.8p-11f)),
+            1.0f + 0x1.0p-10f);
+}
+
+TEST(Half, DenormalTiesAndBoundaries) {
+  // Smallest positive subnormal half is 2^-24.  Exactly half of it ties to
+  // even (zero); anything above the tie rounds up to 2^-24.
+  EXPECT_EQ(half_to_float(float_to_half(0x1.0p-24f)), 0x1.0p-24f);
+  EXPECT_EQ(half_to_float(float_to_half(0x1.0p-25f)), 0.0f);
+  EXPECT_EQ(half_to_float(float_to_half(0x1.8p-25f)), 0x1.0p-24f);
+  // The sign of an underflowed zero survives.
+  EXPECT_TRUE(std::signbit(half_to_float(float_to_half(-0x1.0p-25f))));
+  // Largest subnormal and smallest normal half round trip exactly.
+  EXPECT_EQ(half_to_float(float_to_half(0x1.ff8p-15f)), 0x1.ff8p-15f);
+  EXPECT_EQ(half_to_float(float_to_half(0x1.0p-14f)), 0x1.0p-14f);
+}
+
+TEST(Half, OverflowBoundaryTies) {
+  // 65504 is the largest finite half; 65520 is exactly halfway to the next
+  // grid point (65536, not representable) and ties upward to infinity.
+  EXPECT_EQ(half_to_float(float_to_half(65504.0f)), 65504.0f);
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(65520.0f))));
+  EXPECT_EQ(half_to_float(float_to_half(65519.0f)), 65504.0f);
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(half_to_float(float_to_half(inf)), inf);
+  EXPECT_EQ(half_to_float(float_to_half(-inf)), -inf);
+}
+
 TEST(Half, BulkConversionMatchesScalar) {
   Rng rng(43);
   std::vector<float> src(257);

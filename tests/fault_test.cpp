@@ -314,7 +314,7 @@ coll::Schedule ring_rs_schedule(const Topology& topo, size_t elems) {
   const std::vector<coll::Group> groups{coll::world_group(topo)};
   const std::vector<coll::RankData> data{coll::RankData{}};
   const coll::RingGrid grid = coll::ring_grid(sched, groups, data);
-  coll::build_ring_reduce_scatter(sched, groups, grid, elems, 4, true);
+  coll::build_ring_reduce_scatter(sched, groups, grid, elems, coll::WireDtype::kFp32, true);
   return sched;
 }
 
@@ -369,12 +369,12 @@ TEST(TypedErrors, InvalidRuntimeConfigIsRecoverable) {
   // Wrong data arity at the collective boundary: recoverable ConfigError.
   coll::RankData two{t.span(), t.span()};
   EXPECT_THROW(coll::ring_allreduce(cluster, coll::world_group(topo), two, 8,
-                                    4, 0.0),
+                                    coll::WireDtype::kFp32, 0.0),
                ConfigError);
   // ConfigError is a runtime_error; CheckError stays a logic_error, so a
   // supervisor can catch the recoverable class without masking real bugs.
   try {
-    coll::ring_allreduce(cluster, coll::world_group(topo), two, 8, 4, 0.0);
+    coll::ring_allreduce(cluster, coll::world_group(topo), two, 8, coll::WireDtype::kFp32, 0.0);
     FAIL() << "expected ConfigError";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("invalid configuration"),
@@ -383,12 +383,12 @@ TEST(TypedErrors, InvalidRuntimeConfigIsRecoverable) {
   static_assert(std::is_base_of_v<std::runtime_error, ConfigError>);
   static_assert(std::is_base_of_v<std::logic_error, CheckError>);
   // Uneven topologies are rejected the same recoverable way by the
-  // uniform-only collectives.
+  // uniform-only collectives.  HiTopKComm handles them natively (shards by
+  // max gpus-per-node), so it must NOT throw here.
   const Topology uneven(std::vector<int>{3, 1}, LinkParams{1e-6, 1e-9},
                         LinkParams{1e-5, 1e-8});
   Cluster uc(uneven);
-  EXPECT_THROW(coll::hitopk_comm(uc, {}, 64, coll::HiTopKOptions{}, 0.0),
-               ConfigError);
+  EXPECT_NO_THROW(coll::hitopk_comm(uc, {}, 64, coll::HiTopKOptions{}, 0.0));
   EXPECT_THROW(train::simulate_scenario(uneven, train::ScenarioOptions{}),
                ConfigError);
 }

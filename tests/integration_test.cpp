@@ -131,10 +131,8 @@ TEST(Fp16Wire, RingAllreduceWithRoundedGradientsStaysClose) {
   coll::RankData exact_spans, fp16_spans;
   for (auto& g : exact_grads) exact_spans.push_back(g.span());
   for (auto& g : fp16_grads) fp16_spans.push_back(g.span());
-  coll::ring_allreduce(cluster, coll::world_group(topo), exact_spans, elems, 4,
-                       0.0);
-  coll::ring_allreduce(cluster, coll::world_group(topo), fp16_spans, elems, 2,
-                       0.0);
+  coll::ring_allreduce(cluster, coll::world_group(topo), exact_spans, elems, coll::WireDtype::kFp32, 0.0);
+  coll::ring_allreduce(cluster, coll::world_group(topo), fp16_spans, elems, coll::WireDtype::kFp16, 0.0);
   for (size_t i = 0; i < elems; ++i) {
     ASSERT_NEAR(fp16_grads[0][i], exact_grads[0][i],
                 4.0f * 1e-3f * (1.0f + std::fabs(exact_grads[0][i])));
@@ -151,7 +149,7 @@ TEST(ConvergenceVariants, Fp16GradientsDoNotHurt) {
   options.local_batch = 32;
   auto task_a = train::make_vision_task(41);
   const auto fp32 = train::run_convergence(*task_a, options);
-  options.fp16_gradients = true;
+  options.gradient_wire = compress::WireDtype::kFp16;
   auto task_b = train::make_vision_task(41);
   const auto fp16 = train::run_convergence(*task_b, options);
   EXPECT_NEAR(fp16.final_quality, fp32.final_quality, 0.03);

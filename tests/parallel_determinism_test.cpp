@@ -282,7 +282,7 @@ TEST(ParallelDeterminism, RingAllreduceMatchesSerialBitwise) {
     RankData spans;
     for (auto& g : copy) spans.push_back(g.span());
     Cluster cluster(topo);
-    coll::ring_allreduce(cluster, world, spans, elems, 4, 0.0);
+    coll::ring_allreduce(cluster, world, spans, elems, coll::WireDtype::kFp32, 0.0);
     return copy;
   };
   expect_bitwise_equal(run(1), run(8));

@@ -36,7 +36,7 @@ TEST_P(ParamServerShapeTest, MatchesDenseReference) {
   }
   RankData spans;
   for (auto& g : grads) spans.push_back(g.span());
-  param_server_allreduce(cluster, spans, elems, 4, 0.0);
+  param_server_allreduce(cluster, spans, elems, WireDtype::kFp32, 0.0);
   for (const auto& g : grads) {
     for (size_t i = 0; i < elems; ++i) {
       ASSERT_NEAR(g[i], reference[i], 1e-4f);
@@ -50,7 +50,7 @@ INSTANTIATE_TEST_SUITE_P(Shapes, ParamServerShapeTest,
 
 TEST(ParamServer, BreakdownSumsToTotal) {
   Cluster cluster(Topology::tencent_cloud(16, 8));
-  const auto r = param_server_allreduce(cluster, {}, 1u << 20, 2, 0.0);
+  const auto r = param_server_allreduce(cluster, {}, 1u << 20, WireDtype::kFp16, 0.0);
   EXPECT_NEAR(r.push + r.pull, r.total, 1e-12);
   EXPECT_GT(r.push, 0.0);
   EXPECT_GT(r.pull, 0.0);
@@ -61,9 +61,9 @@ TEST(ParamServer, SlowerThanTorusOnCloudCluster) {
   // topology-aware 2DTAR (the §1 argument for All-Reduce).
   const size_t elems = 25u << 20;
   Cluster c_ps(Topology::tencent_cloud(16, 8));
-  const double ps = param_server_allreduce(c_ps, {}, elems, 2, 0.0).total;
+  const double ps = param_server_allreduce(c_ps, {}, elems, WireDtype::kFp16, 0.0).total;
   Cluster c_torus(Topology::tencent_cloud(16, 8));
-  const double torus = torus2d_allreduce(c_torus, {}, elems, 2, 0.0).total;
+  const double torus = torus2d_allreduce(c_torus, {}, elems, WireDtype::kFp16, 0.0).total;
   EXPECT_GT(ps, torus);
 }
 
@@ -75,8 +75,8 @@ TEST(ParamServer, TimingOnlyMatchesFunctional) {
   RankData spans;
   for (auto& g : grads) spans.push_back(g.span());
   const double functional =
-      param_server_allreduce(ca, spans, elems, 4, 0.0).total;
-  const double timing = param_server_allreduce(cb, {}, elems, 4, 0.0).total;
+      param_server_allreduce(ca, spans, elems, WireDtype::kFp32, 0.0).total;
+  const double timing = param_server_allreduce(cb, {}, elems, WireDtype::kFp32, 0.0).total;
   EXPECT_DOUBLE_EQ(functional, timing);
 }
 

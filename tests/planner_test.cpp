@@ -161,7 +161,7 @@ TEST(PlannerFuzz, DifferentialAgainstFlatRingOracle) {
     if (s.group.size() > 1) {
       Cluster ring_cluster(s.topo);
       const double ring_t =
-          ring_allreduce(ring_cluster, s.group, {}, s.elems, 4, 0.0);
+          ring_allreduce(ring_cluster, s.group, {}, s.elems, WireDtype::kFp32, 0.0);
       EXPECT_DOUBLE_EQ(choice.flat_ring_seconds, ring_t);
     }
 
@@ -178,8 +178,7 @@ TEST(PlannerFuzz, DifferentialAgainstFlatRingOracle) {
 
     if (choice.exact_sum) {
       Cluster oracle_cluster(s.topo);
-      ring_allreduce(oracle_cluster, s.group, spans_of(oracle), s.elems, 4,
-                     0.0);
+      ring_allreduce(oracle_cluster, s.group, spans_of(oracle), s.elems, WireDtype::kFp32, 0.0);
       for (size_t r = 0; r < s.group.size(); ++r) {
         ASSERT_EQ(std::memcmp(planned[r].data(), oracle[r].data(),
                               s.elems * sizeof(float)),

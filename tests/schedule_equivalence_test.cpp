@@ -119,8 +119,7 @@ TEST_P(RingEquivalenceTest, ReduceScatter) {
   const auto [g, elems] = GetParam();
   const Topology topo = fabric(1, g);
   check_equivalence(topo, elems, 42, [&](Cluster& c, const RankData& data) {
-    return ring_reduce_scatter(c, world_group(c.topology()), data, elems, 4,
-                               0.5);
+    return ring_reduce_scatter(c, world_group(c.topology()), data, elems, coll::WireDtype::kFp32, 0.5);
   });
 }
 
@@ -128,7 +127,7 @@ TEST_P(RingEquivalenceTest, AllGather) {
   const auto [g, elems] = GetParam();
   const Topology topo = fabric(1, g);
   check_equivalence(topo, elems, 43, [&](Cluster& c, const RankData& data) {
-    return ring_allgather(c, world_group(c.topology()), data, elems, 2, 0.0);
+    return ring_allgather(c, world_group(c.topology()), data, elems, coll::WireDtype::kFp16, 0.0);
   });
 }
 
@@ -136,7 +135,7 @@ TEST_P(RingEquivalenceTest, AllReduce) {
   const auto [g, elems] = GetParam();
   const Topology topo = fabric(1, g);
   check_equivalence(topo, elems, 44, [&](Cluster& c, const RankData& data) {
-    return ring_allreduce(c, world_group(c.topology()), data, elems, 4, 0.0);
+    return ring_allreduce(c, world_group(c.topology()), data, elems, coll::WireDtype::kFp32, 0.0);
   });
 }
 
@@ -163,7 +162,7 @@ TEST(RingEquivalence, AllReduceMultiTwoCrossNodeStreams) {
         data[q].push_back(buffers[static_cast<size_t>(rank)].span());
       }
     }
-    return ring_allreduce_multi(cluster, groups, data, elems, 4, 0.25);
+    return ring_allreduce_multi(cluster, groups, data, elems, coll::WireDtype::kFp32, 0.25);
   };
   std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 7);
   std::vector<Tensor> buf_legacy = buf_sched;
@@ -238,7 +237,7 @@ TEST(HierEquivalence, BreakdownAndBuffers) {
     Cluster cluster(topo);
     RankData data;
     if (buffers != nullptr) data = spans_of(*buffers);
-    return hier_allreduce(cluster, data, elems, 4, 0.125);
+    return hier_allreduce(cluster, data, elems, coll::WireDtype::kFp32, 0.125);
   };
   std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 60);
   std::vector<Tensor> buf_legacy = buf_sched;
@@ -267,7 +266,7 @@ TEST_P(TorusEquivalenceTest, BreakdownAndBuffers) {
     Cluster cluster(topo);
     RankData data;
     if (buffers != nullptr) data = spans_of(*buffers);
-    return torus2d_allreduce(cluster, data, elems, 4, 0.0);
+    return torus2d_allreduce(cluster, data, elems, coll::WireDtype::kFp32, 0.0);
   };
   std::vector<Tensor> buf_sched =
       random_buffers(topo.world_size(), elems, 70 + elems);
@@ -302,7 +301,7 @@ TEST(ParamServerEquivalence, BreakdownAndBuffers) {
     Cluster cluster(topo);
     RankData data;
     if (buffers != nullptr) data = spans_of(*buffers);
-    return param_server_allreduce(cluster, data, elems, 4, 0.0);
+    return param_server_allreduce(cluster, data, elems, coll::WireDtype::kFp32, 0.0);
   };
   std::vector<Tensor> buf_sched = random_buffers(topo.world_size(), elems, 80);
   std::vector<Tensor> buf_legacy = buf_sched;
@@ -546,11 +545,11 @@ TEST(BlueConnect, SingleStageIsExactlyFlatRing) {
   Cluster c_bc(topo), c_ring(topo);
   BlueConnectOptions options;
   options.factors = {6};
-  options.wire_bytes = 4;
+  options.wire = coll::WireDtype::kFp32;
   const auto bc =
       blueconnect_allreduce(c_bc, spans_of(buf_bc), elems, options, 0.75);
   const double ring = ring_allreduce(c_ring, world_group(topo),
-                                     spans_of(buf_ring), elems, 4, 0.75);
+                                     spans_of(buf_ring), elems, coll::WireDtype::kFp32, 0.75);
   // Same expression shape on both sides (finish - start), so the doubles
   // must be identical, not merely close.
   EXPECT_DOUBLE_EQ(bc.total, ring - 0.75);
@@ -559,7 +558,7 @@ TEST(BlueConnect, SingleStageIsExactlyFlatRing) {
   Cluster c_bc2(topo), c_ring2(topo);
   EXPECT_DOUBLE_EQ(
       blueconnect_allreduce(c_bc2, {}, elems, options, 0.0).total,
-      ring_allreduce(c_ring2, world_group(topo), {}, elems, 4, 0.0));
+      ring_allreduce(c_ring2, world_group(topo), {}, elems, coll::WireDtype::kFp32, 0.0));
 }
 
 class BlueConnectShapeTest
@@ -687,7 +686,7 @@ void run_fresh(ElasticAlgorithm algorithm, const Topology& topo,
   Cluster cluster(topo);
   switch (algorithm) {
     case ElasticAlgorithm::kRing:
-      ring_allreduce(cluster, world_group(topo), data, elems, 4, 0.0);
+      ring_allreduce(cluster, world_group(topo), data, elems, coll::WireDtype::kFp32, 0.0);
       break;
     case ElasticAlgorithm::kBlueConnect: {
       BlueConnectOptions options;
@@ -1085,10 +1084,10 @@ TEST_P(JobIdInvarianceTest, SingleJobClocksIndependentOfJobId) {
 
   Schedule sched;
   const RingGrid grid = ring_grid(sched, groups, {});
-  build_ring_reduce_scatter(sched, groups, grid, elems, 4,
+  build_ring_reduce_scatter(sched, groups, grid, elems, coll::WireDtype::kFp32,
                             /*fused_chains=*/true);
   sched.sync(/*collapse=*/true);
-  build_ring_allgather(sched, groups, grid, elems, 4);
+  build_ring_allgather(sched, groups, grid, elems, coll::WireDtype::kFp32);
 
   Cluster as_default(topo);
   Cluster as_tenant(topo);

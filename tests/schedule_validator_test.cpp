@@ -41,17 +41,22 @@ struct OwnedView {
   std::vector<Sync> syncs;
   std::vector<Tensor> storage;
   std::vector<RankSpan> buffers;
+  std::vector<WireDtype> wires;  // leave empty for all-fp32
   uint32_t num_slots = 0;
 
-  uint32_t add_buffer(size_t elems) {
+  uint32_t add_buffer(size_t elems, WireDtype wire = WireDtype::kFp32) {
     storage.reserve(16);  // keep spans stable across additions
     HITOPK_CHECK_LT(storage.size(), 16u);
     storage.emplace_back(elems);
     buffers.push_back(storage.back().span());
+    if (wire != WireDtype::kFp32 || !wires.empty()) {
+      wires.resize(buffers.size(), WireDtype::kFp32);
+      wires.back() = wire;
+    }
     return static_cast<uint32_t>(buffers.size() - 1);
   }
   ScheduleView view() const {
-    return ScheduleView{sends, moves, syncs, buffers, num_slots};
+    return ScheduleView{sends, moves, syncs, buffers, wires, num_slots};
   }
 };
 
@@ -238,6 +243,55 @@ TEST(ValidatorChains, WellFormedChainAccepted) {
   EXPECT_NO_THROW(ScheduleValidator().validate(v.view()));
 }
 
+// ---------------------------------------------------- dtype invariants
+
+TEST(ValidatorDtypes, WireCountMismatchRejected) {
+  OwnedView v;
+  v.add_buffer(8, WireDtype::kFp16);
+  v.add_buffer(8);
+  v.wires.pop_back();  // one dtype for two buffers
+  expect_rejected(v);
+}
+
+TEST(ValidatorDtypes, MixedWireMoveRejected) {
+  OwnedView v;
+  const uint32_t a = v.add_buffer(8, WireDtype::kFp16);
+  const uint32_t b = v.add_buffer(8);  // fp32
+  v.moves.push_back({0, TransferOp::kCopy, a, b, b, 0, 4});
+  expect_rejected(v);
+
+  // The same move between same-dtype buffers is fine.
+  OwnedView ok;
+  const uint32_t c = ok.add_buffer(8, WireDtype::kFp16);
+  const uint32_t d = ok.add_buffer(8, WireDtype::kFp16);
+  ok.moves.push_back({0, TransferOp::kCopy, c, d, d, 0, 4});
+  EXPECT_NO_THROW(ScheduleValidator().validate(ok.view()));
+}
+
+TEST(ValidatorDtypes, ChainWireFlipRejected) {
+  // A reduction chain shares one accumulator; a link landing in a buffer of
+  // a different wire dtype than the chain head would re-encode the partial
+  // sum on a different grid mid-chain.
+  OwnedView v;
+  const uint32_t a = v.add_buffer(8, WireDtype::kInt8);
+  const uint32_t b = v.add_buffer(8, WireDtype::kInt8);
+  const uint32_t c = v.add_buffer(8, WireDtype::kInt8);
+  v.moves.push_back({0, TransferOp::kChainFirst, a, b, b, 0, 4});
+  v.moves.push_back({0, TransferOp::kChainLast, c, b, b, 0, 4});
+  EXPECT_NO_THROW(ScheduleValidator().validate(v.view()));  // one dtype: fine
+
+  OwnedView flip;
+  const uint32_t d = flip.add_buffer(8, WireDtype::kInt8);
+  const uint32_t e = flip.add_buffer(8, WireDtype::kInt8);
+  const uint32_t f = flip.add_buffer(8, WireDtype::kFp16);
+  const uint32_t g = flip.add_buffer(8, WireDtype::kFp16);
+  flip.moves.push_back({0, TransferOp::kChainFirst, d, e, e, 0, 4});
+  // Same-dtype endpoints (fp16 -> fp16), so only the chain rule can object:
+  // the link's accumulator dtype flips away from the int8 chain head.
+  flip.moves.push_back({0, TransferOp::kChainLast, g, f, e, 0, 4});
+  expect_rejected(flip);
+}
+
 // --------------------------------------------------- coverage invariant
 
 TEST(ValidatorCoverage, GapRejectedOnlyWhenRequired) {
@@ -311,10 +365,10 @@ TEST_P(BuilderValidationTest, AllBuildersPass) {
     std::vector<Group> groups{world};
     std::vector<RankData> group_data{data};
     const RingGrid grid = ring_grid(sched, groups, group_data);
-    build_ring_reduce_scatter(sched, groups, grid, elems, 4,
+    build_ring_reduce_scatter(sched, groups, grid, elems, WireDtype::kFp32,
                               /*fused_chains=*/true);
     sched.sync(/*collapse=*/true);
-    build_ring_allgather(sched, groups, grid, elems, 4);
+    build_ring_allgather(sched, groups, grid, elems, WireDtype::kFp32);
     // A single-rank "All-Reduce" records no moves, so its buffer is
     // legitimately never written; coverage only binds real exchanges.
     expect_valid(sched, topo, /*full_coverage=*/topo.world_size() > 1);
@@ -324,12 +378,12 @@ TEST_P(BuilderValidationTest, AllBuildersPass) {
     std::vector<Group> groups{world};
     std::vector<RankData> group_data{data};
     const RingGrid grid = ring_grid(sched, groups, group_data);
-    build_ring_reduce_scatter(sched, groups, grid, elems, 4);
+    build_ring_reduce_scatter(sched, groups, grid, elems, WireDtype::kFp32);
     expect_valid(sched, topo, /*full_coverage=*/false);
   }
   {  // halving-doubling (including fold/unfold worlds)
     Schedule sched;
-    build_halving_doubling(sched, world, data, elems, 4);
+    build_halving_doubling(sched, world, data, elems, WireDtype::kFp32);
     expect_valid(sched, topo, /*full_coverage=*/topo.world_size() > 1);
   }
   if (topo.world_size() > 1) {  // double binary tree
@@ -341,12 +395,12 @@ TEST_P(BuilderValidationTest, AllBuildersPass) {
   }
   if (topo.nodes() > 1) {  // hierarchical leader All-Reduce
     Schedule sched;
-    build_hier_allreduce(sched, topo, data, elems, 4);
+    build_hier_allreduce(sched, topo, data, elems, WireDtype::kFp32);
     expect_valid(sched, topo, /*full_coverage=*/true);
   }
   if (topo.nodes() > 1 && topo.gpus_per_node() > 1) {  // 2D torus
     Schedule sched;
-    build_torus2d(sched, topo, data, elems, 4);
+    build_torus2d(sched, topo, data, elems, WireDtype::kFp32);
     expect_valid(sched, topo, /*full_coverage=*/true);
   }
   if (topo.world_size() > 1) {  // BlueConnect auto factorization
@@ -375,13 +429,46 @@ TEST(BuilderValidation, UnevenTopologyHierAndHd) {
   const RankData data = spans_of(buffers);
   {
     Schedule sched;
-    build_hier_allreduce(sched, topo, data, elems, 4);
+    build_hier_allreduce(sched, topo, data, elems, WireDtype::kFp32);
     expect_valid(sched, topo, /*full_coverage=*/true);
   }
   {
     Schedule sched;
-    build_halving_doubling(sched, world_group(topo), data, elems, 4);
+    build_halving_doubling(sched, world_group(topo), data, elems, WireDtype::kFp32);
     expect_valid(sched, topo, /*full_coverage=*/true);
+  }
+}
+
+TEST(BuilderValidation, QuantizedBuildersPass) {
+  // Every builder's quantized schedule satisfies the dtype rules it is
+  // validated against — the engine records one wire per buffer end to end.
+  const Topology topo = fabric(3, 2);
+  const Group world = world_group(topo);
+  const size_t elems = 96;
+  std::vector<Tensor> buffers = buffers_of(topo.world_size(), elems);
+  const RankData data = spans_of(buffers);
+  for (const WireDtype wire : {WireDtype::kFp16, WireDtype::kInt8}) {
+    {
+      Schedule sched;
+      std::vector<Group> groups{world};
+      std::vector<RankData> group_data{data};
+      const RingGrid grid = ring_grid(sched, groups, group_data, wire);
+      build_ring_reduce_scatter(sched, groups, grid, elems, wire,
+                                /*fused_chains=*/true);
+      sched.sync(/*collapse=*/true);
+      build_ring_allgather(sched, groups, grid, elems, wire);
+      expect_valid(sched, topo, /*full_coverage=*/true);
+    }
+    {
+      Schedule sched;
+      build_hier_allreduce(sched, topo, data, elems, wire);
+      expect_valid(sched, topo, /*full_coverage=*/true);
+    }
+    {
+      Schedule sched;
+      build_halving_doubling(sched, world, data, elems, wire);
+      expect_valid(sched, topo, /*full_coverage=*/true);
+    }
   }
 }
 

@@ -52,7 +52,7 @@ TEST(Tracing, CollectiveEventCountMatchesSchedule) {
   // Ring all-reduce over G ranks: 2 * (G-1) steps x G transfers.
   Cluster c(tiny());
   c.enable_tracing();
-  coll::ring_allreduce(c, coll::world_group(c.topology()), {}, 400, 4, 0.0);
+  coll::ring_allreduce(c, coll::world_group(c.topology()), {}, 400, coll::WireDtype::kFp32, 0.0);
   EXPECT_EQ(c.trace().size(), 2u * 3u * 4u);
 }
 
